@@ -1,0 +1,91 @@
+// Command gretabench regenerates the paper's evaluation (§10): the
+// events-per-window sweeps for positive and negated patterns (Figures
+// 14 and 15), the edge-predicate selectivity sweep (Figure 16), the
+// trend-group sweep (Figure 17), the event-selection-semantics table
+// (Table 1), and the complexity-growth measurement backing Theorems
+// 8.1/8.2.
+//
+// Usage:
+//
+//	gretabench -exp all            # everything, default scale
+//	gretabench -exp fig14 -quick   # one experiment, CI scale
+//	gretabench -exp fig16 -csv     # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/greta-cep/greta/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig14|fig15|fig16|fig17|table1|growth|all")
+	quick := flag.Bool("quick", false, "use the small CI scale")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	flag.Parse()
+
+	sc := bench.Full()
+	if *quick {
+		sc = bench.Quick()
+	}
+
+	if err := bench.OracleCheck(); err != nil {
+		fmt.Fprintln(os.Stderr, "correctness pre-check failed:", err)
+		os.Exit(1)
+	}
+
+	emit := func(fig bench.Figure) {
+		if *csv {
+			bench.CSV(os.Stdout, fig)
+		} else {
+			bench.Print(os.Stdout, fig)
+		}
+	}
+	run := func(name string) {
+		switch name {
+		case "fig14":
+			fig, err := bench.Fig14(sc)
+			check(err)
+			emit(fig)
+		case "fig15":
+			fig, err := bench.Fig15(sc)
+			check(err)
+			emit(fig)
+		case "fig16":
+			fig, err := bench.Fig16(sc)
+			check(err)
+			emit(fig)
+		case "fig17":
+			fig, err := bench.Fig17(sc)
+			check(err)
+			emit(fig)
+		case "table1":
+			rows, err := bench.Table1()
+			check(err)
+			bench.PrintTable1(os.Stdout, rows)
+		case "growth":
+			pts, err := bench.Growth([]int{8, 16, 32, 64, 128, 256, 512, 1024})
+			check(err)
+			bench.PrintGrowth(os.Stdout, pts)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "growth", "fig14", "fig15", "fig16", "fig17"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+package greta_test
+
+import (
+	"fmt"
+
+	"github.com/greta-cep/greta"
+)
+
+// The paper's Fig. 3 / Example 1: eleven trends match (SEQ(A+,B))+ in
+// the stream {a1, b2, a3, a4, b7}, containing twenty a-occurrences with
+// attribute values 5, 6, 4.
+func ExampleCompile() {
+	stmt, err := greta.Compile(`
+		RETURN COUNT(*), COUNT(A), MIN(A.attr), MAX(A.attr), SUM(A.attr), AVG(A.attr)
+		PATTERN (SEQ(A+, B))+`)
+	if err != nil {
+		panic(err)
+	}
+	var b greta.Builder
+	b.Add("A", 1, map[string]float64{"attr": 5})
+	b.Add("B", 2, nil)
+	b.Add("A", 3, map[string]float64{"attr": 6})
+	b.Add("A", 4, map[string]float64{"attr": 4})
+	b.Add("B", 7, nil)
+
+	eng := stmt.NewEngine()
+	eng.Run(b.Stream())
+	r := eng.Results()[0]
+	fmt.Printf("COUNT(*)=%g COUNT(A)=%g MIN=%g MAX=%g SUM=%g AVG=%g\n",
+		r.Values[0], r.Values[1], r.Values[2], r.Values[3], r.Values[4], r.Values[5])
+	// Output: COUNT(*)=11 COUNT(A)=20 MIN=4 MAX=6 SUM=100 AVG=5
+}
+
+// Negation: Q3-style pattern — position report trends with no accident
+// earlier in the stream. The accident at time 3 invalidates later
+// reports (paper §5, Case 3).
+func ExampleCompile_negation() {
+	stmt := greta.MustCompile(`RETURN COUNT(*) PATTERN SEQ(NOT Accident A, Position P+)`)
+	var b greta.Builder
+	b.Add("Position", 1, nil)
+	b.Add("Position", 2, nil)
+	b.Add("Accident", 3, nil)
+	b.Add("Position", 4, nil) // invalidated
+	eng := stmt.NewEngine()
+	eng.Run(b.Stream())
+	fmt.Println(eng.Results()[0].Values[0])
+	// Output: 3
+}
+
+// Sliding windows: results stream out per window as it closes.
+func ExampleEngine_OnResult() {
+	stmt := greta.MustCompile(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`)
+	eng := stmt.NewEngine()
+	eng.OnResult(func(r greta.Result) {
+		fmt.Printf("window %d: %g trends\n", r.Wid, r.Values[0])
+	})
+	var b greta.Builder
+	b.Add("A", 1, nil)
+	b.Add("A", 5, nil)
+	b.Add("A", 12, nil)
+	eng.Run(b.Stream())
+	// Output:
+	// window 0: 3 trends
+	// window 1: 1 trends
+}
+
+// Exact arithmetic: the number of trends is Θ(2ⁿ); math/big keeps full
+// precision where uint64 would wrap.
+func ExampleWithExactArithmetic() {
+	stmt := greta.MustCompile(`RETURN COUNT(*) PATTERN A+`, greta.WithExactArithmetic())
+	var b greta.Builder
+	for i := 1; i <= 70; i++ {
+		b.Add("A", greta.Time(i), nil)
+	}
+	eng := stmt.NewEngine()
+	eng.Run(b.Stream())
+	fmt.Printf("%.6g\n", eng.Results()[0].Values[0]) // 2^70 - 1
+	// Output: 1.18059e+21
+}

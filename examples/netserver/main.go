@@ -1,0 +1,80 @@
+// Netserver: stream events to a GRETA engine over TCP and receive
+// window aggregates as they close — the ingestion path a deployment
+// would use, with bounded out-of-order tolerance.
+//
+// The server compiles Q1 (down-trend counting) and serves sessions; the
+// in-process client streams a generated stock feed with artificial
+// disorder, which the server's reorder slack repairs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+
+	"github.com/greta-cep/greta"
+	"github.com/greta-cep/greta/netstream"
+)
+
+func main() {
+	stmt, err := greta.Compile(`
+		RETURN sector, COUNT(*)
+		PATTERN Stock S+
+		WHERE [company, sector] AND S.price > NEXT(S).price
+		GROUP-BY sector
+		WITHIN 30 seconds SLIDE 10 seconds`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &netstream.Server{
+		NewEngine: func() *greta.Engine { return stmt.NewEngine() },
+		Slack:     5, // tolerate events up to 5 seconds late
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			// listener closed at shutdown
+			_ = err
+		}
+	}()
+	fmt.Printf("serving GRETA sessions on %s\n", ln.Addr())
+
+	client, err := netstream.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Stream a stock feed with bounded disorder (±3 seconds of jitter).
+	rng := rand.New(rand.NewSource(7))
+	events := greta.StockStream(greta.DefaultStock(20000))
+	for _, ev := range events {
+		t := ev.Time
+		if jitter := rng.Intn(4); jitter > 0 && t >= int64(jitter) {
+			t -= int64(jitter)
+		}
+		if err := client.Send(string(ev.Type), t, ev.Attrs, ev.Str); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	results, processed, err := client.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server processed %d events, emitted %d window results\n", processed, len(results))
+	for i, r := range results {
+		fmt.Printf("  window %3d [%3d,%3d) sector=%-6s down-trends=%g\n",
+			r.Wid, r.Start, r.End, r.Group, r.Values[0])
+		if i >= 9 {
+			fmt.Printf("  ... (%d more)\n", len(results)-10)
+			break
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Stock: the paper's query Q1 — count price down-trends per sector
+// over a sliding window of an NYSE-style transaction stream
+// (algorithmic trading, paper §1).
+//
+// Every event in a trend must carry the same company and sector
+// ([company, sector]), prices must strictly decrease between adjacent
+// trend events, and counts are grouped by sector: a high down-trend
+// count across companies of one sector is the paper's sell-signal
+// indicator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/greta-cep/greta"
+)
+
+func main() {
+	stmt, err := greta.Compile(`
+		RETURN sector, COUNT(*)
+		PATTERN Stock S+
+		WHERE [company, sector] AND S.price > NEXT(S).price
+		GROUP-BY sector
+		WITHIN 60 seconds SLIDE 20 seconds`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := greta.DefaultStock(50000)
+	cfg.DownBias = 0.15 // a bearish session
+	events := greta.StockStream(cfg)
+
+	eng := stmt.NewEngine()
+	eng.OnResult(func(r greta.Result) {
+		// Results stream out as windows close.
+		fmt.Printf("window %3d [%4d,%4d) sector=%-6s down-trends=%g\n",
+			r.Wid, r.WindowStart, r.WindowEnd, r.Group, r.Values[0])
+	})
+	eng.Run(greta.NewSliceStream(events))
+
+	st := eng.Stats()
+	fmt.Printf("\nprocessed %d events across %d partitions; %d vertices stored, %d edges traversed\n",
+		st.Events, st.Partitions, st.Inserted, st.Edges)
+}

@@ -1,0 +1,49 @@
+// Traffic: the paper's query Q3 — detect traffic jams that are NOT
+// caused by accidents (paper §1), demonstrating negation.
+//
+// The pattern SEQ(NOT Accident A, Position P+) counts, per road
+// segment, the continually-slowing-down vehicle trajectories with no
+// accident earlier in the window: a match of the negative sub-pattern
+// invalidates later position reports (paper §5, Case 3). The query
+// returns both the number of such trajectories and the average speed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/greta-cep/greta"
+)
+
+func main() {
+	stmt, err := greta.Compile(`
+		RETURN segment, COUNT(*), AVG(P.speed)
+		PATTERN SEQ(NOT Accident A, Position P+)
+		WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed
+		GROUP-BY segment
+		WITHIN 30 seconds SLIDE 10 seconds`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := greta.DefaultLinearRoad(60000)
+	cfg.AccidentProb = 0.0005
+	events := greta.LinearRoadStream(cfg)
+
+	eng := stmt.NewEngine()
+	eng.Run(greta.NewSliceStream(events))
+
+	fmt.Println("slow-down trajectories per window and segment (accident-free):")
+	shown := 0
+	for _, r := range eng.Results() {
+		fmt.Printf("  window %3d segment=%-6s trajectories=%-12g avg speed=%.1f\n",
+			r.Wid, r.Group, r.Values[0], r.Values[1])
+		shown++
+		if shown >= 25 {
+			fmt.Printf("  ... (%d more results)\n", len(eng.Results())-shown)
+			break
+		}
+	}
+	st := eng.Stats()
+	fmt.Printf("\nprocessed %d events across %d partitions\n", st.Events, st.Partitions)
+}

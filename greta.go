@@ -1,0 +1,172 @@
+// Package greta is a stream processing library for real-time event
+// trend aggregation. It implements the GRETA approach (Poppe, Lei,
+// Rundensteiner, Maier: "GRETA: Graph-based Real-time Event Trend
+// Aggregation", VLDB 2017): aggregates over arbitrarily-long Kleene
+// matches (event trends) are computed online by encoding all trends
+// into a graph and propagating aggregates along its edges, without
+// ever constructing the trends — quadratic time and linear space where
+// two-step engines need exponential time and space.
+//
+// # Quick start
+//
+//	stmt, err := greta.Compile(`
+//	    RETURN COUNT(*) PATTERN Stock S+
+//	    WHERE [company] AND S.price > NEXT(S).price
+//	    WITHIN 10 minutes SLIDE 10 seconds`)
+//	if err != nil { ... }
+//	eng := stmt.NewEngine()
+//	eng.OnResult(func(r greta.Result) {
+//	    fmt.Printf("window %d: %v down-trends\n", r.Wid, r.Values[0])
+//	})
+//	for _, ev := range events {
+//	    eng.Process(ev)
+//	}
+//	eng.Flush()
+//
+// The query language follows the paper's grammar (Fig. 2): RETURN with
+// COUNT/MIN/MAX/SUM/AVG, PATTERN with event types, SEQ, Kleene plus,
+// and NOT (plus the §9 sugar: star, optional, OR, AND), WHERE with
+// equivalence ([attr, ...]), vertex, and edge (NEXT) predicates,
+// GROUP-BY, and WITHIN/SLIDE sliding windows.
+package greta
+
+import (
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// Event is a stream message: a typed, timestamped record with numeric
+// (Attrs) and string (Str) attributes. Construct events directly or
+// with a Builder.
+type Event = event.Event
+
+// Time is an application timestamp in ticks (the paper's workloads use
+// seconds).
+type Time = event.Time
+
+// Type identifies an event type.
+type Type = event.Type
+
+// Stream is an in-order event source.
+type Stream = event.Stream
+
+// Builder assembles in-order test and example streams.
+type Builder = event.Builder
+
+// NewSliceStream adapts a slice of events to a Stream.
+func NewSliceStream(evs []*Event) Stream { return event.NewSliceStream(evs) }
+
+// Result is one final aggregate for one group and one window.
+type Result = core.Result
+
+// Stats summarizes runtime costs (events, stored vertices, traversed
+// edges, partitions, results).
+type Stats = core.Stats
+
+// Option configures compilation.
+type Option func(*options)
+
+type options struct {
+	mode aggregate.Mode
+}
+
+// WithExactArithmetic switches aggregate arithmetic from native machine
+// words (uint64 with wrap-around, float64 sums) to exact math/big
+// arithmetic. The number of trends is Θ(2ⁿ) in the window size, so
+// native counters wrap on large windows; exact mode trades speed for
+// full precision.
+func WithExactArithmetic() Option {
+	return func(o *options) { o.mode = aggregate.ModeExact }
+}
+
+// Statement is a compiled event trend aggregation query: the GRETA
+// configuration produced by the static query analyzer (template per
+// sub-pattern, classified predicates, window plan).
+type Statement struct {
+	query *query.Query
+	plan  *core.Plan
+}
+
+// Compile parses and plans a query.
+func Compile(src string, opts ...Option) (*Statement, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.NewPlan(q, o.mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{query: q, plan: plan}, nil
+}
+
+// MustCompile is Compile that panics on error, for tests and examples.
+func MustCompile(src string, opts ...Option) *Statement {
+	s, err := Compile(src, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Query returns the canonical text of the compiled query.
+func (s *Statement) Query() string { return s.query.String() }
+
+// NewEngine instantiates a fresh runtime for the statement. Engines are
+// single-use: create one per stream pass.
+func (s *Statement) NewEngine() *Engine {
+	return &Engine{inner: core.NewEngine(s.plan)}
+}
+
+// Engine is the GRETA runtime: it consumes an in-order event stream,
+// maintains the GRETA graph(s), and emits per-group, per-window
+// aggregates as windows close.
+type Engine struct {
+	inner *core.Engine
+}
+
+// OnResult registers a callback invoked when a window's final
+// aggregate is emitted (incrementally maintained, so emission is
+// immediate at window close).
+func (e *Engine) OnResult(f func(Result)) { e.inner.OnResult(f) }
+
+// Process offers one event. Events must arrive in non-decreasing time
+// order.
+func (e *Engine) Process(ev *Event) { e.inner.Process(ev) }
+
+// Run consumes a whole stream and flushes.
+func (e *Engine) Run(s Stream) { e.inner.Run(s) }
+
+// RunParallel consumes the stream with parallel workers, partitioning
+// by grouping/equivalence attributes (paper §7). Falls back to Run for
+// ungrouped queries.
+func (e *Engine) RunParallel(s Stream, workers int) { e.inner.RunParallel(s, workers) }
+
+// SetTransactional switches to the paper's §7 stream-transaction
+// scheduler: events sharing a timestamp execute as one transaction per
+// partition, with independent dependency levels (e.g., several negative
+// sub-pattern graphs) processed concurrently. Results are identical to
+// the default sequential mode. Call before the first Process.
+func (e *Engine) SetTransactional(on bool) { e.inner.SetTransactional(on) }
+
+// Flush closes all open windows; call at end of stream.
+func (e *Engine) Flush() { e.inner.Flush() }
+
+// Results returns all emitted results sorted by (group, window).
+func (e *Engine) Results() []Result { return e.inner.Results() }
+
+// Stats returns runtime statistics.
+func (e *Engine) Stats() Stats { return e.inner.Stats() }
+
+// DOT renders the engine's live GRETA graph(s) in Graphviz DOT format
+// — one box per vertex labeled "type+time : count" as in the paper's
+// figures, with edges between adjacent trend events. Intended for
+// debugging and teaching on small streams; call before Flush expires
+// the graph.
+func (e *Engine) DOT() string { return e.inner.DOT() }

@@ -1,0 +1,229 @@
+package baseline_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/baseline"
+	"github.com/greta-cep/greta/internal/baseline/cet"
+	"github.com/greta-cep/greta/internal/baseline/enum"
+	"github.com/greta-cep/greta/internal/baseline/flat"
+	"github.com/greta-cep/greta/internal/baseline/sase"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+func randStream(rng *rand.Rand, n int) []*event.Event {
+	types := []event.Type{"A", "B", "C", "D"}
+	var b event.Builder
+	t := event.Time(1)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) != 0 {
+			t += event.Time(rng.Intn(3) + 1)
+		}
+		b.AddStr(types[rng.Intn(len(types))], t,
+			map[string]float64{"x": float64(rng.Intn(8))},
+			map[string]string{"g": fmt.Sprintf("g%d", rng.Intn(2))})
+	}
+	return b.Events()
+}
+
+type resMap map[string][]float64
+
+func key(group string, wid int64) string { return fmt.Sprintf("%s/%d", group, wid) }
+
+func eq(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func compare(t *testing.T, name, qsrc string, evs []*event.Event, got, want resMap) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s on %q: %d results, want %d\nstream %v\ngot %v\nwant %v",
+			name, qsrc, len(got), len(want), evs, got, want)
+		return
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Errorf("%s on %q: missing %s", name, qsrc, k)
+			continue
+		}
+		for i := range wv {
+			if !eq(gv[i], wv[i]) {
+				t.Errorf("%s on %q: %s agg %d = %v, want %v\nstream %v",
+					name, qsrc, k, i, gv[i], wv[i], evs)
+			}
+		}
+	}
+}
+
+var crossQueries = []string{
+	"RETURN COUNT(*) PATTERN A+",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B)",
+	"RETURN COUNT(*), COUNT(A), MIN(A.x), MAX(A.x), SUM(A.x), AVG(A.x) PATTERN (SEQ(A+, B))+",
+	"RETURN COUNT(*) PATTERN A+ WHERE A.x < NEXT(A).x",
+	"RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B)",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B) WITHIN 8 SLIDE 4",
+	"RETURN COUNT(*), SUM(A.x) PATTERN A+ WHERE [g] GROUP-BY g",
+}
+
+// TestBaselinesMatchOracle cross-validates SASE, CET, and flattening
+// against the enumerator (and hence transitively against GRETA, which
+// the core tests validate against the same oracle).
+func TestBaselinesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, qsrc := range crossQueries {
+		q := query.MustParse(qsrc)
+		for iter := 0; iter < 25; iter++ {
+			evs := randStream(rng, 3+rng.Intn(9))
+			oracle, err := enum.Run(q, evs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := resMap{}
+			for _, r := range oracle {
+				if r.Count > 0 {
+					want[key(r.Group, r.Wid)] = r.Values
+				}
+			}
+			sr, _, err := sase.Run(q, evs, sase.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := resMap{}
+			for _, r := range sr {
+				got[key(r.Group, r.Wid)] = r.Values
+			}
+			compare(t, "sase", qsrc, evs, got, want)
+
+			cr, _, err := cet.Run(q, evs, cet.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = resMap{}
+			for _, r := range cr {
+				got[key(r.Group, r.Wid)] = r.Values
+			}
+			compare(t, "cet", qsrc, evs, got, want)
+
+			fr, fstats, err := flat.Run(q, evs, flat.Options{MaxLen: len(evs) + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fstats.Truncated {
+				t.Fatalf("flat truncated with MaxLen=%d", len(evs)+1)
+			}
+			got = resMap{}
+			for _, r := range fr {
+				got[key(r.Group, r.Wid)] = r.Values
+			}
+			compare(t, "flat", qsrc, evs, got, want)
+		}
+	}
+}
+
+// TestFlatTruncation: with a cap below the longest trend, flattening
+// must flag the miss.
+func TestFlatTruncation(t *testing.T) {
+	var b event.Builder
+	for i := 1; i <= 6; i++ {
+		b.Add("A", event.Time(i), map[string]float64{"x": 1})
+	}
+	q := query.MustParse("RETURN COUNT(*) PATTERN A+")
+	_, stats, err := flat.Run(q, b.Events(), flat.Options{MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Error("expected truncation flag with MaxLen=3 over 6 a's")
+	}
+	// Full coverage yields 2^6-1 = 63 trends.
+	res, stats2, err := flat.Run(q, b.Events(), flat.Options{MaxLen: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Truncated {
+		t.Error("unexpected truncation with MaxLen=6")
+	}
+	if len(res) != 1 || res[0].Values[0] != 63 {
+		t.Errorf("count = %v, want 63", res)
+	}
+	if stats2.Queries == 0 {
+		t.Error("no flattened queries recorded")
+	}
+}
+
+// TestSASECap: the trend cap keeps exponential runs finite.
+func TestSASECap(t *testing.T) {
+	var b event.Builder
+	for i := 1; i <= 20; i++ {
+		b.Add("A", event.Time(i), nil)
+	}
+	q := query.MustParse("RETURN COUNT(*) PATTERN A+")
+	_, stats, err := sase.Run(q, b.Events(), sase.Options{MaxTrends: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated || stats.Trends != 1000 {
+		t.Errorf("cap not applied: %+v", stats)
+	}
+}
+
+// TestCETCostProfile: CET materializes every sub-trend (node count =
+// sum of per-vertex counts), far exceeding SASE's stored state.
+func TestCETCostProfile(t *testing.T) {
+	var b event.Builder
+	for i := 1; i <= 10; i++ {
+		b.Add("A", event.Time(i), nil)
+	}
+	q := query.MustParse("RETURN COUNT(*) PATTERN A+")
+	_, cstats, err := cet.Run(q, b.Events(), cet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sub-trends ending at a_i number 2^(i-1); total = 2^10 - 1 = 1023.
+	if cstats.Trends != 1023 {
+		t.Errorf("CET nodes = %d, want 1023", cstats.Trends)
+	}
+	// GRETA stores 10 vertices and touches 45 edges for the same stream.
+	plan, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(plan)
+	eng.Run(b.Stream())
+	gs := eng.Stats()
+	if gs.Inserted != 10 || gs.Edges != 45 {
+		t.Errorf("GRETA inserted=%d edges=%d, want 10/45", gs.Inserted, gs.Edges)
+	}
+	if r := eng.Results(); len(r) != 1 || r[0].Values[0] != 1023 {
+		t.Errorf("GRETA count = %v, want 1023", r)
+	}
+}
+
+// TestBaselineStatsMonotone: more events → at least as many trends.
+func TestBaselineStatsMonotone(t *testing.T) {
+	q := query.MustParse("RETURN COUNT(*) PATTERN SEQ(A+, B)")
+	rng := rand.New(rand.NewSource(5))
+	evs := randStream(rng, 12)
+	_, s1, err := sase.Run(q, evs[:6], sase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := sase.Run(q, evs, sase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Trends < s1.Trends {
+		t.Errorf("trends decreased: %d -> %d", s1.Trends, s2.Trends)
+	}
+	_ = baseline.Stats{}
+}

@@ -1,0 +1,108 @@
+// Package flat implements the Flink-style flattening baseline (paper
+// §10.1): industrial streaming systems without Kleene closure simulate
+// a Kleene query by "a set of fixed-length event sequence queries that
+// cover all possible lengths from 1 to l", where l is the length of the
+// longest match. Each sub-query constructs and stores all its matching
+// event sequences before aggregation, so both the query workload and
+// the materialized sequences blow up — the paper's Flink fails beyond
+// 100k events per window with ~1 GB of stored sequences.
+package flat
+
+import (
+	"github.com/greta-cep/greta/internal/baseline"
+	"github.com/greta-cep/greta/internal/baseline/matchgraph"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/pattern"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// Options configures the flattening.
+type Options struct {
+	// MaxLen is l: the longest sequence length covered. Trends longer
+	// than MaxLen are missed (Truncated is set when the cap bites),
+	// mirroring the fundamental limitation the paper points out: "this
+	// approach is possible only if the maximal length of a trend is
+	// known apriori".
+	MaxLen int
+	// MaxSequences aborts a window after storing this many sequences
+	// (0 = unlimited).
+	MaxSequences uint64
+}
+
+// DefaultMaxLen is used when Options.MaxLen is zero.
+const DefaultMaxLen = 12
+
+// Run executes the query by flattening it into fixed-length sequence
+// queries.
+func Run(q *query.Query, evs []*event.Event, opt Options) ([]baseline.Result, baseline.Stats, error) {
+	if opt.MaxLen <= 0 {
+		opt.MaxLen = DefaultMaxLen
+	}
+	branches, err := pattern.Expand(q.Pattern)
+	if err != nil {
+		return nil, baseline.Stats{}, err
+	}
+	var stats baseline.Stats
+	type gw struct {
+		group string
+		wid   int64
+	}
+	aggs := map[gw]*baseline.TrendAgg{}
+	for _, part := range baseline.Partition(q, evs) {
+		group := baseline.GroupOf(q, part)
+		for _, wid := range baseline.Wids(q, part) {
+			wevs := baseline.InWindow(q, wid, part)
+			agg := aggs[gw{group, wid}]
+			if agg == nil {
+				agg = baseline.NewTrendAgg(q, true) // dedup across lengths & branches
+				aggs[gw{group, wid}] = agg
+			}
+			var stored [][]*event.Event
+			// The flattening runs MaxLen fixed-length sub-queries; their
+			// union of matches equals one length-bounded walk, which is how
+			// we execute it (each stored sequence still belongs to exactly
+			// one sub-query). The work cap bounds the exponential walk
+			// itself, not just the stored matches.
+			var walked uint64
+			for _, b := range branches {
+				g, err := matchgraph.BuildForBranch(q, b, wevs, part)
+				if err != nil {
+					return nil, stats, err
+				}
+				stats.Queries += uint64(opt.MaxLen)
+				g.WalkTrendsMaxLen(opt.MaxLen, func(path []matchgraph.VertexRef) bool {
+					walked++
+					if opt.MaxSequences > 0 && walked > opt.MaxSequences {
+						stats.Truncated = true
+						return false
+					}
+					// Flink materializes the sequence before aggregation.
+					seq := make([]*event.Event, len(path))
+					for i, v := range path {
+						seq[i] = v.Ev
+					}
+					stored = append(stored, seq)
+					stats.Trends++
+					stats.TrendNodes += uint64(len(seq))
+					return true
+				})
+				if !stats.Truncated && g.HasLongerTrends(opt.MaxLen) {
+					stats.Truncated = true
+				}
+			}
+			stats.StoredBytes += uint64(len(stored)) * 24
+			for _, seq := range stored {
+				stats.StoredBytes += uint64(len(seq)) * 8
+				agg.Add(seq)
+			}
+		}
+	}
+	var out []baseline.Result
+	for k, agg := range aggs {
+		if vals, _, ok := agg.Finish(); ok {
+			out = append(out, baseline.Result{Group: k.group, Wid: k.wid, Values: vals})
+		}
+	}
+	baseline.SortResults(out)
+	return out, stats, nil
+}

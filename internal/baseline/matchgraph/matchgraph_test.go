@@ -1,0 +1,140 @@
+package matchgraph
+
+import (
+	"testing"
+
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/pattern"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+func stream(types string) []*event.Event {
+	var b event.Builder
+	for i, c := range types {
+		b.Add(event.Type(string(c)), event.Time(i+1), map[string]float64{"x": float64(i)})
+	}
+	return b.Events()
+}
+
+func build(t *testing.T, qsrc string, evs []*event.Event) *Graph {
+	t.Helper()
+	q := query.MustParse(qsrc)
+	branches, err := pattern.Expand(q.Pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildForBranch(q, branches[0], evs, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func countTrends(g *Graph) int {
+	n := 0
+	g.WalkTrends(func([]VertexRef) bool { n++; return true })
+	return n
+}
+
+func TestFig6Counts(t *testing.T) {
+	evs := stream("ABAA") // a1 b2 a3 a4
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"RETURN COUNT(*) PATTERN A+", 7},         // subsets of 3 a's
+		{"RETURN COUNT(*) PATTERN SEQ(A+, B)", 1}, // (a1, b2)
+		{"RETURN COUNT(*) PATTERN (SEQ(A+,B))+", 1},
+	}
+	for _, c := range cases {
+		g := build(t, c.q, evs)
+		if got := countTrends(g); got != c.want {
+			t.Errorf("%s: trends = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestEdgeAllowedStrictTime(t *testing.T) {
+	var b event.Builder
+	b.Add("A", 3, nil)
+	b.Add("A", 3, nil)
+	g := build(t, "RETURN COUNT(*) PATTERN A+", b.Events())
+	if g.CountEdges() != 0 {
+		t.Errorf("edges = %d, want 0 for equal timestamps", g.CountEdges())
+	}
+	if got := countTrends(g); got != 2 {
+		t.Errorf("trends = %d, want 2 singletons", got)
+	}
+}
+
+func TestWalkAbort(t *testing.T) {
+	g := build(t, "RETURN COUNT(*) PATTERN A+", stream("AAAAAAAAAA"))
+	visits := 0
+	g.WalkTrends(func([]VertexRef) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Errorf("visits = %d, want abort at 5", visits)
+	}
+	// Bounded walk: at most length 2 -> n + n(n-1)/2 paths.
+	n := 0
+	g.WalkTrendsMaxLen(2, func(tr []VertexRef) bool {
+		if len(tr) > 2 {
+			t.Fatalf("path of length %d escaped the bound", len(tr))
+		}
+		n++
+		return true
+	})
+	if n != 10+45 {
+		t.Errorf("bounded paths = %d, want 55", n)
+	}
+}
+
+func TestHasLongerTrends(t *testing.T) {
+	g := build(t, "RETURN COUNT(*) PATTERN A+", stream("AAAA"))
+	if !g.HasLongerTrends(3) {
+		t.Error("4 chained a's exceed length 3")
+	}
+	if g.HasLongerTrends(4) {
+		t.Error("no trend exceeds length 4")
+	}
+}
+
+func TestNegationFilters(t *testing.T) {
+	// SEQ(A+, NOT C, B): c3 blocks a1,a2 -> b4.
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("A", 2, nil)
+	b.Add("C", 3, nil)
+	b.Add("B", 4, nil)
+	g := build(t, "RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B)", b.Events())
+	if got := countTrends(g); got != 0 {
+		t.Errorf("trends = %d, want 0 (all blocked)", got)
+	}
+	// Without the negative match, 3 trends: (a1,b4),(a2,b4),(a1,a2,b4).
+	var b2 event.Builder
+	b2.Add("A", 1, nil)
+	b2.Add("A", 2, nil)
+	b2.Add("B", 4, nil)
+	g = build(t, "RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B)", b2.Events())
+	if got := countTrends(g); got != 3 {
+		t.Errorf("trends = %d, want 3", got)
+	}
+}
+
+func TestSemanticsEdgeShapes(t *testing.T) {
+	evs := stream("AAA")
+	// Skip-till-next-match: each vertex keeps at most one outgoing edge.
+	g := build(t, "RETURN COUNT(*) PATTERN A+ SEMANTICS skip-till-next-match", evs)
+	for i, succ := range g.Succ {
+		if len(succ) > 1 {
+			t.Errorf("vertex %d has %d successors under STNM", i, len(succ))
+		}
+	}
+	// Contiguous: only stream-adjacent pairs connect.
+	g = build(t, "RETURN COUNT(*) PATTERN A+ SEMANTICS contiguous", evs)
+	if g.CountEdges() != 2 {
+		t.Errorf("contiguous edges = %d, want 2", g.CountEdges())
+	}
+}

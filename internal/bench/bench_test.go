@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOracleCheck(t *testing.T) {
+	if err := OracleCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	any, next, contig := rows[0].Trends, rows[1].Trends, rows[2].Trends
+	// Skip-till-any-match detects the most trends (exponential), the
+	// restrictive semantics detect progressively fewer (Table 1).
+	if !(any > next && next >= contig) {
+		t.Errorf("trend ordering violated: any=%d next=%d contiguous=%d", any, next, contig)
+	}
+	// The §2 example: the long down-trend (10,9,8,7,6,5,4,3) exists only
+	// under skip-till-any-match; with 8 strictly-down events interleaved
+	// the any-match count is large.
+	if any < 100 {
+		t.Errorf("any-match trends = %d, expected an exponential count", any)
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "skip-till-any-match") {
+		t.Error("table rendering missing semantics")
+	}
+}
+
+func TestGrowthShape(t *testing.T) {
+	pts, err := Growth([]int{4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges grow ~quadratically: n(n-1)/2 for A+ with no predicate.
+	for _, p := range pts {
+		want := uint64(p.N * (p.N - 1) / 2)
+		if p.Edges != want {
+			t.Errorf("n=%d: edges = %d, want %d", p.N, p.Edges, want)
+		}
+	}
+	// Trends grow exponentially: 2^n - 1.
+	if pts[1].Trends != "255" {
+		t.Errorf("n=8 trends = %v, want 255", pts[1].Trends)
+	}
+	// n=32 exceeds 12 digits? 2^32-1 = 4294967295 (10 digits): plain.
+	if pts[3].Trends != "4294967295" {
+		t.Errorf("n=32 trends = %v, want 4294967295", pts[3].Trends)
+	}
+	var buf bytes.Buffer
+	PrintGrowth(&buf, pts)
+	if buf.Len() == 0 {
+		t.Error("empty growth rendering")
+	}
+}
+
+// TestTinySweep runs a miniature Fig.14-shaped sweep end to end,
+// checking that engine results agree where all engines finish and that
+// rendering works.
+func TestTinySweep(t *testing.T) {
+	sc := Scale{
+		EventSweep:  []float64{60, 120},
+		FixedEvents: 120,
+		Budget:      5 * time.Second,
+		Caps:        Caps{MaxTrends: 500_000, FlatMaxLen: 20},
+	}
+	fig, err := Fig14(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Where finished, the sanity aggregate must agree across engines.
+	for i := range fig.Series[0].Points {
+		var ref float64
+		refSet := false
+		for _, s := range fig.Series {
+			m := s.Points[i].M
+			if m.DNF {
+				continue
+			}
+			if !refSet {
+				ref, refSet = m.Check, true
+				continue
+			}
+			if m.Check != ref {
+				t.Errorf("x=%v: %s check %v != %v", s.Points[i].X, s.Name, m.Check, ref)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	Print(&buf, fig)
+	out := buf.String()
+	for _, want := range []string{"Latency", "Memory", "Throughput", "GRETA", "SASE", "CET", "Flink"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+	var csv bytes.Buffer
+	CSV(&csv, fig)
+	if !strings.Contains(csv.String(), "GRETA_latency_ms") {
+		t.Error("csv rendering broken")
+	}
+}
+
+// TestFig16and17Tiny exercises the other two experiment builders at
+// trivial scale.
+func TestFig16and17Tiny(t *testing.T) {
+	sc := Scale{FixedEvents: 150, Budget: 5 * time.Second, Caps: Caps{MaxTrends: 200_000, FlatMaxLen: 12}}
+	fig, err := Fig16(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series[0].Points) != 9 {
+		t.Errorf("fig16 points = %d", len(fig.Series[0].Points))
+	}
+	fig, err = Fig17(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series[0].Points) != 6 {
+		t.Errorf("fig17 points = %d", len(fig.Series[0].Points))
+	}
+}
+
+func TestFig15Tiny(t *testing.T) {
+	sc := Scale{EventSweep: []float64{80}, Budget: 5 * time.Second, Caps: Caps{MaxTrends: 200_000, FlatMaxLen: 16}}
+	fig, err := Fig15(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+}

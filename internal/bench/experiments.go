@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/baseline/enum"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/gen"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// Scale configures experiment sizes. Quick() is suitable for CI; Full()
+// takes minutes and shows the exponential blow-up more dramatically.
+type Scale struct {
+	// Fig14/15 events-per-window sweep values.
+	EventSweep []float64
+	// Fig16/17 fixed window size.
+	FixedEvents int
+	// Per-point soft time budget for two-step engines.
+	Budget time.Duration
+	Caps   Caps
+}
+
+// Quick returns a CI-friendly scale.
+func Quick() Scale {
+	return Scale{
+		EventSweep:  []float64{50, 100, 250, 500, 1000, 2000, 4000},
+		FixedEvents: 4000,
+		Budget:      2 * time.Second,
+		Caps:        Caps{MaxTrends: 200_000, FlatMaxLen: 8},
+	}
+}
+
+// Full returns the default experiment scale. Caps keep the exponential
+// engines within laptop memory: a capped run is a DNF data point, and
+// raising the caps only lengthens the run before the inevitable DNF.
+func Full() Scale {
+	return Scale{
+		EventSweep:  []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000},
+		FixedEvents: 10000,
+		Budget:      15 * time.Second,
+		Caps:        Caps{MaxTrends: 1_000_000, FlatMaxLen: 10},
+	}
+}
+
+// Q1Positive is the Fig. 14 query: the paper's Q1 down-trend count per
+// company/sector (evaluated per window over the whole sweep window).
+const Q1Positive = `RETURN COUNT(*) PATTERN Stock S+
+WHERE [company, sector] AND S.price > NEXT(S).price`
+
+// Q1Negation is the Fig. 15 variant: the same down-trend aggregation
+// guarded by a negative sub-pattern (no trading halt before the trend).
+const Q1Negation = `RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+)
+WHERE [company, sector] AND S.price > NEXT(S).price`
+
+// Q3Selectivity is the Fig. 16 query over the Linear Road stream: the
+// edge predicate P.sel <= NEXT(P).gate matches exactly the configured
+// selectivity percentage of event pairs.
+const Q3Selectivity = `RETURN COUNT(*) PATTERN Position P+
+WHERE [vehicle, segment] AND P.sel <= NEXT(P).gate`
+
+// Q2Groups is the Fig. 17 query: Q2's CPU aggregation over increasing
+// load trends, grouped by mapper.
+const Q2Groups = `RETURN COUNT(*), SUM(M.cpu)
+PATTERN SEQ(Start S, Measurement M+, End E)
+WHERE [job, mapper] AND M.load < NEXT(M).load
+GROUP-BY mapper`
+
+// Fig14 regenerates Figure 14: positive patterns over the stock stream
+// while varying the number of events per window.
+func Fig14(sc Scale) (Figure, error) {
+	q := query.MustParse(Q1Positive)
+	fig, err := Sweep(
+		[]EngineKind{Greta, Sase, Cet, Flat},
+		sc.EventSweep,
+		func(x float64) (*query.Query, []*event.Event) {
+			cfg := gen.DefaultStock(int(x))
+			// ~1 event per company per second so adjacency is non-trivial
+			// (adjacent trend events need strictly increasing timestamps).
+			cfg.Rate = 10
+			return q, gen.Stock(cfg)
+		},
+		sc.Caps, sc.Budget, true)
+	fig.Title = "Figure 14: positive patterns (stock data), varying events per window"
+	fig.XLabel = "events"
+	return fig, err
+}
+
+// Fig15 regenerates Figure 15: the same sweep with a negative
+// sub-pattern. Negation shrinks the graphs/stacks, so all engines speed
+// up relative to Fig. 14, while the exponential engines still blow up.
+func Fig15(sc Scale) (Figure, error) {
+	q := query.MustParse(Q1Negation)
+	fig, err := Sweep(
+		[]EngineKind{Greta, Sase, Cet, Flat},
+		sc.EventSweep,
+		func(x float64) (*query.Query, []*event.Event) {
+			cfg := gen.DefaultStock(int(x))
+			cfg.Rate = 10
+			cfg.HaltProb = 0.002
+			return q, gen.Stock(cfg)
+		},
+		sc.Caps, sc.Budget, true)
+	fig.Title = "Figure 15: patterns with negative sub-patterns (stock data)"
+	fig.XLabel = "events"
+	return fig, err
+}
+
+// Fig16 regenerates Figure 16: edge-predicate selectivity sweep over
+// the Linear Road stream at a fixed window size.
+func Fig16(sc Scale) (Figure, error) {
+	q := query.MustParse(Q3Selectivity)
+	fig, err := Sweep(
+		[]EngineKind{Greta, Sase, Cet, Flat},
+		[]float64{10, 20, 30, 40, 50, 60, 70, 80, 90},
+		func(x float64) (*query.Query, []*event.Event) {
+			cfg := gen.DefaultLinearRoad(sc.FixedEvents)
+			// ~1 report per vehicle per second.
+			cfg.StartRate, cfg.EndRate = 50, 200
+			cfg.GateSelectivity = x
+			return q, gen.LinearRoad(cfg)
+		},
+		sc.Caps, sc.Budget, true)
+	fig.Title = "Figure 16: selectivity of edge predicates (Linear Road data)"
+	fig.XLabel = "selectivity %"
+	return fig, err
+}
+
+// Fig17 regenerates Figure 17: number of event trend groups sweep over
+// the cluster monitoring stream at a fixed window size.
+func Fig17(sc Scale) (Figure, error) {
+	q := query.MustParse(Q2Groups)
+	fig, err := Sweep(
+		[]EngineKind{Greta, Sase, Cet, Flat},
+		[]float64{1, 2, 5, 10, 20, 50},
+		func(x float64) (*query.Query, []*event.Event) {
+			cfg := gen.DefaultCluster(sc.FixedEvents)
+			// ~2 measurements per (job, mapper) pair per second.
+			cfg.Rate = 200
+			cfg.Mappers = int(x)
+			return q, gen.Cluster(cfg)
+		},
+		sc.Caps, sc.Budget, false)
+	fig.Title = "Figure 17: number of event trend groups (cluster monitoring data)"
+	fig.XLabel = "groups"
+	return fig, err
+}
+
+// Table1Row is one row of the event-selection-semantics table.
+type Table1Row struct {
+	Semantics string
+	Skipped   string
+	Trends    uint64
+}
+
+// Table1 regenerates Table 1 over the paper's §2 example: the price
+// stream {10,2,9,8,7,1,6,5,4,3} with pattern S+ and predicate
+// price > NEXT(price). Skip-till-any-match detects exponentially many
+// trends; the restrictive semantics detect few.
+func Table1() ([]Table1Row, error) {
+	var b event.Builder
+	prices := []float64{10, 2, 9, 8, 7, 1, 6, 5, 4, 3}
+	for i, p := range prices {
+		b.Add("S", event.Time(i+1), map[string]float64{"price": p})
+	}
+	rows := []Table1Row{
+		{Semantics: "skip-till-any-match", Skipped: "any"},
+		{Semantics: "skip-till-next-match", Skipped: "irrelevant"},
+		{Semantics: "contiguous", Skipped: "none"},
+	}
+	for i := range rows {
+		q := query.MustParse(fmt.Sprintf(
+			"RETURN COUNT(*) PATTERN S+ WHERE S.price > NEXT(S).price SEMANTICS %s",
+			rows[i].Semantics))
+		plan, err := core.NewPlan(q, aggregate.ModeNative)
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(plan)
+		eng.Run(b.Stream())
+		if rs := eng.Results(); len(rs) > 0 {
+			rows[i].Trends = uint64(rs[0].Values[0])
+		}
+		b.Stream().Reset()
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "== Table 1: event selection semantics ==")
+	fmt.Fprintf(w, "%-24s%-14s%10s\n", "Semantics", "Skipped", "#trends")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s%-14s%10d\n", r.Semantics, r.Skipped, r.Trends)
+	}
+	fmt.Fprintln(w)
+}
+
+// ComplexityGrowth measures how GRETA's work scales with window size:
+// traversed edges must grow ~quadratically (Theorem 8.1) while the
+// trend count (what two-step engines enumerate) grows exponentially.
+type GrowthPoint struct {
+	N      int
+	Edges  uint64
+	Trends string // exact count, exponent form for large values
+}
+
+// Growth runs the complexity measurement over a's-only streams.
+func Growth(ns []int) ([]GrowthPoint, error) {
+	var out []GrowthPoint
+	for _, n := range ns {
+		var b event.Builder
+		for i := 0; i < n; i++ {
+			b.Add("A", event.Time(i+1), nil)
+		}
+		q := query.MustParse("RETURN COUNT(*) PATTERN A+")
+		plan, err := core.NewPlan(q, aggregate.ModeExact)
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(plan)
+		eng.Run(b.Stream())
+		trends := "0"
+		if rs := eng.Results(); len(rs) > 0 {
+			trends = formatBig(plan.Def().ExactCount(rs[0].Payload))
+		}
+		out = append(out, GrowthPoint{N: n, Edges: eng.Stats().Edges, Trends: trends})
+	}
+	return out, nil
+}
+
+// PrintGrowth renders the growth measurement.
+func PrintGrowth(w io.Writer, pts []GrowthPoint) {
+	fmt.Fprintln(w, "== Complexity growth (Theorems 8.1/8.2): edges ~ n^2, trends ~ 2^n ==")
+	fmt.Fprintf(w, "%8s%12s%16s\n", "n", "edges", "trends")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d%12d%16s\n", p.N, p.Edges, p.Trends)
+	}
+	fmt.Fprintln(w)
+}
+
+// OracleCheck cross-checks GRETA against the enumerator on a small
+// slice of each workload, so harness runs carry their own correctness
+// evidence.
+func OracleCheck() error {
+	checks := []struct {
+		qsrc string
+		evs  []*event.Event
+	}{
+		{Q1Positive, gen.Stock(gen.StockConfig{Events: 60, Companies: 3, Sectors: 2, Rate: 10, StartPrice: 100, MaxTick: 2, Seed: 5})},
+		{Q3Selectivity, gen.LinearRoad(gen.LinearRoadConfig{Events: 60, Vehicles: 4, Segments: 2, StartRate: 10, EndRate: 10, MaxSpeed: 100, GateSelectivity: 50, Seed: 5})},
+		{Q2Groups, gen.Cluster(gen.ClusterConfig{Events: 60, Mappers: 2, Jobs: 2, Rate: 10, LoadLambda: 100, StartEndProb: 0.2, Seed: 5})},
+	}
+	for _, c := range checks {
+		q := query.MustParse(c.qsrc)
+		plan, err := core.NewPlan(q, aggregate.ModeNative)
+		if err != nil {
+			return err
+		}
+		eng := core.NewEngine(plan)
+		eng.Run(event.NewSliceStream(c.evs))
+		want, err := enum.Run(q, c.evs)
+		if err != nil {
+			return err
+		}
+		wantTotal := 0.0
+		for _, r := range want {
+			if r.Count > 0 {
+				wantTotal += r.Values[0]
+			}
+		}
+		gotTotal := 0.0
+		for _, r := range eng.Results() {
+			gotTotal += r.Values[0]
+		}
+		if gotTotal != wantTotal {
+			return fmt.Errorf("oracle check failed for %q: got %v, want %v", c.qsrc, gotTotal, wantTotal)
+		}
+	}
+	return nil
+}
+
+// formatBig renders a big integer compactly (exponent form when long).
+func formatBig(x *big.Int) string {
+	s := x.String()
+	if len(s) <= 12 {
+		return s
+	}
+	return fmt.Sprintf("%s.%se%d", s[:1], s[1:4], len(s)-1)
+}

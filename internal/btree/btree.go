@@ -1,0 +1,361 @@
+// Package btree implements the Vertex Tree of the GRETA runtime data
+// structure (paper §7): an in-memory B-tree ordered by a float64 sort
+// key (the most selective edge-predicate attribute) with a uint64
+// tiebreaker (the event id). It supports logarithmic insertion and
+// deletion and ascending range scans, which the runtime uses to find
+// predecessor events satisfying a compiled edge-predicate range in
+// O(log_b m + m') time.
+package btree
+
+// degree is the minimum number of children of an internal node. Nodes
+// hold between degree-1 and 2*degree-1 items.
+const degree = 16
+
+const maxItems = 2*degree - 1
+
+// Item is a keyed entry. Ordering is by (Key, ID).
+type Item[V any] struct {
+	Key float64
+	ID  uint64
+	Val V
+}
+
+func lessKey(k1 float64, id1 uint64, k2 float64, id2 uint64) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return id1 < id2
+}
+
+type node[V any] struct {
+	items    []Item[V]
+	children []*node[V] // nil for leaves
+}
+
+func (n *node[V]) leaf() bool { return len(n.children) == 0 }
+
+// Tree is a B-tree. The zero value is an empty tree ready to use.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of items.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Insert adds an item. Duplicate (Key, ID) pairs are allowed and kept
+// adjacent; the runtime never produces them because event ids are
+// unique per graph.
+func (t *Tree[V]) Insert(key float64, id uint64, val V) {
+	it := Item[V]{key, id, val}
+	if t.root == nil {
+		t.root = &node[V]{items: []Item[V]{it}}
+		t.size = 1
+		return
+	}
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node[V]{children: []*node[V]{old}}
+		t.root.splitChild(0)
+	}
+	t.root.insert(it)
+	t.size++
+}
+
+// findSlot returns the index of the first item in n not less than
+// (key, id).
+func (n *node[V]) findSlot(key float64, id uint64) int {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lessKey(n.items[mid].Key, n.items[mid].ID, key, id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// splitChild splits the full child at index i, lifting the median item
+// into n.
+func (n *node[V]) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	median := child.items[mid]
+	right := &node[V]{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	child.items = child.items[:mid]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	n.items = append(n.items, Item[V]{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node[V]) insert(it Item[V]) {
+	i := n.findSlot(it.Key, it.ID)
+	if n.leaf() {
+		n.items = append(n.items, Item[V]{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = it
+		return
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		if lessKey(n.items[i].Key, n.items[i].ID, it.Key, it.ID) {
+			i++
+		}
+	}
+	n.children[i].insert(it)
+}
+
+// AscendRange visits items with keys in the interval defined by lo/hi
+// in ascending (Key, ID) order. Inclusive bounds are controlled by
+// loIncl/hiIncl; use math.Inf for unbounded sides. The visit function
+// returns false to stop early.
+func (t *Tree[V]) AscendRange(lo, hi float64, loIncl, hiIncl bool, visit func(Item[V]) bool) {
+	if t.root == nil {
+		return
+	}
+	t.root.ascend(lo, hi, loIncl, hiIncl, visit)
+}
+
+func (n *node[V]) ascend(lo, hi float64, loIncl, hiIncl bool, visit func(Item[V]) bool) bool {
+	i := 0
+	if lo > negInf {
+		// Skip children that hold only keys below the lower bound.
+		if loIncl {
+			i = n.findSlot(lo, 0)
+		} else {
+			i = n.findSlotAfterKey(lo)
+		}
+	}
+	for ; i <= len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(lo, hi, loIncl, hiIncl, visit) {
+				return false
+			}
+		}
+		if i == len(n.items) {
+			break
+		}
+		it := n.items[i]
+		if inLo(it.Key, lo, loIncl) {
+			if !inHi(it.Key, hi, hiIncl) {
+				return false
+			}
+			if !visit(it) {
+				return false
+			}
+		} else if it.Key > hi {
+			return false
+		}
+	}
+	return true
+}
+
+// findSlotAfterKey returns the index of the first item with Key
+// strictly greater than key.
+func (n *node[V]) findSlotAfterKey(key float64) int {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.items[mid].Key <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+const negInf = -1.7976931348623157e308 // ~ -MaxFloat64 sentinel comparisons use >
+
+func inLo(k, lo float64, incl bool) bool {
+	if incl {
+		return k >= lo
+	}
+	return k > lo
+}
+
+func inHi(k, hi float64, incl bool) bool {
+	if incl {
+		return k <= hi
+	}
+	return k < hi
+}
+
+// Ascend visits all items in ascending order.
+func (t *Tree[V]) Ascend(visit func(Item[V]) bool) {
+	if t.root == nil {
+		return
+	}
+	t.root.ascendAll(visit)
+}
+
+func (n *node[V]) ascendAll(visit func(Item[V]) bool) bool {
+	for i := 0; i <= len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascendAll(visit) {
+				return false
+			}
+		}
+		if i == len(n.items) {
+			break
+		}
+		if !visit(n.items[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the value stored under (key, id).
+func (t *Tree[V]) Get(key float64, id uint64) (V, bool) {
+	var zero V
+	n := t.root
+	for n != nil {
+		i := n.findSlot(key, id)
+		if i < len(n.items) && n.items[i].Key == key && n.items[i].ID == id {
+			return n.items[i].Val, true
+		}
+		if n.leaf() {
+			return zero, false
+		}
+		n = n.children[i]
+	}
+	return zero, false
+}
+
+// Delete removes the item with exactly (key, id) and reports whether it
+// was present.
+func (t *Tree[V]) Delete(key float64, id uint64) bool {
+	if t.root == nil {
+		return false
+	}
+	ok := t.root.delete(key, id)
+	if len(t.root.items) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	if ok {
+		t.size--
+	}
+	return ok
+}
+
+func (n *node[V]) delete(key float64, id uint64) bool {
+	i := n.findSlot(key, id)
+	found := i < len(n.items) && n.items[i].Key == key && n.items[i].ID == id
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with predecessor (max of left subtree), then delete it
+		// from the left subtree.
+		left := n.children[i]
+		if len(left.items) >= degree {
+			pred := left.max()
+			n.items[i] = pred
+			return left.delete(pred.Key, pred.ID)
+		}
+		right := n.children[i+1]
+		if len(right.items) >= degree {
+			succ := right.min()
+			n.items[i] = succ
+			return right.delete(succ.Key, succ.ID)
+		}
+		// Merge left, median, right into left and recurse.
+		n.merge(i)
+		return n.children[i].delete(key, id)
+	}
+	// Descend into children[i], topping it up first if minimal. fill may
+	// merge the last child into its left sibling, shifting the target
+	// child index down by one.
+	if len(n.children[i].items) < degree {
+		n.fill(i)
+		if i > len(n.children)-1 {
+			i = len(n.children) - 1
+		}
+	}
+	return n.children[i].delete(key, id)
+}
+
+func (n *node[V]) min() Item[V] {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *node[V]) max() Item[V] {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// merge folds children[i], items[i], children[i+1] into children[i].
+func (n *node[V]) merge(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// fill ensures children[i] has at least degree items by borrowing from
+// a sibling or merging.
+func (n *node[V]) fill(i int) {
+	if i > 0 && len(n.children[i-1].items) >= degree {
+		// Borrow from left sibling through the separator.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, Item[V]{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) >= degree {
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		copy(right.items, right.items[1:])
+		right.items = right.items[:len(right.items)-1]
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			copy(right.children, right.children[1:])
+			right.children = right.children[:len(right.children)-1]
+		}
+		return
+	}
+	if i < len(n.children)-1 {
+		n.merge(i)
+	} else {
+		n.merge(i - 1)
+	}
+}

@@ -1,0 +1,48 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64()*1000, uint64(i), i)
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(rng.Float64()*1000, uint64(i), i)
+	}
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 990
+		tr.AscendRange(lo, lo+10, true, false, func(Item[int]) bool {
+			total++
+			return true
+		})
+	}
+	_ = total
+}
+
+func BenchmarkDelete(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, b.N)
+	tr := New[int]()
+	for i := 0; i < b.N; i++ {
+		keys[i] = rng.Float64() * 1000
+		tr.Insert(keys[i], uint64(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Delete(keys[i], uint64(i))
+	}
+}

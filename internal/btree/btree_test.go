@@ -1,0 +1,185 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAscend(t *testing.T) {
+	tr := New[int]()
+	for i := 99; i >= 0; i-- {
+		tr.Insert(float64(i), uint64(i), i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	var got []int
+	tr.Ascend(func(it Item[int]) bool {
+		got = append(got, it.Val)
+		return true
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 50; i++ {
+		tr.Insert(float64(i%10), uint64(i), i)
+	}
+	count := 0
+	tr.AscendRange(3, 6, true, false, func(it Item[int]) bool {
+		if it.Key < 3 || it.Key >= 6 {
+			t.Fatalf("key %v outside [3,6)", it.Key)
+		}
+		count++
+		return true
+	})
+	if count != 15 { // keys 3,4,5 each appear 5 times
+		t.Errorf("count = %d, want 15", count)
+	}
+	// Early stop.
+	n := 0
+	tr.AscendRange(math.Inf(-1), math.Inf(1), true, true, func(Item[int]) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestGetDelete(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(1, 10, "a")
+	tr.Insert(1, 11, "b")
+	tr.Insert(2, 12, "c")
+	if v, ok := tr.Get(1, 11); !ok || v != "b" {
+		t.Fatalf("Get(1,11) = %v %v", v, ok)
+	}
+	if !tr.Delete(1, 11) {
+		t.Fatal("Delete(1,11) = false")
+	}
+	if tr.Delete(1, 11) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := tr.Get(1, 11); ok {
+		t.Fatal("deleted item still present")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestDeleteAllRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New[int]()
+	const n = 1000
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		tr.Insert(float64(i/3), uint64(i), i)
+	}
+	perm2 := rng.Perm(n)
+	for k, i := range perm2 {
+		if !tr.Delete(float64(i/3), uint64(i)) {
+			t.Fatalf("delete %d failed at step %d", i, k)
+		}
+		if tr.Len() != n-k-1 {
+			t.Fatalf("len = %d, want %d", tr.Len(), n-k-1)
+		}
+	}
+}
+
+// TestQuickTreeMatchesSortedSlice: a B-tree loaded with random items
+// must agree with a sorted reference slice on full scans and range
+// scans, including after deletions.
+func TestQuickTreeMatchesSortedSlice(t *testing.T) {
+	type op struct {
+		Key float64
+		ID  uint64
+	}
+	f := func(seed int64, nRaw uint8, loRaw, hiRaw int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%60 + 1
+		tr := New[int]()
+		var ref []op
+		for i := 0; i < n; i++ {
+			k := float64(rng.Intn(12))
+			id := uint64(i)
+			tr.Insert(k, id, i)
+			ref = append(ref, op{k, id})
+		}
+		// Delete a random third.
+		for i := 0; i < n/3; i++ {
+			j := rng.Intn(len(ref))
+			tr.Delete(ref[j].Key, ref[j].ID)
+			ref = append(ref[:j], ref[j+1:]...)
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].Key != ref[j].Key {
+				return ref[i].Key < ref[j].Key
+			}
+			return ref[i].ID < ref[j].ID
+		})
+		var scan []op
+		tr.Ascend(func(it Item[int]) bool {
+			scan = append(scan, op{it.Key, it.ID})
+			return true
+		})
+		if len(scan) != len(ref) || tr.Len() != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if scan[i] != ref[i] {
+				return false
+			}
+		}
+		lo, hi := float64(loRaw%12), float64(hiRaw%12)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want []op
+		for _, r := range ref {
+			if r.Key >= lo && r.Key < hi {
+				want = append(want, r)
+			}
+		}
+		var got []op
+		tr.AscendRange(lo, hi, true, false, func(it Item[int]) bool {
+			got = append(got, op{it.Key, it.ID})
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Fatal("empty len")
+	}
+	tr.Ascend(func(Item[int]) bool { t.Fatal("visited empty"); return false })
+	if tr.Delete(1, 1) {
+		t.Fatal("delete on empty succeeded")
+	}
+	if _, ok := tr.Get(1, 1); ok {
+		t.Fatal("get on empty succeeded")
+	}
+}

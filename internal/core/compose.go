@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/big"
+	"time"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+)
+
+// composeResults combines branch and product-engine results into final
+// results for composite plans (paper §9):
+//
+//   - Disjunction (and Kleene star / optional, which expand into
+//     disjunctions of positive branches): inclusion–exclusion over
+//     branch counts — Σ C(branch) − Σ C(pairwise ∩) + Σ C(triple ∩) − …
+//     The intersection counts come from product-template engines.
+//     MIN/MAX fold over the branches only, since they are monotone over
+//     trend sets.
+//
+//   - Conjunction (Pi AND Pj): pairs of distinct trends. With exclusive
+//     counts Ci = COUNT(Pi)−Cij, Cj = COUNT(Pj)−Cij, and Cij the
+//     intersection count, COUNT = Ci·Cj + Ci·Cij + Cj·Cij + C(Cij, 2).
+func (e *Engine) composeResults() {
+	type key struct {
+		group string
+		wid   int64
+	}
+	def := e.plan.Def()
+	branchRes := make([]map[key]*aggregate.Payload, len(e.branchEngines))
+	keys := map[key]bool{}
+	for i, be := range e.branchEngines {
+		branchRes[i] = map[key]*aggregate.Payload{}
+		for _, r := range be.Results() {
+			k := key{r.Group, r.Wid}
+			branchRes[i][k] = r.Payload
+			keys[k] = true
+		}
+	}
+	prodRes := make([]map[key]*aggregate.Payload, len(e.productEngines))
+	for i, pe := range e.productEngines {
+		prodRes[i] = map[key]*aggregate.Payload{}
+		for _, r := range pe.Results() {
+			prodRes[i][key{r.Group, r.Wid}] = r.Payload
+		}
+	}
+	for k := range keys {
+		var payload *aggregate.Payload
+		if e.plan.Conjunct {
+			payload = e.composeConjunction(def, branchRes[0][k], branchRes[1][k], prodRes[0][k])
+		} else {
+			payload = def.New()
+			for i := range e.branchEngines {
+				def.AddSigned(payload, branchRes[i][k], 1)
+			}
+			for i, mask := range e.plan.Masks {
+				sign := 1
+				if popcount(mask)%2 == 0 {
+					sign = -1
+				}
+				def.AddSigned(payload, prodRes[i][k], sign)
+			}
+		}
+		if payload.Zero() {
+			continue
+		}
+		r := Result{
+			Group:       k.group,
+			Wid:         k.wid,
+			WindowStart: e.plan.Window.Start(k.wid),
+			WindowEnd:   e.plan.Window.End(k.wid),
+			Payload:     payload,
+			Emitted:     time.Now(),
+		}
+		for _, ss := range e.plan.Specs {
+			r.Values = append(r.Values, def.Value(payload, ss.Spec, ss.Slot, ss.Slot2))
+		}
+		e.results = append(e.results, r)
+		if e.onResult != nil {
+			e.onResult(r)
+		}
+	}
+	sortResults(e.results)
+}
+
+// composeConjunction applies the paper's conjunction count formula.
+func (e *Engine) composeConjunction(def *aggregate.Def, pi, pj, pij *aggregate.Payload) *aggregate.Payload {
+	out := def.New()
+	if def.Mode == aggregate.ModeExact {
+		ci := def.ExactCount(pi)
+		cj := def.ExactCount(pj)
+		cij := def.ExactCount(pij)
+		ci.Sub(ci, cij)
+		cj.Sub(cj, cij)
+		total := new(big.Int).Mul(ci, cj)
+		total.Add(total, new(big.Int).Mul(ci, cij))
+		total.Add(total, new(big.Int).Mul(cj, cij))
+		choose2 := new(big.Int).Mul(cij, new(big.Int).Sub(cij, big.NewInt(1)))
+		choose2.Rsh(choose2, 1)
+		total.Add(total, choose2)
+		out.XCount.Set(total)
+		out.Count = total.Uint64()
+		return out
+	}
+	var ci, cj, cij uint64
+	if pi != nil {
+		ci = pi.Count
+	}
+	if pj != nil {
+		cj = pj.Count
+	}
+	if pij != nil {
+		cij = pij.Count
+	}
+	ci -= cij
+	cj -= cij
+	// cij*(cij-1)/2 is C(cij, 2); for cij == 0 the product is zero.
+	out.Count = ci*cj + ci*cij + cj*cij + cij*(cij-1)/2
+	return out
+}

@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// TestDOTFig6c renders the Fig. 6(c) graph and checks the vertices and
+// intermediate counts the paper shows: a1:1 b2:1 a3:3 a4:6 b7:10 a8:22
+// b9:32 (over the a/b projection of the Fig. 6 stream).
+func TestDOTFig6c(t *testing.T) {
+	q := query.MustParse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+")
+	plan, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(plan)
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("B", 2, nil)
+	b.Add("A", 3, nil)
+	b.Add("A", 4, nil)
+	b.Add("B", 7, nil)
+	b.Add("A", 8, nil)
+	b.Add("B", 9, nil)
+	for _, ev := range b.Events() {
+		eng.Process(ev)
+	}
+	dot := eng.DOT()
+	for _, want := range []string{
+		"a1 : 1", "b2 : 1", "a3 : 3", "a4 : 6", "b7 : 10", "a8 : 22", "b9 : 32",
+		"->", "digraph greta",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// END vertices (B state) are double-bordered.
+	if !strings.Contains(dot, "peripheries=2") {
+		t.Error("END vertices should have double borders")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	q := query.MustParse("RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) WHERE [g]")
+	plan, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(plan)
+	var b event.Builder
+	b.AddStr("A", 1, nil, map[string]string{"g": "x"})
+	b.AddStr("A", 2, nil, map[string]string{"g": "y"})
+	for _, ev := range b.Events() {
+		eng.Process(ev)
+	}
+	snaps := eng.Snapshot()
+	// Two partitions x two graphs (positive + negative).
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots = %d, want 4: %+v", len(snaps), snaps)
+	}
+	positives := 0
+	for _, s := range snaps {
+		if !s.Negative {
+			positives++
+			if s.Vertices != 1 {
+				t.Errorf("positive graph of %q has %d vertices, want 1", s.Partition, s.Vertices)
+			}
+		}
+	}
+	if positives != 2 {
+		t.Errorf("positives = %d", positives)
+	}
+}
+
+func TestDOTComposite(t *testing.T) {
+	q := query.MustParse("RETURN COUNT(*) PATTERN SEQ(A?, B)")
+	plan, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(plan)
+	dot := eng.DOT()
+	if !strings.Contains(dot, "composite plan") {
+		t.Errorf("composite DOT = %q", dot)
+	}
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// Result is one final aggregate: per group, per window (paper
+// Definition 2: "These trends are grouped by the values of G. An
+// aggregate is computed per group"; §6: "Final aggregate is computed
+// per window").
+//
+// Group carries the GROUP-BY attribute values. Equivalence attributes
+// ([company, sector]) partition trend formation but do not appear in
+// the output grouping unless they are also GROUP-BY attributes: Q1
+// forms down-trends per company yet reports one count per sector.
+type Result struct {
+	Group       string
+	Wid         int64
+	WindowStart event.Time
+	WindowEnd   event.Time
+	// Values holds one value per RETURN aggregate, in query order.
+	Values []float64
+	// Payload is the raw final payload (exact values in ModeExact).
+	Payload *aggregate.Payload
+	// Emitted is the wall-clock emission instant, used by the harness to
+	// measure latency.
+	Emitted time.Time
+}
+
+// Stats aggregates runtime statistics over all partitions and graphs.
+type Stats struct {
+	Events       uint64
+	OutOfOrder   uint64 // events dropped for violating time order
+	Inserted     uint64
+	Edges        uint64
+	PeakVertices uint64
+	PeakPayloads uint64
+	Partitions   int
+	Results      int
+}
+
+// partition holds the dependent GRETA graphs of one stream partition
+// (one combination of grouping and equivalence attribute values).
+type partition struct {
+	graphs []*Graph
+	// group is the output grouping key (GROUP-BY attributes only).
+	group string
+	// sched executes stream transactions concurrently when the engine
+	// runs in transactional mode (paper §7); nil otherwise.
+	sched *Scheduler
+}
+
+// Engine executes a compiled Plan over an in-order event stream
+// (the GRETA Runtime, paper Fig. 4).
+type Engine struct {
+	plan *Plan
+
+	// simple plan state
+	parts map[string]*partition
+	order []int // graph processing order: negatives before parents
+
+	// composite plan state (disjunction / conjunction, §9)
+	branchEngines  []*Engine
+	productEngines []*Engine
+
+	partAttrs []string // partition key attributes (group-by + equivalence)
+
+	prevTime event.Time // window-close cursor
+
+	// transactional enables the §7 stream-transaction scheduler: events
+	// sharing a timestamp are batched and executed as one transaction
+	// per partition, with dependency levels processed concurrently.
+	transactional bool
+	batch         []*event.Event
+	batchTime     event.Time
+
+	onResult func(Result)
+	results  []Result
+
+	stats Stats
+}
+
+// NewEngine builds an engine for plan.
+func NewEngine(plan *Plan) *Engine {
+	e := &Engine{plan: plan, parts: map[string]*partition{}, prevTime: -1}
+	e.partAttrs = append(append([]string{}, plan.GroupBy...), plan.Query.Equivalence...)
+	if !plan.Simple() {
+		for _, bp := range plan.Branches {
+			e.branchEngines = append(e.branchEngines, NewEngine(bp))
+		}
+		for _, pp := range plan.Products {
+			e.productEngines = append(e.productEngines, NewEngine(pp))
+		}
+		return e
+	}
+	// Dependency order: deeper (negative) graphs first. Split appends
+	// children after parents, so descending index order processes every
+	// negative graph before the graphs that depend on it — the static
+	// equivalent of the time-driven scheduler of §7.
+	for i := len(plan.Subs) - 1; i >= 0; i-- {
+		e.order = append(e.order, i)
+	}
+	return e
+}
+
+// OnResult registers a callback invoked for every emitted result (as
+// soon as the window closes). Results are also collected for Results().
+func (e *Engine) OnResult(f func(Result)) { e.onResult = f }
+
+// SetTransactional switches the engine to the stream-transaction
+// scheduler of paper §7: same-timestamp events execute as one
+// transaction per partition with concurrent dependency levels. Call
+// before the first Process. Results are identical to the sequential
+// mode; only the execution strategy differs.
+func (e *Engine) SetTransactional(on bool) {
+	e.transactional = on
+	for _, be := range e.branchEngines {
+		be.SetTransactional(on)
+	}
+	for _, pe := range e.productEngines {
+		pe.SetTransactional(on)
+	}
+}
+
+// attrKey concatenates the named attribute values of an event.
+func attrKey(ev *event.Event, attrs []string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		if s, ok := ev.Str[a]; ok {
+			b.WriteString(s)
+		} else if v, ok := ev.Attrs[a]; ok {
+			fmt.Fprintf(&b, "%g", v)
+		}
+	}
+	return b.String()
+}
+
+// newPartition instantiates the graphs of one partition and wires
+// dependencies.
+func (e *Engine) newPartition(ev *event.Event) *partition {
+	p := &partition{
+		graphs: make([]*Graph, len(e.plan.Subs)),
+		group:  attrKey(ev, e.plan.GroupBy),
+	}
+	for i, spec := range e.plan.Subs {
+		p.graphs[i] = newGraph(spec, e.plan.Window, e.plan.Sem)
+	}
+	for i, spec := range e.plan.Subs {
+		for _, dep := range spec.Deps {
+			p.graphs[i].addDep(p.graphs[dep], e.plan.Subs[dep])
+		}
+	}
+	return p
+}
+
+// Process offers one event to the engine. Events must arrive in
+// non-decreasing time order (paper §2: out-of-order handling is
+// delegated to upstream mechanisms); a late event would corrupt
+// already-propagated aggregates, so it is counted and dropped.
+func (e *Engine) Process(ev *event.Event) {
+	if ev.Time < e.prevTime {
+		e.stats.OutOfOrder++
+		return
+	}
+	e.stats.Events++
+	if !e.plan.Simple() {
+		for _, be := range e.branchEngines {
+			be.Process(ev)
+		}
+		for _, pe := range e.productEngines {
+			pe.Process(ev)
+		}
+		e.prevTime = ev.Time
+		return
+	}
+	if e.transactional {
+		// Seal and execute the previous same-timestamp transaction before
+		// the clock advances.
+		if len(e.batch) > 0 && ev.Time != e.batchTime {
+			e.runBatch()
+		}
+		e.closeUpTo(ev.Time)
+		e.batch = append(e.batch, ev)
+		e.batchTime = ev.Time
+		return
+	}
+	e.closeUpTo(ev.Time)
+
+	key := attrKey(ev, e.partAttrs)
+	p := e.parts[key]
+	if p == nil {
+		p = e.newPartition(ev)
+		e.parts[key] = p
+	}
+	// Dependency-ordered processing: all graphs a graph depends on see
+	// the event first (stream-transaction ordering, §7).
+	for _, idx := range e.order {
+		p.graphs[idx].Process(ev)
+	}
+}
+
+// closeUpTo closes windows that ended before t, across all partitions,
+// merging partition payloads per output group.
+func (e *Engine) closeUpTo(t event.Time) {
+	if lo, hi, ok := e.plan.Window.ClosedBy(e.prevTime, t); ok {
+		for wid := lo; wid <= hi; wid++ {
+			e.closeWindow(wid)
+		}
+		// Let idle partitions reclaim expired panes.
+		for _, p := range e.parts {
+			for _, g := range p.graphs {
+				g.Advance(t)
+			}
+		}
+	}
+	e.prevTime = t
+}
+
+// runBatch executes the pending stream transaction: the batch is split
+// per partition (preserving order) and each partition's scheduler runs
+// it with concurrent dependency levels.
+func (e *Engine) runBatch() {
+	byPart := map[*partition][]*event.Event{}
+	var order []*partition
+	for _, ev := range e.batch {
+		key := attrKey(ev, e.partAttrs)
+		p := e.parts[key]
+		if p == nil {
+			p = e.newPartition(ev)
+			p.sched = NewScheduler(p.graphs, e.plan.Subs)
+			e.parts[key] = p
+		}
+		if p.sched == nil {
+			p.sched = NewScheduler(p.graphs, e.plan.Subs)
+		}
+		if _, seen := byPart[p]; !seen {
+			order = append(order, p)
+		}
+		byPart[p] = append(byPart[p], ev)
+	}
+	e.batch = e.batch[:0]
+	for _, p := range order {
+		p.sched.RunBatch(byPart[p])
+	}
+}
+
+// closeWindow collects window wid from every partition, merges per
+// output group, and emits.
+func (e *Engine) closeWindow(wid int64) {
+	def := e.plan.Def()
+	merged := map[string]*aggregate.Payload{}
+	for _, p := range e.parts {
+		pl := p.graphs[0].CollectWindow(wid)
+		if pl == nil {
+			continue
+		}
+		if cur := merged[p.group]; cur == nil {
+			merged[p.group] = def.Clone(pl)
+		} else {
+			def.Merge(cur, pl)
+		}
+	}
+	groups := make([]string, 0, len(merged))
+	for g := range merged {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		e.emit(g, wid, merged[g])
+	}
+}
+
+// emit materializes a Result from a final payload.
+func (e *Engine) emit(group string, wid int64, payload *aggregate.Payload) {
+	def := e.plan.Def()
+	r := Result{
+		Group:       group,
+		Wid:         wid,
+		WindowStart: e.plan.Window.Start(wid),
+		WindowEnd:   e.plan.Window.End(wid),
+		Payload:     payload,
+		Emitted:     time.Now(),
+	}
+	for _, ss := range e.plan.Specs {
+		r.Values = append(r.Values, def.Value(payload, ss.Spec, ss.Slot, ss.Slot2))
+	}
+	e.results = append(e.results, r)
+	if e.onResult != nil {
+		e.onResult(r)
+	}
+}
+
+// Run consumes an entire stream and flushes.
+func (e *Engine) Run(s event.Stream) {
+	for ev := s.Next(); ev != nil; ev = s.Next() {
+		e.Process(ev)
+	}
+	e.Flush()
+}
+
+// RunParallel consumes the stream with the given number of workers,
+// hashing partitions onto workers (paper §7, "Parallel Processing":
+// sub-streams are processed in parallel independently from each other).
+// Results are merged afterwards. Only valid for grouped queries.
+func (e *Engine) RunParallel(s event.Stream, workers int) {
+	if workers <= 1 || len(e.partAttrs) == 0 || !e.plan.Simple() {
+		e.Run(s)
+		return
+	}
+	subEngines := make([]*Engine, workers)
+	chans := make([]chan *event.Event, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		subEngines[w] = NewEngine(e.plan)
+		chans[w] = make(chan *event.Event, 1024)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ev := range chans[w] {
+				subEngines[w].Process(ev)
+			}
+			subEngines[w].Flush()
+		}(w)
+	}
+	for ev := s.Next(); ev != nil; ev = s.Next() {
+		w := int(hashString(attrKey(ev, e.partAttrs)) % uint64(workers))
+		chans[w] <- ev
+	}
+	for _, c := range chans {
+		close(c)
+	}
+	wg.Wait()
+	// Merge per (group, wid) across workers: an output group can span
+	// workers when the partition key is finer than the group key.
+	def := e.plan.Def()
+	type gw struct {
+		group string
+		wid   int64
+	}
+	merged := map[gw]*aggregate.Payload{}
+	for _, se := range subEngines {
+		for _, r := range se.results {
+			k := gw{r.Group, r.Wid}
+			if cur := merged[k]; cur == nil {
+				merged[k] = def.Clone(r.Payload)
+			} else {
+				def.Merge(cur, r.Payload)
+			}
+		}
+		e.stats.Events += se.stats.Events
+		e.mergeStats(se)
+	}
+	for k, pl := range merged {
+		e.emit(k.group, k.wid, pl)
+	}
+	sortResults(e.results)
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Flush closes all open windows in all partitions.
+func (e *Engine) Flush() {
+	if !e.plan.Simple() {
+		for _, be := range e.branchEngines {
+			be.Flush()
+		}
+		for _, pe := range e.productEngines {
+			pe.Flush()
+		}
+		e.composeResults()
+		return
+	}
+	if e.transactional && len(e.batch) > 0 {
+		e.runBatch()
+	}
+	widSet := map[int64]bool{}
+	for _, p := range e.parts {
+		for _, g := range p.graphs {
+			g.FoldAll()
+		}
+		for _, wid := range p.graphs[0].OpenWids() {
+			widSet[wid] = true
+		}
+	}
+	wids := make([]int64, 0, len(widSet))
+	for wid := range widSet {
+		wids = append(wids, wid)
+	}
+	sort.Slice(wids, func(i, j int) bool { return wids[i] < wids[j] })
+	for _, wid := range wids {
+		e.closeWindow(wid)
+	}
+	sortResults(e.results)
+}
+
+// Results returns all emitted results sorted by (group, wid).
+func (e *Engine) Results() []Result {
+	return e.results
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Group != rs[j].Group {
+			return rs[i].Group < rs[j].Group
+		}
+		return rs[i].Wid < rs[j].Wid
+	})
+}
+
+// Stats returns accumulated runtime statistics.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	if !e.plan.Simple() {
+		for _, be := range e.branchEngines {
+			bs := be.Stats()
+			s.Inserted += bs.Inserted
+			s.Edges += bs.Edges
+			s.PeakVertices += bs.PeakVertices
+			s.PeakPayloads += bs.PeakPayloads
+			s.Partitions += bs.Partitions
+		}
+		for _, pe := range e.productEngines {
+			ps := pe.Stats()
+			s.Inserted += ps.Inserted
+			s.Edges += ps.Edges
+			s.PeakVertices += ps.PeakVertices
+			s.PeakPayloads += ps.PeakPayloads
+		}
+		s.Results = len(e.results)
+		return s
+	}
+	s.Partitions = len(e.parts)
+	for _, p := range e.parts {
+		for _, g := range p.graphs {
+			gs := g.Stats()
+			s.Inserted += gs.Inserted
+			s.Edges += gs.Edges
+			s.PeakVertices += gs.PeakVertices
+			s.PeakPayloads += gs.PeakPayloads
+		}
+	}
+	s.Results = len(e.results)
+	return s
+}
+
+func (e *Engine) mergeStats(se *Engine) {
+	ss := se.Stats()
+	e.stats.Inserted += ss.Inserted
+	e.stats.Edges += ss.Edges
+	e.stats.PeakVertices += ss.PeakVertices
+	e.stats.PeakPayloads += ss.PeakPayloads
+	e.stats.Partitions += ss.Partitions
+}

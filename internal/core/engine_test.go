@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/gen"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+func newEngine(t *testing.T, qsrc string) *core.Engine {
+	t.Helper()
+	q, err := query.Parse(qsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(plan)
+}
+
+// TestStreamingEmission: results are emitted as soon as their window
+// closes (paper: "instantaneously returned at the end of each window"),
+// not only at flush.
+func TestStreamingEmission(t *testing.T) {
+	eng := newEngine(t, "RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10")
+	var emitted []int64
+	eng.OnResult(func(r core.Result) { emitted = append(emitted, r.Wid) })
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("A", 5, nil)
+	b.Add("A", 12, nil) // closes window 0
+	b.Add("A", 25, nil) // closes window 1
+	for _, ev := range b.Events() {
+		eng.Process(ev)
+	}
+	if len(emitted) != 2 || emitted[0] != 0 || emitted[1] != 1 {
+		t.Fatalf("emitted before flush = %v, want [0 1]", emitted)
+	}
+	eng.Flush()
+	if len(emitted) != 3 || emitted[2] != 2 {
+		t.Fatalf("after flush = %v, want [0 1 2]", emitted)
+	}
+}
+
+// TestEmptyWindowsSkipped: windows without matches emit nothing.
+func TestEmptyWindowsSkipped(t *testing.T) {
+	eng := newEngine(t, "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 5 SLIDE 5")
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("B", 2, nil) // window 0 matches
+	b.Add("A", 7, nil) // window 1: A only -> no match
+	b.Add("B", 22, nil)
+	for _, ev := range b.Events() {
+		eng.Process(ev)
+	}
+	eng.Flush()
+	rs := eng.Results()
+	if len(rs) != 1 || rs[0].Wid != 0 {
+		t.Fatalf("results = %+v, want only window 0", rs)
+	}
+}
+
+// TestPaneExpiry: with a sliding window over a long stream, expired
+// panes are dropped so live vertices stay bounded by the window
+// horizon, far below the total insertion count.
+func TestPaneExpiry(t *testing.T) {
+	eng := newEngine(t, "RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 5")
+	var b event.Builder
+	for i := 0; i < 2000; i++ {
+		b.Add("A", event.Time(i), nil)
+	}
+	eng.Run(b.Stream())
+	st := eng.Stats()
+	if st.Inserted != 2000 {
+		t.Fatalf("inserted = %d", st.Inserted)
+	}
+	// Window horizon holds at most ~15 ticks of events (within + slide
+	// rounding); peak live vertices must be a small multiple of that.
+	if st.PeakVertices > 64 {
+		t.Errorf("peak vertices = %d, expected bounded by the window horizon", st.PeakVertices)
+	}
+}
+
+// TestDeterminism: two runs over the same stream give identical results.
+func TestDeterminism(t *testing.T) {
+	qsrc := "RETURN COUNT(*), SUM(A.x) PATTERN (SEQ(A+, B))+ WHERE A.x < NEXT(A).x WITHIN 12 SLIDE 4"
+	rng := rand.New(rand.NewSource(9))
+	evs := randStream(rng, 40)
+	run1 := newEngine(t, qsrc)
+	run1.Run(event.NewSliceStream(evs))
+	run2 := newEngine(t, qsrc)
+	run2.Run(event.NewSliceStream(evs))
+	a, b := run1.Results(), run2.Results()
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Group != b[i].Group || a[i].Wid != b[i].Wid {
+			t.Fatalf("keys differ at %d", i)
+		}
+		for j := range a[i].Values {
+			if a[i].Values[j] != b[i].Values[j] {
+				t.Fatalf("values differ at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+// TestEdgeCountFormula: for A+ over n events with distinct timestamps
+// and no predicates, each pair is an edge: n(n-1)/2 (each edge
+// traversed exactly once, paper §7).
+func TestEdgeCountFormula(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 50} {
+		eng := newEngine(t, "RETURN COUNT(*) PATTERN A+")
+		var b event.Builder
+		for i := 0; i < n; i++ {
+			b.Add("A", event.Time(i+1), nil)
+		}
+		eng.Run(b.Stream())
+		want := uint64(n * (n - 1) / 2)
+		if got := eng.Stats().Edges; got != want {
+			t.Errorf("n=%d: edges = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestEqualTimestampsNoEdge: adjacent trend events need strictly
+// increasing timestamps (Definition 1).
+func TestEqualTimestampsNoEdge(t *testing.T) {
+	eng := newEngine(t, "RETURN COUNT(*) PATTERN A+")
+	var b event.Builder
+	b.Add("A", 3, nil)
+	b.Add("A", 3, nil)
+	b.Add("A", 3, nil)
+	eng.Run(b.Stream())
+	rs := eng.Results()
+	if len(rs) != 1 || rs[0].Values[0] != 3 {
+		t.Fatalf("results = %+v, want 3 singleton trends", rs)
+	}
+	if eng.Stats().Edges != 0 {
+		t.Errorf("edges = %d, want 0", eng.Stats().Edges)
+	}
+}
+
+// TestNegationPruning: Case-1 invalid event pruning (Theorem 5.1)
+// physically removes invalidated vertices when previous-state events
+// may precede only following-state events.
+func TestNegationPruning(t *testing.T) {
+	// SEQ(A+, NOT C, B): A may precede A and B. pred(B) = {A} but A also
+	// precedes A, so pruning is conservative there. Use SEQ(A, NOT C, B):
+	// A precedes only B -> prunable.
+	eng := newEngine(t, "RETURN COUNT(*) PATTERN SEQ(A, NOT C, B)")
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("A", 2, nil)
+	b.Add("C", 3, nil) // invalidates a1, a2 for b's after 3
+	b.Add("B", 5, nil) // no valid predecessors -> not inserted
+	eng.Run(b.Stream())
+	if rs := eng.Results(); len(rs) != 0 {
+		t.Fatalf("results = %+v, want none", rs)
+	}
+}
+
+// TestDependencyOrdering: nested negation — the deepest negative graph
+// must see events first. The Fig. 6(d) fixture covers correctness; this
+// checks a same-timestamp race: a negative match and a positive event
+// at the same timestamp must not invalidate each other (Definition 5 is
+// strict).
+func TestDependencyOrderingSameTimestamp(t *testing.T) {
+	eng := newEngine(t, "RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B)")
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("C", 2, nil)
+	b.Add("B", 2, nil) // same timestamp as the C match: B at 2 is NOT after C's end
+	eng.Run(b.Stream())
+	rs := eng.Results()
+	// C's trend ends at 2; it only blocks B events with time > 2, so
+	// (a1, b2) survives.
+	if len(rs) != 1 || rs[0].Values[0] != 1 {
+		t.Fatalf("results = %+v, want count 1", rs)
+	}
+}
+
+// TestGroupMergingAcrossPartitions: equivalence partitions trend
+// formation; GROUP-BY controls output granularity (Q1 semantics).
+func TestGroupMergingAcrossPartitions(t *testing.T) {
+	eng := newEngine(t, "RETURN COUNT(*) PATTERN A+ WHERE [company, sector] GROUP-BY sector")
+	var b event.Builder
+	add := func(tm event.Time, company, sector string) {
+		b.AddStr("A", tm, nil, map[string]string{"company": company, "sector": sector})
+	}
+	add(1, "ibm", "tech")
+	add(2, "ibm", "tech")  // ibm trends: 3
+	add(3, "msft", "tech") // msft trends: 1
+	add(4, "shell", "oil") // shell trends: 1
+	eng.Run(b.Stream())
+	rs := eng.Results()
+	if len(rs) != 2 {
+		t.Fatalf("results = %+v, want tech and oil", rs)
+	}
+	byGroup := map[string]float64{}
+	for _, r := range rs {
+		byGroup[r.Group] = r.Values[0]
+	}
+	if byGroup["tech"] != 4 || byGroup["oil"] != 1 {
+		t.Errorf("groups = %v, want tech=4 oil=1", byGroup)
+	}
+}
+
+// TestStatsPartitions: the partition count reflects distinct keys.
+func TestStatsPartitions(t *testing.T) {
+	eng := newEngine(t, "RETURN COUNT(*) PATTERN Stock S+ WHERE [company]")
+	evs := gen.Stock(gen.DefaultStock(500))
+	eng.Run(event.NewSliceStream(evs))
+	if got := eng.Stats().Partitions; got != 10 {
+		t.Errorf("partitions = %d, want 10", got)
+	}
+}
+
+// TestMultiOccurrenceWindowed cross-checks the multi-occurrence pattern
+// with sliding windows against the oracle.
+func TestMultiOccurrenceWindowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 25; iter++ {
+		evs := randStream(rng, 5+rng.Intn(8))
+		checkAgainstOracle(t,
+			"RETURN COUNT(*) PATTERN SEQ(A+, B, A, A+, B+) WITHIN 12 SLIDE 6",
+			evs, aggregate.ModeNative)
+	}
+}

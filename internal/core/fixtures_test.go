@@ -1,0 +1,269 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// fig12Stream is the stream of paper Fig. 3 / Fig. 12:
+// I = {a1, b2, a3, a4, b7} with a1.attr=5, a3.attr=6, a4.attr=4.
+func fig12Stream() []*event.Event {
+	var b event.Builder
+	b.Add("A", 1, map[string]float64{"attr": 5})
+	b.Add("B", 2, nil)
+	b.Add("A", 3, map[string]float64{"attr": 6})
+	b.Add("A", 4, map[string]float64{"attr": 4})
+	b.Add("B", 7, nil)
+	return b.Events()
+}
+
+// fig6Stream is the stream of paper Fig. 6 / Fig. 8:
+// I = {a1, b2, c2, a3, e3, a4, c5, d6, b7, a8, b9}.
+func fig6Stream() []*event.Event {
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("B", 2, nil)
+	b.Add("C", 2, nil)
+	b.Add("A", 3, nil)
+	b.Add("E", 3, nil)
+	b.Add("A", 4, nil)
+	b.Add("C", 5, nil)
+	b.Add("D", 6, nil)
+	b.Add("B", 7, nil)
+	b.Add("A", 8, nil)
+	b.Add("B", 9, nil)
+	return b.Events()
+}
+
+// run compiles and executes a query over events, returning the single
+// global-window result (nil when no trends matched).
+func run(t *testing.T, q string, evs []*event.Event, mode aggregate.Mode) *core.Result {
+	t.Helper()
+	qq, err := query.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	plan, err := core.NewPlan(qq, mode)
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	eng := core.NewEngine(plan)
+	eng.Run(event.NewSliceStream(evs))
+	rs := eng.Results()
+	if len(rs) == 0 {
+		return nil
+	}
+	if len(rs) > 1 {
+		t.Fatalf("expected one result, got %d: %+v", len(rs), rs)
+	}
+	return &rs[0]
+}
+
+// TestFigure12Aggregates reproduces Example 1 / Example 8 (Fig. 12):
+// COUNT(*)=11, COUNT(A)=20, MIN(A.attr)=4, MAX(A.attr)=6,
+// SUM(A.attr)=100, AVG(A.attr)=5.
+func TestFigure12Aggregates(t *testing.T) {
+	for _, mode := range []aggregate.Mode{aggregate.ModeNative, aggregate.ModeExact} {
+		q := "RETURN COUNT(*), COUNT(A), MIN(A.attr), MAX(A.attr), SUM(A.attr), AVG(A.attr) PATTERN (SEQ(A+, B))+"
+		r := run(t, q, fig12Stream(), mode)
+		if r == nil {
+			t.Fatalf("mode %v: no result", mode)
+		}
+		want := []float64{11, 20, 4, 6, 100, 5}
+		for i, w := range want {
+			if r.Values[i] != w {
+				t.Errorf("mode %v: aggregate %d = %v, want %v", mode, i, r.Values[i], w)
+			}
+		}
+	}
+}
+
+// TestFigure6Shapes reproduces the final counts of Fig. 6 (a)-(c):
+// A+ -> 15, SEQ(A+,B) -> 23, (SEQ(A+,B))+ -> 43 over the Fig. 6 stream.
+func TestFigure6Shapes(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    float64
+	}{
+		{"A+", 15},
+		{"SEQ(A+, B)", 23},
+		{"(SEQ(A+, B))+", 43},
+	}
+	for _, c := range cases {
+		r := run(t, "RETURN COUNT(*) PATTERN "+c.pattern, fig6Stream(), aggregate.ModeNative)
+		if r == nil {
+			t.Fatalf("%s: no result", c.pattern)
+		}
+		if r.Values[0] != c.want {
+			t.Errorf("%s: COUNT(*) = %v, want %v", c.pattern, r.Values[0], c.want)
+		}
+	}
+}
+
+// TestFigure6dNegation reproduces Fig. 6(d) / Examples 2, 4, 5: the
+// pattern (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ over the Fig. 6 stream.
+// The match e3 of E invalidates c2; the match (c5,d6) of SEQ(C,D)
+// invalidates a1, a3, a4 for b's after d6; b7 cannot be inserted; the
+// final count is b2 + b9 = 1 + 12 = 13.
+func TestFigure6dNegation(t *testing.T) {
+	q := "RETURN COUNT(*) PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+"
+	r := run(t, q, fig6Stream(), aggregate.ModeNative)
+	if r == nil {
+		t.Fatal("no result")
+	}
+	if r.Values[0] != 13 {
+		t.Errorf("COUNT(*) = %v, want 13", r.Values[0])
+	}
+}
+
+// TestFigure8Negation reproduces Fig. 8: SEQ(A+, NOT E) (Case 2:
+// previous connection only) and SEQ(NOT E, A+) (Case 3: following
+// connection only) over the Fig. 6 stream.
+func TestFigure8Negation(t *testing.T) {
+	// Case 2: e3 invalidates earlier a's entirely; trends may not end
+	// before e3's start. Valid trends are over {a3, a4, a8} plus (a1,a3):
+	// 11 in total.
+	r := run(t, "RETURN COUNT(*) PATTERN SEQ(A+, NOT E)", fig6Stream(), aggregate.ModeNative)
+	if r == nil {
+		t.Fatal("case 2: no result")
+	}
+	if r.Values[0] != 11 {
+		t.Errorf("SEQ(A+, NOT E): COUNT(*) = %v, want 11", r.Values[0])
+	}
+	// Case 3: e3 invalidates all later a's (a4, a8); trends are over
+	// {a1, a3}: 3 in total.
+	r = run(t, "RETURN COUNT(*) PATTERN SEQ(NOT E, A+)", fig6Stream(), aggregate.ModeNative)
+	if r == nil {
+		t.Fatal("case 3: no result")
+	}
+	if r.Values[0] != 3 {
+		t.Errorf("SEQ(NOT E, A+): COUNT(*) = %v, want 3", r.Values[0])
+	}
+}
+
+// TestFigure13MultiOccurrence reproduces Fig. 13: the pattern
+// SEQ(A+, B, A, A+, B+) over I = {a1, b2, a3, a4, b5}. Exactly one
+// trend (a1, b2, a3, a4, b5) matches.
+func TestFigure13MultiOccurrence(t *testing.T) {
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("B", 2, nil)
+	b.Add("A", 3, nil)
+	b.Add("A", 4, nil)
+	b.Add("B", 5, nil)
+	r := run(t, "RETURN COUNT(*) PATTERN SEQ(A+, B, A, A+, B+)", b.Events(), aggregate.ModeNative)
+	if r == nil {
+		t.Fatal("no result")
+	}
+	if r.Values[0] != 1 {
+		t.Errorf("COUNT(*) = %v, want 1", r.Values[0])
+	}
+}
+
+// TestAmbiguousMultiOccurrence documents a property of the §9
+// multi-occurrence extension (shared with the paper's sketch): when a
+// pattern admits several state assignments for one event sequence —
+// SEQ(A+, A+) maps (a1,a2,a3) to A1A1A2 and A1A2A2 — the graph counts
+// state assignments, not distinct trends. Over three a's the distinct
+// sequences with >= 2 events number 4, but the assignment count is 5.
+// Unambiguous multi-occurrence patterns (Fig. 13, SEQ(A, A+), ...) are
+// unaffected and are cross-validated against the oracle elsewhere.
+func TestAmbiguousMultiOccurrence(t *testing.T) {
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("A", 2, nil)
+	b.Add("A", 3, nil)
+	r := run(t, "RETURN COUNT(*) PATTERN SEQ(A+, A+)", b.Events(), aggregate.ModeNative)
+	if r == nil {
+		t.Fatal("no result")
+	}
+	if r.Values[0] != 5 {
+		t.Errorf("assignment count = %v, want 5 (4 distinct trends, one counted twice)", r.Values[0])
+	}
+}
+
+// TestFigure10EdgePredicate reproduces Fig. 10: A+ with the edge
+// predicate A.attr < NEXT(A).attr. Over events with attr values
+// 5, 6, 4 (the Fig. 12 attr assignment on a1, a3, a4) the increasing
+// pairs are (5,6) only, so trends are (a1), (a3), (a4), (a1,a3): 4.
+func TestFigure10EdgePredicate(t *testing.T) {
+	var b event.Builder
+	b.Add("A", 1, map[string]float64{"attr": 5})
+	b.Add("A", 3, map[string]float64{"attr": 6})
+	b.Add("A", 4, map[string]float64{"attr": 4})
+	r := run(t, "RETURN COUNT(*) PATTERN A+ WHERE A.attr < NEXT(A).attr", b.Events(), aggregate.ModeNative)
+	if r == nil {
+		t.Fatal("no result")
+	}
+	if r.Values[0] != 4 {
+		t.Errorf("COUNT(*) = %v, want 4", r.Values[0])
+	}
+}
+
+// TestFigure9WindowSharing reproduces Fig. 9: (SEQ(A+,B))+ WITHIN 10
+// SLIDE 3 over the Fig. 12-style stream {a1,b2,a3,a4,b7,a8,b9}. Events
+// are shared between overlapping windows; each window's count equals
+// the count over its events in isolation.
+func TestFigure9WindowSharing(t *testing.T) {
+	var b event.Builder
+	b.Add("A", 1, nil)
+	b.Add("B", 2, nil)
+	b.Add("A", 3, nil)
+	b.Add("A", 4, nil)
+	b.Add("B", 7, nil)
+	b.Add("A", 8, nil)
+	b.Add("B", 9, nil)
+	qq := query.MustParse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+ WITHIN 10 SLIDE 3")
+	plan, err := core.NewPlan(qq, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(plan)
+	eng.Run(b.Stream())
+	got := map[int64]float64{}
+	for _, r := range eng.Results() {
+		got[r.Wid] = r.Values[0]
+	}
+	// Window 0 = [0,10): all events — the same event sequence as
+	// Fig. 6(c), so the count is 43:
+	//   a1=1, b2=1, a3=3, a4=6, b7=10, a8=22, b9=32 -> b2+b7+b9 = 43.
+	// Window 1 = [3,13): {a3,a4,b7,a8,b9}:
+	//   a3=1, a4=2, b7=3, a8=7, b9=10 -> b7+b9 = 13.
+	// Window 2 = [6,16): {b7,a8,b9}: b7 dropped (no preds), a8=1, b9=1 -> 1.
+	// Window 3 = [9,19): {b9}: dropped -> no result.
+	want := map[int64]float64{0: 43, 1: 13, 2: 1}
+	for wid, w := range want {
+		if got[wid] != w {
+			t.Errorf("window %d: COUNT(*) = %v, want %v", wid, got[wid], w)
+		}
+	}
+	if _, ok := got[3]; ok {
+		t.Errorf("window 3 should have no result, got %v", got[3])
+	}
+}
+
+// TestMinMaxEmpty checks MIN/MAX extraction with no matching events.
+func TestMinMaxEmpty(t *testing.T) {
+	var b event.Builder
+	b.Add("B", 1, nil)
+	r := run(t, "RETURN MIN(A.attr) PATTERN SEQ(A+, B)", b.Events(), aggregate.ModeNative)
+	if r != nil {
+		t.Fatalf("expected no result, got %+v", r)
+	}
+}
+
+// TestAvgNaN checks AVG over zero occurrences yields NaN, not a panic.
+func TestAvgNaN(t *testing.T) {
+	def := &aggregate.Def{}
+	s1, s2 := def.Plan(aggregate.Spec{Kind: aggregate.Avg, Type: "A", Attr: "x"})
+	p := def.New()
+	v := def.Value(p, aggregate.Spec{Kind: aggregate.Avg, Type: "A", Attr: "x"}, s1, s2)
+	if !math.IsNaN(v) {
+		t.Errorf("AVG over empty = %v, want NaN", v)
+	}
+}

@@ -1,0 +1,714 @@
+package core
+
+import (
+	"math"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/btree"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/predicate"
+	"github.com/greta-cep/greta/internal/query"
+	"github.com/greta-cep/greta/internal/window"
+)
+
+// Vertex is a GRETA graph vertex: one matched event in one state, with
+// one aggregate payload per window the event falls into (paper
+// Definition 3 extended with sub-graph sharing, §6).
+type Vertex struct {
+	Ev       *event.Event
+	State    int
+	FirstWid int64
+	// Aggs[i] is the payload for window FirstWid+i; nil when the vertex
+	// carries no trends in that window (or is invalid there).
+	Aggs []*aggregate.Payload
+	// closed marks vertices that already have an outgoing edge, used by
+	// skip-till-next-match semantics (§9): an event extends the first
+	// matchable continuation only.
+	closed bool
+}
+
+// pane is one Time Pane (paper §7): all vertices of a fixed time
+// interval, indexed per state by a Vertex Tree.
+type pane struct {
+	idx        int64
+	start, end event.Time
+	trees      map[int]*btree.Tree[*Vertex]
+	vertices   int
+}
+
+// depKind classifies a graph dependency per paper §5.1.
+type depKind uint8
+
+const (
+	depCase1 depKind = iota // SEQ(Pi, NOT N, Pj): previous and following
+	depCase2                // SEQ(Pi, NOT N): previous only
+	depCase3                // SEQ(NOT N, Pj): following only
+)
+
+// invalRecord is one finished negative trend batch: all trends of the
+// negative graph ending at one END vertex (Definition 5). starts[i] is
+// the latest trend start time in window firstWid+i (aggregate.NoStart
+// when the window holds no finished trend).
+type invalRecord struct {
+	end      event.Time
+	firstWid int64
+	starts   []int64
+}
+
+// depLink connects a parent graph to one of its negative graphs and
+// accumulates invalidation watermarks (the runtime realization of the
+// Graph Dependencies Hash Table, paper §7).
+type depLink struct {
+	kind depKind
+	// prevStates / follStates are state indices in the parent template;
+	// nil means "all states" (Cases 2 and 3 invalidate whole events).
+	prevStates map[int]bool
+	follStates map[int]bool
+	// prunable is true when events of the previous states may precede
+	// only events of the following states, enabling invalid event
+	// pruning (Theorem 5.1).
+	prunable bool
+
+	pending []invalRecord
+	// maxStart per window: parent events older than this are invalid
+	// (Cases 1 and 2). minEnd per window: parent events newer than this
+	// are invalid (Case 3).
+	maxStart map[int64]int64
+	minEnd   map[int64]event.Time
+}
+
+// GraphStats tracks runtime costs for the evaluation harness.
+type GraphStats struct {
+	Events       uint64 // events offered to the graph
+	Vertices     uint64 // vertices currently stored
+	PeakVertices uint64
+	Inserted     uint64 // vertices ever inserted
+	Edges        uint64 // edges traversed (each exactly once, §7)
+	Payloads     uint64 // window payloads currently held
+	PeakPayloads uint64
+}
+
+// Graph is a runtime GRETA graph for one sub-pattern in one stream
+// partition.
+type Graph struct {
+	spec     *GraphSpec
+	def      *aggregate.Def
+	win      window.Spec
+	sem      query.Semantics
+	paneSize event.Time
+
+	panes []*pane
+
+	// results accumulates final aggregates per window incrementally
+	// (Theorem 4.3(2)); graphs with a Case-2 dependency compute finals
+	// lazily at window close instead (see closeWindow).
+	results   map[int64]*aggregate.Payload
+	lazyFinal bool
+	// endWids records windows that received at least one END vertex, so
+	// lazy finalization knows which windows may have results.
+	endWids map[int64]bool
+
+	deps       []*depLink // dependencies where this graph is the parent
+	parentLink *depLink   // for negative graphs: the parent's depLink
+
+	prevTime    event.Time // last processed event time
+	lastEventID uint64     // previous stream event id (contiguous semantics)
+
+	stats GraphStats
+}
+
+// newGraph builds the runtime graph for spec.
+func newGraph(spec *GraphSpec, win window.Spec, sem query.Semantics) *Graph {
+	return &Graph{
+		spec:     spec,
+		def:      spec.Def,
+		win:      win,
+		sem:      sem,
+		paneSize: win.PaneSize(),
+		results:  map[int64]*aggregate.Payload{},
+		endWids:  map[int64]bool{},
+		prevTime: -1,
+	}
+}
+
+// addDep wires a negative child graph into the parent.
+func (g *Graph) addDep(child *Graph, childSpec *GraphSpec) {
+	link := &depLink{
+		maxStart: map[int64]int64{},
+		minEnd:   map[int64]event.Time{},
+	}
+	switch {
+	case childSpec.Previous != "" && childSpec.Following != "":
+		link.kind = depCase1
+	case childSpec.Previous != "":
+		link.kind = depCase2
+		g.lazyFinal = true
+	default:
+		link.kind = depCase3
+	}
+	if link.kind == depCase1 {
+		link.prevStates = map[int]bool{}
+		link.follStates = map[int]bool{}
+		for _, st := range g.spec.Tmpl.States {
+			if hasLabel(st, childSpec.Previous) {
+				link.prevStates[st.Idx] = true
+			}
+			if hasLabel(st, childSpec.Following) {
+				link.follStates[st.Idx] = true
+			}
+		}
+		// Invalid event pruning is safe when previous-state events may
+		// precede only following-state events (Theorem 5.1).
+		link.prunable = true
+		for prev := range link.prevStates {
+			for _, st := range g.spec.Tmpl.States {
+				for _, ps := range st.Preds {
+					if ps == prev && !link.follStates[st.Idx] {
+						link.prunable = false
+					}
+				}
+			}
+		}
+	}
+	g.deps = append(g.deps, link)
+	child.parentLink = link
+}
+
+// Process offers one stream event to the graph. Events must arrive in
+// non-decreasing time order. Window results are collected by the
+// engine through CollectWindow; the graph only maintains state.
+func (g *Graph) Process(e *event.Event) {
+	g.stats.Events++
+	g.foldPending(e.Time)
+	g.expire(e.Time)
+
+	states := g.spec.Tmpl.ByType[e.Type]
+	if len(states) != 0 {
+		lo, hi := g.win.Wids(e.Time)
+		for _, sIdx := range states {
+			g.insertAt(e, sIdx, lo, hi)
+		}
+	}
+	g.prevTime = e.Time
+	g.lastEventID = e.ID
+}
+
+// insertAt attempts to insert event e as a vertex of state sIdx
+// (Algorithm 2 generalized: per-state, per-window, all aggregates).
+func (g *Graph) insertAt(e *event.Event, sIdx int, lo, hi int64) {
+	st := g.spec.Tmpl.States[sIdx]
+	for _, vp := range g.spec.VertexPreds[sIdx] {
+		if !vp.Eval(e) {
+			return
+		}
+	}
+	k := int(hi - lo + 1)
+	// Case-3 invalidation: the event is unusable in windows containing a
+	// finished negative trend that ended before it (paper Fig. 8(b)).
+	validWid := func(wid int64) bool {
+		for _, d := range g.deps {
+			if d.kind != depCase3 {
+				continue
+			}
+			if te, ok := d.minEnd[wid]; ok && te < e.Time {
+				return false
+			}
+		}
+		return true
+	}
+	payloads := make([]*aggregate.Payload, k)
+	gotPred := false
+	for _, psIdx := range st.Preds {
+		g.forEachCandidate(e, psIdx, sIdx, lo, func(p *Vertex) {
+			connected := false
+			pHi := p.FirstWid + int64(len(p.Aggs)) - 1
+			shLo, shHi := lo, pHi
+			if shHi > hi {
+				shHi = hi
+			}
+			for wid := shLo; wid <= shHi; wid++ {
+				pp := p.Aggs[wid-p.FirstWid]
+				if pp == nil || !validWid(wid) {
+					continue
+				}
+				if g.invalidPred(p, sIdx, wid, e.Time) {
+					continue
+				}
+				i := int(wid - lo)
+				if payloads[i] == nil {
+					payloads[i] = g.def.New()
+				}
+				g.def.AddPred(payloads[i], pp)
+				connected = true
+			}
+			if connected {
+				g.stats.Edges++
+				gotPred = true
+				if g.sem == query.SkipTillNextMatch {
+					p.closed = true
+				}
+			}
+		})
+	}
+	if !st.Start && !gotPred {
+		// A MID or END event without predecessor events extends no trend
+		// and is not inserted (Algorithm 2 line 5).
+		return
+	}
+	hasPayload := false
+	for i := 0; i < k; i++ {
+		wid := lo + int64(i)
+		if !validWid(wid) {
+			payloads[i] = nil
+			continue
+		}
+		if st.Start {
+			if payloads[i] == nil {
+				payloads[i] = g.def.New()
+			}
+			g.def.OnStart(payloads[i], e.Time)
+		}
+		if payloads[i] != nil {
+			g.def.OnEvent(payloads[i], e)
+			hasPayload = true
+		}
+	}
+	if !hasPayload {
+		return
+	}
+	v := &Vertex{Ev: e, State: sIdx, FirstWid: lo, Aggs: payloads}
+	if st.End {
+		g.onEndVertex(v, lo, hi)
+	}
+	// Finished trend pruning (paper §5.2): an END vertex of a negative
+	// graph whose state has no outgoing transitions can never extend a
+	// trend; it has done its invalidation work and is not stored.
+	if g.spec.Negative && st.End && !g.hasSuccessors(sIdx) {
+		return
+	}
+	g.store(v)
+}
+
+// hasSuccessors reports whether any state lists sIdx as a predecessor.
+func (g *Graph) hasSuccessors(sIdx int) bool {
+	for _, st := range g.spec.Tmpl.States {
+		for _, p := range st.Preds {
+			if p == sIdx {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// onEndVertex folds an END vertex into final aggregates (positive
+// graphs, Theorem 4.3(2)) or pushes an invalidation record to the
+// parent (negative graphs, Definition 5).
+func (g *Graph) onEndVertex(v *Vertex, lo, hi int64) {
+	if g.spec.Negative {
+		if g.parentLink == nil {
+			return
+		}
+		rec := invalRecord{end: v.Ev.Time, firstWid: lo, starts: make([]int64, len(v.Aggs))}
+		any := false
+		for i, p := range v.Aggs {
+			if p == nil || p.Zero() {
+				rec.starts[i] = aggregate.NoStart
+				continue
+			}
+			rec.starts[i] = p.MaxStart
+			any = true
+		}
+		if any {
+			g.parentLink.pending = append(g.parentLink.pending, rec)
+		}
+		return
+	}
+	for i, p := range v.Aggs {
+		if p == nil {
+			continue
+		}
+		wid := lo + int64(i)
+		g.endWids[wid] = true
+		if g.lazyFinal {
+			continue
+		}
+		r := g.results[wid]
+		if r == nil {
+			r = g.def.New()
+			g.results[wid] = r
+		}
+		g.def.Merge(r, p)
+	}
+	_ = hi // window range is implicit in v.Aggs
+}
+
+// invalidPred reports whether predecessor p may not contribute to a new
+// event at state sIdx in window wid at time t (Definition 5).
+func (g *Graph) invalidPred(p *Vertex, sIdx int, wid int64, t event.Time) bool {
+	for _, d := range g.deps {
+		switch d.kind {
+		case depCase1:
+			if d.prevStates[p.State] && d.follStates[sIdx] {
+				if ws, ok := d.maxStart[wid]; ok && int64(p.Ev.Time) < ws {
+					return true
+				}
+			}
+		case depCase2:
+			if ws, ok := d.maxStart[wid]; ok && int64(p.Ev.Time) < ws {
+				return true
+			}
+		case depCase3:
+			// Case-3 invalidation nulls the vertex's window payloads at
+			// insertion; nothing to re-check here.
+		}
+	}
+	return false
+}
+
+// foldPending applies invalidation records of finished negative trends
+// whose end time lies strictly before t ("events of the following event
+// type that will arrive after en.time", Definition 5).
+func (g *Graph) foldPending(t event.Time) {
+	for _, d := range g.deps {
+		n := 0
+		advanced := false
+		for _, rec := range d.pending {
+			if rec.end >= t {
+				d.pending[n] = rec
+				n++
+				continue
+			}
+			for i, s := range rec.starts {
+				if s == aggregate.NoStart {
+					continue
+				}
+				wid := rec.firstWid + int64(i)
+				if cur, ok := d.maxStart[wid]; !ok || s > cur {
+					d.maxStart[wid] = s
+					advanced = true
+				}
+				if cur, ok := d.minEnd[wid]; !ok || rec.end < cur {
+					d.minEnd[wid] = rec.end
+				}
+			}
+		}
+		d.pending = d.pending[:n]
+		if advanced && d.kind == depCase1 && d.prunable {
+			g.pruneInvalid(d)
+		}
+	}
+}
+
+// pruneInvalid physically removes previous-state vertices that are
+// invalid in every window they belong to (invalid event pruning,
+// Theorem 5.1).
+func (g *Graph) pruneInvalid(d *depLink) {
+	for _, pn := range g.panes {
+		for sIdx := range d.prevStates {
+			tree := pn.trees[sIdx]
+			if tree == nil {
+				continue
+			}
+			var doomed []*Vertex
+			tree.Ascend(func(it btree.Item[*Vertex]) bool {
+				v := it.Val
+				dead := true
+				for i := range v.Aggs {
+					if v.Aggs[i] == nil {
+						continue
+					}
+					wid := v.FirstWid + int64(i)
+					ws, ok := d.maxStart[wid]
+					if !ok || int64(v.Ev.Time) >= ws {
+						dead = false
+						break
+					}
+				}
+				if dead {
+					doomed = append(doomed, v)
+				}
+				return true
+			})
+			for _, v := range doomed {
+				if tree.Delete(g.sortKey(v.State, v.Ev), v.Ev.ID) {
+					pn.vertices--
+					g.stats.Vertices--
+					g.stats.Payloads -= uint64(countPayloads(v))
+				}
+			}
+		}
+	}
+}
+
+func countPayloads(v *Vertex) int {
+	n := 0
+	for _, p := range v.Aggs {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// forEachCandidate scans stored vertices of state psIdx that may
+// precede event e at state sIdx, using the Vertex Tree range for the
+// compiled edge predicate when available (paper §7) and re-checking all
+// edge predicates per candidate.
+func (g *Graph) forEachCandidate(e *event.Event, psIdx, sIdx int, loWid int64, visit func(*Vertex)) {
+	ps := g.spec.Tmpl.States[psIdx]
+	sortAttr := g.spec.SortAttr[psIdx]
+	// Applicable edge predicates for the transition ps -> s.
+	var eps []*predicate.Edge
+	for _, ep := range g.spec.EdgePreds[sIdx] {
+		if hasLabel(ps, ep.From) {
+			eps = append(eps, ep)
+		}
+	}
+	// Range bounds on the predecessor sort attribute.
+	rlo, rhi := math.Inf(-1), math.Inf(1)
+	rloIncl, rhiIncl := true, true
+	useRange := false
+	timeSorted := sortAttr == ""
+	if timeSorted {
+		// Trees without an edge-predicate attribute sort by time; bound
+		// the scan by strict adjacency p.time < e.time.
+		rhi, rhiIncl = float64(e.Time), false
+		useRange = true
+	} else {
+		for _, pe := range eps {
+			r := pe.Range
+			if r == nil || r.Attr != sortAttr {
+				continue
+			}
+			lo2, hi2, loI, hiI, ok := r.Bounds(e)
+			if !ok {
+				return
+			}
+			if lo2 > rlo || (lo2 == rlo && !loI) {
+				rlo, rloIncl = lo2, loI
+			}
+			if hi2 < rhi || (hi2 == rhi && !hiI) {
+				rhi, rhiIncl = hi2, hiI
+			}
+			useRange = true
+		}
+	}
+	oldest := g.win.Start(loWid)
+	for _, pn := range g.panes {
+		if pn.end <= oldest || pn.start > e.Time {
+			continue
+		}
+		tree := pn.trees[psIdx]
+		if tree == nil {
+			continue
+		}
+		scan := func(it btree.Item[*Vertex]) bool {
+			p := it.Val
+			if p.Ev.Time >= e.Time {
+				// Adjacent trend events have strictly increasing time
+				// (Definition 1).
+				return true
+			}
+			if g.sem == query.Contiguous && p.Ev.ID != g.lastEventID {
+				return true
+			}
+			if g.sem == query.SkipTillNextMatch && p.closed {
+				return true
+			}
+			for _, pe := range eps {
+				if !pe.Eval(p.Ev, e) {
+					return true
+				}
+			}
+			visit(p)
+			return true
+		}
+		if useRange {
+			tree.AscendRange(rlo, rhi, rloIncl, rhiIncl, scan)
+		} else {
+			tree.Ascend(scan)
+		}
+	}
+}
+
+// store places a vertex into the Vertex Tree of the current pane.
+func (g *Graph) store(v *Vertex) {
+	pn := g.paneFor(v.Ev.Time)
+	tree := pn.trees[v.State]
+	if tree == nil {
+		tree = btree.New[*Vertex]()
+		pn.trees[v.State] = tree
+	}
+	tree.Insert(g.sortKey(v.State, v.Ev), v.Ev.ID, v)
+	pn.vertices++
+	g.stats.Vertices++
+	g.stats.Inserted++
+	g.stats.Payloads += uint64(countPayloads(v))
+	if g.stats.Vertices > g.stats.PeakVertices {
+		g.stats.PeakVertices = g.stats.Vertices
+	}
+	if g.stats.Payloads > g.stats.PeakPayloads {
+		g.stats.PeakPayloads = g.stats.Payloads
+	}
+}
+
+// sortKey computes the Vertex Tree key of an event in a state: the
+// compiled edge-predicate attribute when one exists, time otherwise.
+func (g *Graph) sortKey(sIdx int, e *event.Event) float64 {
+	attr := g.spec.SortAttr[sIdx]
+	if attr == "" {
+		return float64(e.Time)
+	}
+	if v, ok := e.Attrs[attr]; ok {
+		return v
+	}
+	return 0
+}
+
+// paneFor returns (creating if needed) the pane containing time t.
+// Events arrive in order, so t lands in the last pane or a new one.
+func (g *Graph) paneFor(t event.Time) *pane {
+	idx := t / g.paneSize
+	if n := len(g.panes); n > 0 && g.panes[n-1].idx == idx {
+		return g.panes[n-1]
+	}
+	pn := &pane{
+		idx:   idx,
+		start: idx * g.paneSize,
+		end:   (idx + 1) * g.paneSize,
+		trees: map[int]*btree.Tree[*Vertex]{},
+	}
+	g.panes = append(g.panes, pn)
+	return pn
+}
+
+// expire drops panes that can no longer contribute to any open window
+// (paper §7: "a whole pane with its associated data structures is
+// deleted after the pane has contributed to all windows").
+func (g *Graph) expire(t event.Time) {
+	oldest := g.win.OldestNeeded(t)
+	n := 0
+	for _, pn := range g.panes {
+		if pn.end <= oldest {
+			g.stats.Vertices -= uint64(pn.vertices)
+			for _, tree := range pn.trees {
+				tree.Ascend(func(it btree.Item[*Vertex]) bool {
+					g.stats.Payloads -= uint64(countPayloads(it.Val))
+					return true
+				})
+			}
+			continue
+		}
+		g.panes[n] = pn
+		n++
+	}
+	for i := n; i < len(g.panes); i++ {
+		g.panes[i] = nil
+	}
+	g.panes = g.panes[:n]
+}
+
+// CollectWindow computes, removes, and returns the final aggregate of
+// one window, or nil when the window holds no finished trends. The
+// engine calls it once per window when the stream time passes the
+// window's end (or at flush).
+func (g *Graph) CollectWindow(wid int64) *aggregate.Payload {
+	if g.spec.Negative || !g.endWids[wid] {
+		return nil
+	}
+	delete(g.endWids, wid)
+	var r *aggregate.Payload
+	if g.lazyFinal {
+		r = g.lazyResult(wid)
+	} else {
+		r = g.results[wid]
+		delete(g.results, wid)
+	}
+	if r == nil || r.Zero() {
+		return nil
+	}
+	return r
+}
+
+// OpenWids lists windows that still hold uncollected results.
+func (g *Graph) OpenWids() []int64 {
+	wids := make([]int64, 0, len(g.endWids))
+	for wid := range g.endWids {
+		wids = append(wids, wid)
+	}
+	sortInt64s(wids)
+	return wids
+}
+
+// Advance folds pending invalidations and expires panes as if an event
+// at time t had been observed, letting the engine reclaim memory in
+// partitions that stop receiving events.
+func (g *Graph) Advance(t event.Time) {
+	g.foldPending(t)
+	g.expire(t)
+}
+
+// lazyResult recomputes a window's final aggregate by scanning END
+// vertices and filtering Case-2 invalidated ones (SEQ(Pi, NOT N): a
+// trend of N invalidates all earlier events, paper §5.1 Case 2; the
+// final aggregate may only include END events no negative trend
+// disqualified).
+func (g *Graph) lazyResult(wid int64) *aggregate.Payload {
+	// Make sure every record that could affect this window is folded:
+	// negative trends inside the window end before the window does.
+	g.foldPending(g.win.End(wid))
+	var r *aggregate.Payload
+	start, end := g.win.Start(wid), g.win.End(wid)
+	for _, pn := range g.panes {
+		if pn.end <= start || pn.start >= end {
+			continue
+		}
+		for sIdx, tree := range pn.trees {
+			if !g.spec.Tmpl.States[sIdx].End {
+				continue
+			}
+			tree.Ascend(func(it btree.Item[*Vertex]) bool {
+				v := it.Val
+				if wid < v.FirstWid || wid >= v.FirstWid+int64(len(v.Aggs)) {
+					return true
+				}
+				p := v.Aggs[wid-v.FirstWid]
+				if p == nil {
+					return true
+				}
+				for _, d := range g.deps {
+					if d.kind != depCase2 {
+						continue
+					}
+					if ws, ok := d.maxStart[wid]; ok && int64(v.Ev.Time) < ws {
+						return true
+					}
+				}
+				if r == nil {
+					r = g.def.New()
+				}
+				g.def.Merge(r, p)
+				return true
+			})
+		}
+	}
+	return r
+}
+
+// FoldAll applies every pending invalidation record; call at end of
+// stream before collecting remaining windows.
+func (g *Graph) FoldAll() {
+	g.foldPending(1<<62 - 1)
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Stats returns runtime statistics.
+func (g *Graph) Stats() GraphStats { return g.stats }

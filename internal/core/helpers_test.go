@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+)
+
+var nextTestID uint64
+
+// evt builds a test event with an auto-assigned id.
+func evt(typ event.Type, t event.Time, attrs map[string]float64) *event.Event {
+	nextTestID++
+	return &event.Event{ID: nextTestID, Type: typ, Time: t, Attrs: attrs}
+}
+
+// feed processes events in order and flushes.
+func feed(t *testing.T, eng *core.Engine, evs ...*event.Event) {
+	t.Helper()
+	for _, e := range evs {
+		eng.Process(e)
+	}
+	eng.Flush()
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// TestMinLenFixture: A+ MINLEN 3 over five a's counts subsequences of
+// length >= 3: C(5,3)+C(5,4)+C(5,5) = 16 (paper §9, "Constraints on
+// Minimal Trend Length": A+ with minimum 3 unrolls to SEQ(A, A, A+)).
+func TestMinLenFixture(t *testing.T) {
+	var b event.Builder
+	for i := 1; i <= 5; i++ {
+		b.Add("A", event.Time(i), nil)
+	}
+	r := run(t, "RETURN COUNT(*) PATTERN A+ MINLEN 3", b.Events(), aggregate.ModeNative)
+	if r == nil {
+		t.Fatal("no result")
+	}
+	if r.Values[0] != 16 {
+		t.Errorf("COUNT(*) = %v, want 16", r.Values[0])
+	}
+	// MINLEN 1 is the unconstrained pattern: 2^5 - 1 = 31.
+	r = run(t, "RETURN COUNT(*) PATTERN A+ MINLEN 1", b.Events(), aggregate.ModeNative)
+	if r.Values[0] != 31 {
+		t.Errorf("MINLEN 1: COUNT(*) = %v, want 31", r.Values[0])
+	}
+	// MINLEN 6 over five events: no trends, no result.
+	if r := run(t, "RETURN COUNT(*) PATTERN A+ MINLEN 6", b.Events(), aggregate.ModeNative); r != nil {
+		t.Errorf("MINLEN 6: expected no result, got %v", r.Values)
+	}
+}
+
+// TestMinLenWithPredicates: predicates written against the original
+// alias attach to every unrolled copy via labels.
+func TestMinLenWithPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 30; iter++ {
+		evs := randStream(rng, 4+rng.Intn(8))
+		checkAgainstOracle(t,
+			"RETURN COUNT(*), SUM(A.x) PATTERN A+ WHERE A.x < NEXT(A).x MINLEN 2",
+			evs, aggregate.ModeNative)
+		checkAgainstOracle(t,
+			"RETURN COUNT(*) PATTERN A+ MINLEN 3",
+			evs, aggregate.ModeNative)
+	}
+}
+
+// TestMinLenRejectsNonKleene: unrolling applies to Kleene-plus patterns.
+func TestMinLenRejectsNonKleene(t *testing.T) {
+	q := query.MustParse("RETURN COUNT(*) PATTERN SEQ(A, B) MINLEN 3")
+	if _, err := core.NewPlan(q, aggregate.ModeNative); err == nil {
+		t.Error("expected error for MINLEN on non-Kleene pattern")
+	}
+}

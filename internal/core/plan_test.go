@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+func planErr(t *testing.T, qsrc string) error {
+	t.Helper()
+	q, err := query.Parse(qsrc)
+	if err != nil {
+		t.Fatalf("parse %q: %v", qsrc, err)
+	}
+	_, err = core.NewPlan(q, aggregate.ModeNative)
+	return err
+}
+
+func TestPlanErrors(t *testing.T) {
+	cases := []struct {
+		qsrc    string
+		wantSub string
+	}{
+		// Conjunction supports COUNT(*) only (paper §9 defines only the
+		// count composition).
+		{"RETURN SUM(A.x) PATTERN A+ AND B+", "COUNT(*)"},
+		// Conjunction is binary.
+		{"RETURN COUNT(*) PATTERN A+ AND B+ AND C+", "binary"},
+		// Kleene over optional alternatives is not a positive-pattern
+		// disjunction.
+		{"RETURN COUNT(*) PATTERN (SEQ(A?, B))+", "not expressible"},
+		// Disjunction combined with negation is unsupported.
+		{"RETURN COUNT(*) PATTERN SEQ(A?, NOT C, B)", "negation"},
+		// MINLEN applies to Kleene patterns.
+		{"RETURN COUNT(*) PATTERN SEQ(A, B) MINLEN 2", "Kleene"},
+	}
+	for _, c := range cases {
+		err := planErr(t, c.qsrc)
+		if err == nil {
+			t.Errorf("%q: expected error", c.qsrc)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", c.qsrc, err, c.wantSub)
+		}
+	}
+}
+
+func TestPlanShapes(t *testing.T) {
+	// Simple positive plan: one sub-pattern.
+	q := query.MustParse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+")
+	p, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Simple() || len(p.Subs) != 1 {
+		t.Errorf("simple plan shape: %+v", p)
+	}
+	// Negation: three sub-patterns for the paper's Example 2.
+	q = query.MustParse("RETURN COUNT(*) PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+")
+	p, err = core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Subs) != 3 || !p.Subs[1].Negative || !p.Subs[2].Negative {
+		t.Errorf("negation plan shape: %d subs", len(p.Subs))
+	}
+	// Star: two branches plus one product.
+	q = query.MustParse("RETURN COUNT(*) PATTERN SEQ(A*, B)")
+	p, err = core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Simple() || len(p.Branches) != 2 || len(p.Products) != 1 {
+		t.Errorf("star plan: branches=%d products=%d", len(p.Branches), len(p.Products))
+	}
+	// Three-branch disjunction: 3 branches, 4 subset products (masks of
+	// size >= 2 over 3 branches).
+	q = query.MustParse("RETURN COUNT(*) PATTERN A+ OR B+ OR C+")
+	p, err = core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Branches) != 3 || len(p.Products) != 4 {
+		t.Errorf("3-way OR plan: branches=%d products=%d", len(p.Branches), len(p.Products))
+	}
+}
+
+func TestPlanSortAttrSelection(t *testing.T) {
+	// The Vertex Tree sort attribute comes from the range-compilable
+	// edge predicate out of each state.
+	q := query.MustParse("RETURN COUNT(*) PATTERN Stock S+ WHERE S.price > NEXT(S).price")
+	p, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Subs[0].SortAttr[0]; got != "price" {
+		t.Errorf("sort attr = %q, want price", got)
+	}
+	// No range-compilable predicate: trees fall back to time ordering.
+	q = query.MustParse("RETURN COUNT(*) PATTERN Stock S+ WHERE S.price * S.price > NEXT(S).price * NEXT(S).price")
+	p, err = core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Subs[0].SortAttr[0]; got != "" {
+		t.Errorf("sort attr = %q, want empty (time-ordered)", got)
+	}
+}
+
+func TestDisjunctionAggregates(t *testing.T) {
+	// MIN/MAX over a disjunction fold over branches only (monotone over
+	// trend sets); SUM/COUNT use inclusion-exclusion. Cross-validate a
+	// concrete case: SEQ(A?, B) over a2(x=3), b5, b9.
+	var qb strings.Builder
+	qb.WriteString("RETURN COUNT(*), MIN(A.x), SUM(B.y) PATTERN SEQ(A?, B)")
+	q := query.MustParse(qb.String())
+	plan, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(plan)
+	feed(t, eng,
+		evt("A", 2, map[string]float64{"x": 3}),
+		evt("B", 5, map[string]float64{"y": 10}),
+		evt("B", 9, map[string]float64{"y": 1}),
+	)
+	rs := eng.Results()
+	if len(rs) != 1 {
+		t.Fatalf("results = %+v", rs)
+	}
+	// Trends: (b5), (b9), (a2,b5), (a2,b9) -> COUNT 4; MIN(A.x)=3;
+	// SUM(B.y) = 10+1+10+1 = 22.
+	want := []float64{4, 3, 22}
+	for i, w := range want {
+		if rs[0].Values[i] != w {
+			t.Errorf("agg %d = %v, want %v", i, rs[0].Values[i], w)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/baseline/enum"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// randStream builds a random in-order stream over types A..D with a
+// numeric attribute x, an equivalence attribute g, and occasional
+// duplicate timestamps.
+func randStream(rng *rand.Rand, n int) []*event.Event {
+	types := []event.Type{"A", "B", "C", "D", "E"}
+	var b event.Builder
+	t := event.Time(1)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) != 0 {
+			t += event.Time(rng.Intn(3) + 1)
+		}
+		typ := types[rng.Intn(len(types))]
+		b.AddStr(typ, t,
+			map[string]float64{"x": float64(rng.Intn(8))},
+			map[string]string{"g": fmt.Sprintf("g%d", rng.Intn(2))})
+	}
+	return b.Events()
+}
+
+// propQueries is the pool of query shapes exercised by the
+// cross-validation property: Kleene, nesting, negation (all three
+// cases), predicates, grouping, windows, multi-occurrence, sugar.
+var propQueries = []string{
+	"RETURN COUNT(*) PATTERN A+",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B)",
+	"RETURN COUNT(*) PATTERN (SEQ(A+, B))+",
+	"RETURN COUNT(*) PATTERN SEQ(A, B+, C)",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B+)",
+	"RETURN COUNT(*), COUNT(A), MIN(A.x), MAX(A.x), SUM(A.x), AVG(A.x) PATTERN (SEQ(A+, B))+",
+	"RETURN COUNT(*), SUM(B.x) PATTERN SEQ(A, B+)",
+	"RETURN COUNT(*) PATTERN A+ WHERE A.x < NEXT(A).x",
+	"RETURN COUNT(*) PATTERN A+ WHERE A.x > NEXT(A).x",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE A.x < NEXT(A).x AND A.x >= 2",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE A.x * 2 <= NEXT(A).x + 3",
+	"RETURN COUNT(*) PATTERN (SEQ(A+, B))+ WHERE [g]",
+	"RETURN COUNT(*), SUM(A.x) PATTERN A+ WHERE [g] GROUP-BY g",
+	"RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B)",
+	"RETURN COUNT(*) PATTERN SEQ(A+, NOT SEQ(C, D), B)",
+	"RETURN COUNT(*) PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+",
+	"RETURN COUNT(*) PATTERN SEQ(A+, NOT E)",
+	"RETURN COUNT(*) PATTERN SEQ(NOT E, A+)",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B, A, A+, B+)",
+	"RETURN COUNT(*) PATTERN SEQ(A, A+)",
+	"RETURN COUNT(*) PATTERN SEQ(A*, B)",
+	"RETURN COUNT(*) PATTERN SEQ(A?, B+)",
+	"RETURN COUNT(*) PATTERN SEQ(A?, A+)",
+	"RETURN COUNT(*) PATTERN A+ OR SEQ(A+, B)",
+	"RETURN COUNT(*) PATTERN SEQ(A,B) OR SEQ(B,C)",
+	"RETURN COUNT(*) PATTERN A+ WITHIN 6 SLIDE 2",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B) WITHIN 8 SLIDE 4",
+	"RETURN COUNT(*) PATTERN (SEQ(A+, B))+ WITHIN 10 SLIDE 3",
+	"RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) WITHIN 9 SLIDE 3",
+	"RETURN COUNT(*) PATTERN SEQ(A+, NOT E) WITHIN 8 SLIDE 4",
+	"RETURN COUNT(*) PATTERN SEQ(NOT E, A+) WITHIN 8 SLIDE 4",
+	"RETURN COUNT(*), MIN(A.x) PATTERN SEQ(A+, NOT SEQ(C, D), B) WITHIN 12 SLIDE 4",
+	"RETURN COUNT(*) PATTERN A+ AND B+",
+	"RETURN COUNT(*) PATTERN SEQ(A, B) AND SEQ(B, C)",
+	"RETURN COUNT(*) PATTERN A+ AND SEQ(A, B)",
+	// Cross-type edge predicates (earlier alias ≠ NEXT alias).
+	"RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE A.x <= NEXT(B).x",
+	"RETURN COUNT(*) PATTERN SEQ(A, B+, C) WHERE B.x > NEXT(C).x AND A.x < NEXT(B).x",
+	// Vertex predicate on one alias of a multi-state pattern.
+	"RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE A.x >= 3",
+	// Predicates inside negative sub-patterns.
+	"RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) WHERE C.x > 4",
+	"RETURN COUNT(*) PATTERN SEQ(A+, NOT SEQ(C, D), B) WHERE C.x < NEXT(D).x",
+	// Negation combined with grouping and several aggregates.
+	"RETURN COUNT(*), MAX(A.x) PATTERN SEQ(A+, NOT C, B) WHERE [g] GROUP-BY g",
+	// Sugar with windows and grouping.
+	"RETURN COUNT(*) PATTERN SEQ(A?, B) WHERE [g] GROUP-BY g WITHIN 6 SLIDE 3",
+	"RETURN COUNT(*) PATTERN SEQ(A*, B) WITHIN 8 SLIDE 4",
+	"RETURN COUNT(*) PATTERN A+ SEMANTICS skip-till-next-match",
+	"RETURN COUNT(*) PATTERN SEQ(A+, B) SEMANTICS skip-till-next-match",
+	"RETURN COUNT(*) PATTERN (SEQ(A+, B))+ SEMANTICS skip-till-next-match",
+	"RETURN COUNT(*), SUM(A.x) PATTERN A+ WHERE A.x > NEXT(A).x SEMANTICS skip-till-next-match",
+	"RETURN COUNT(*) PATTERN A+ SEMANTICS contiguous",
+	"RETURN COUNT(*) PATTERN SEQ(A, B) SEMANTICS contiguous",
+	"RETURN COUNT(*) PATTERN SEQ(A, B+, C) SEMANTICS contiguous",
+	"RETURN COUNT(*) PATTERN A+ WHERE A.x < NEXT(A).x SEMANTICS contiguous",
+}
+
+// checkAgainstOracle runs one query in both engines and compares every
+// per-group, per-window aggregate.
+func checkAgainstOracle(t *testing.T, qsrc string, evs []*event.Event, mode aggregate.Mode) {
+	t.Helper()
+	q, err := query.Parse(qsrc)
+	if err != nil {
+		t.Fatalf("parse %q: %v", qsrc, err)
+	}
+	plan, err := core.NewPlan(q, mode)
+	if err != nil {
+		t.Fatalf("plan %q: %v", qsrc, err)
+	}
+	eng := core.NewEngine(plan)
+	eng.Run(event.NewSliceStream(evs))
+	got := map[string][]float64{}
+	for _, r := range eng.Results() {
+		got[fmt.Sprintf("%s/%d", r.Group, r.Wid)] = r.Values
+	}
+	want, err := enum.Run(q, evs)
+	if err != nil {
+		t.Fatalf("oracle %q: %v", qsrc, err)
+	}
+	wantMap := map[string][]float64{}
+	for _, r := range want {
+		if r.Count == 0 {
+			continue
+		}
+		wantMap[fmt.Sprintf("%s/%d", r.Group, r.Wid)] = r.Values
+	}
+	if len(got) != len(wantMap) {
+		t.Errorf("query %q\nstream %v\nresult keys: got %d (%v), want %d (%v)",
+			qsrc, evs, len(got), keys(got), len(wantMap), keys(wantMap))
+		return
+	}
+	for k, wv := range wantMap {
+		gv, ok := got[k]
+		if !ok {
+			t.Errorf("query %q\nstream %v\nmissing result %s", qsrc, evs, k)
+			continue
+		}
+		for i := range wv {
+			if !almostEqual(gv[i], wv[i]) {
+				t.Errorf("query %q\nstream %v\nresult %s aggregate %d: got %v, want %v",
+					qsrc, evs, k, i, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+func keys(m map[string][]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func almostEqual(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	return diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestPropertyGretaMatchesOracle cross-validates the GRETA runtime
+// against the brute-force enumerator on random streams for every query
+// shape, in both arithmetic modes.
+func TestPropertyGretaMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, qsrc := range propQueries {
+		qsrc := qsrc
+		t.Run(qsrc, func(t *testing.T) {
+			for iter := 0; iter < 40; iter++ {
+				n := 3 + rng.Intn(10)
+				evs := randStream(rng, n)
+				checkAgainstOracle(t, qsrc, evs, aggregate.ModeNative)
+			}
+			evs := randStream(rng, 10)
+			checkAgainstOracle(t, qsrc, evs, aggregate.ModeExact)
+		})
+	}
+}
+
+// TestQuickCountMatchesOracle is a testing/quick property: for random
+// byte-seeded streams, GRETA's COUNT(*) for (SEQ(A+,B))+ equals the
+// enumerated trend count.
+func TestQuickCountMatchesOracle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%10) + 2
+		evs := randStream(rng, n)
+		q := query.MustParse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+")
+		plan, err := core.NewPlan(q, aggregate.ModeNative)
+		if err != nil {
+			return false
+		}
+		eng := core.NewEngine(plan)
+		eng.Run(event.NewSliceStream(evs))
+		var got float64
+		if rs := eng.Results(); len(rs) > 0 {
+			got = rs[0].Values[0]
+		}
+		trends, err := enum.Trends(q, evs)
+		if err != nil {
+			return false
+		}
+		return got == float64(len(trends))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWindowedCount is a testing/quick property for windowed
+// counting with an edge predicate.
+func TestQuickWindowedCount(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	qsrc := "RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE A.x < NEXT(A).x WITHIN 8 SLIDE 2"
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%12) + 2
+		evs := randStream(rng, n)
+		q := query.MustParse(qsrc)
+		plan, err := core.NewPlan(q, aggregate.ModeNative)
+		if err != nil {
+			return false
+		}
+		eng := core.NewEngine(plan)
+		eng.Run(event.NewSliceStream(evs))
+		got := map[int64]float64{}
+		for _, r := range eng.Results() {
+			got[r.Wid] = r.Values[0]
+		}
+		want, err := enum.Run(q, evs)
+		if err != nil {
+			return false
+		}
+		wantMap := map[int64]float64{}
+		for _, r := range want {
+			if r.Count > 0 {
+				wantMap[r.Wid] = r.Values[0]
+			}
+		}
+		if len(got) != len(wantMap) {
+			return false
+		}
+		for k, v := range wantMap {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// TestTransactionalMatchesSequential: the §7 stream-transaction
+// scheduler must produce exactly the sequential engine's results,
+// including for nested negation (inter-dependent graphs) and equal
+// timestamps (the case transactions exist for).
+func TestTransactionalMatchesSequential(t *testing.T) {
+	queries := []string{
+		"RETURN COUNT(*) PATTERN (SEQ(A+, B))+",
+		"RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B)",
+		"RETURN COUNT(*) PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+",
+		"RETURN COUNT(*) PATTERN SEQ(A+, NOT E) WITHIN 8 SLIDE 4",
+		"RETURN COUNT(*), SUM(A.x) PATTERN A+ WHERE [g] GROUP-BY g WITHIN 10 SLIDE 5",
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, qsrc := range queries {
+		q := query.MustParse(qsrc)
+		for iter := 0; iter < 25; iter++ {
+			evs := randStream(rng, 6+rng.Intn(14))
+
+			plan, err := core.NewPlan(q, aggregate.ModeNative)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := core.NewEngine(plan)
+			seq.Run(event.NewSliceStream(evs))
+
+			txn := core.NewEngine(plan)
+			txn.SetTransactional(true)
+			txn.Run(event.NewSliceStream(evs))
+
+			a, b := seq.Results(), txn.Results()
+			if len(a) != len(b) {
+				t.Fatalf("%s: sequential %d results, transactional %d\nstream %v",
+					qsrc, len(a), len(b), evs)
+			}
+			for i := range a {
+				if a[i].Group != b[i].Group || a[i].Wid != b[i].Wid {
+					t.Fatalf("%s: result %d key mismatch", qsrc, i)
+				}
+				for j := range a[i].Values {
+					if a[i].Values[j] != b[i].Values[j] {
+						t.Errorf("%s: result %d value %d: %v vs %v\nstream %v",
+							qsrc, i, j, a[i].Values[j], b[i].Values[j], evs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransactionalConcurrentLevels: a pattern with several independent
+// negative sub-patterns puts multiple graphs in one dependency level;
+// processing them concurrently (run with -race) must stay correct.
+func TestTransactionalConcurrentLevels(t *testing.T) {
+	qsrc := "RETURN COUNT(*) PATTERN SEQ(A, NOT C, B, NOT D, A, NOT E, B)"
+	q := query.MustParse(qsrc)
+	plan, err := core.NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 20; iter++ {
+		evs := randStream(rng, 14)
+		seq := core.NewEngine(plan)
+		seq.Run(event.NewSliceStream(evs))
+		txn := core.NewEngine(plan)
+		txn.SetTransactional(true)
+		txn.Run(event.NewSliceStream(evs))
+		av, bv := total(seq), total(txn)
+		if av != bv {
+			t.Fatalf("sequential %v != transactional %v\nstream %v", av, bv, evs)
+		}
+	}
+}
+
+func total(e *core.Engine) string {
+	s := ""
+	for _, r := range e.Results() {
+		s += fmt.Sprintf("%s/%d=%v;", r.Group, r.Wid, r.Values)
+	}
+	return s
+}

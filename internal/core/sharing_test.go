@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+	"github.com/greta-cep/greta/internal/window"
+)
+
+// TestSharedWindowsEqualReplicated validates the sub-graph sharing of
+// paper §6 (Fig. 9): the shared GRETA graph across overlapping sliding
+// windows must produce, for every window, exactly the aggregates an
+// independent per-window run produces (the naive replication of
+// Fig. 9(a)).
+func TestSharedWindowsEqualReplicated(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	queries := []struct{ shared, global string }{
+		{
+			"RETURN COUNT(*), SUM(A.x), MIN(A.x) PATTERN (SEQ(A+, B))+ WITHIN 10 SLIDE 3",
+			"RETURN COUNT(*), SUM(A.x), MIN(A.x) PATTERN (SEQ(A+, B))+",
+		},
+		{
+			"RETURN COUNT(*) PATTERN A+ WHERE A.x < NEXT(A).x WITHIN 8 SLIDE 2",
+			"RETURN COUNT(*) PATTERN A+ WHERE A.x < NEXT(A).x",
+		},
+		{
+			"RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) WITHIN 9 SLIDE 3",
+			"RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B)",
+		},
+	}
+	for _, qc := range queries {
+		sharedQ := query.MustParse(qc.shared)
+		globalQ := query.MustParse(qc.global)
+		spec := sharedQ.Window
+		for iter := 0; iter < 20; iter++ {
+			evs := randStream(rng, 8+rng.Intn(20))
+
+			plan, err := core.NewPlan(sharedQ, aggregate.ModeNative)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := core.NewEngine(plan)
+			eng.Run(event.NewSliceStream(evs))
+			shared := map[int64][]float64{}
+			for _, r := range eng.Results() {
+				shared[r.Wid] = r.Values
+			}
+
+			replicated := map[int64][]float64{}
+			for _, wid := range widsCovered(spec, evs) {
+				var wevs []*event.Event
+				for _, e := range evs {
+					if spec.Contains(wid, e.Time) {
+						wevs = append(wevs, e)
+					}
+				}
+				gplan, err := core.NewPlan(globalQ, aggregate.ModeNative)
+				if err != nil {
+					t.Fatal(err)
+				}
+				geng := core.NewEngine(gplan)
+				geng.Run(event.NewSliceStream(wevs))
+				if rs := geng.Results(); len(rs) == 1 {
+					replicated[wid] = rs[0].Values
+				}
+			}
+
+			if len(shared) != len(replicated) {
+				t.Fatalf("%s: shared %d windows, replicated %d\nstream %v",
+					qc.shared, len(shared), len(replicated), evs)
+			}
+			for wid, want := range replicated {
+				got, ok := shared[wid]
+				if !ok {
+					t.Fatalf("%s: missing window %d", qc.shared, wid)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s: window %d agg %d: shared %v, replicated %v\nstream %v",
+							qc.shared, wid, i, got[i], want[i], evs)
+					}
+				}
+			}
+		}
+	}
+}
+
+func widsCovered(spec window.Spec, evs []*event.Event) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, e := range evs {
+		lo, hi := spec.Wids(e.Time)
+		for w := lo; w <= hi; w++ {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package event defines the GRETA data model: typed events with
+// application timestamps and attribute maps, arriving on an in-order
+// stream (paper §2).
+//
+// Time is a linearly ordered set of points. The paper models T ⊆ Q+; we
+// use int64 ticks (the unit is left to the application: seconds in the
+// paper's workloads). Events must arrive in non-decreasing timestamp
+// order; out-of-order handling is delegated to upstream mechanisms as in
+// the paper.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is an application timestamp (a point in the paper's linearly
+// ordered time domain T).
+type Time = int64
+
+// Type identifies an event type E. A type is described by a Schema.
+type Type string
+
+// Event is a single stream message: something of interest that happened
+// in the real world at Time, of a given Type, carrying named attributes.
+//
+// ID is a per-stream sequence number assigned by the source; it breaks
+// ties between events that share a timestamp and serves as a stable
+// identity for graph vertices.
+type Event struct {
+	ID    uint64
+	Type  Type
+	Time  Time
+	Attrs map[string]float64
+	// Str holds string-valued attributes (e.g. company, sector) used by
+	// equivalence predicates and grouping. Numeric attributes live in
+	// Attrs so predicate evaluation stays allocation-free.
+	Str map[string]string
+}
+
+// Attr returns the numeric attribute named name and whether it exists.
+func (e *Event) Attr(name string) (float64, bool) {
+	v, ok := e.Attrs[name]
+	return v, ok
+}
+
+// StrAttr returns the string attribute named name and whether it exists.
+func (e *Event) StrAttr(name string) (string, bool) {
+	v, ok := e.Str[name]
+	return v, ok
+}
+
+// String renders the event as "a1", "b7" style when the type is a single
+// letter (as in the paper's figures), otherwise "Type@time#id".
+func (e *Event) String() string {
+	t := string(e.Type)
+	if len(t) == 1 {
+		return fmt.Sprintf("%s%d", strings.ToLower(t), e.Time)
+	}
+	return fmt.Sprintf("%s@%d#%d", t, e.Time, e.ID)
+}
+
+// Schema describes the attributes of an event type. It is informational:
+// generators attach schemas so tooling can introspect workloads.
+type Schema struct {
+	Type    Type
+	Numeric []string
+	Strings []string
+}
+
+// Stream is a finite, in-order sequence of events. The runtime consumes
+// streams through iteration so that channel-fed, generator-fed, and
+// slice-backed streams share one interface.
+type Stream interface {
+	// Next returns the next event, or nil when the stream is exhausted.
+	Next() *Event
+}
+
+// SliceStream adapts a []*Event to Stream.
+type SliceStream struct {
+	events []*Event
+	pos    int
+}
+
+// NewSliceStream returns a Stream over evs. It does not copy evs.
+func NewSliceStream(evs []*Event) *SliceStream {
+	return &SliceStream{events: evs}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() *Event {
+	if s.pos >= len(s.events) {
+		return nil
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e
+}
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Len returns the total number of events in the stream.
+func (s *SliceStream) Len() int { return len(s.events) }
+
+// ChanStream adapts a receive channel to Stream, enabling live ingestion
+// from concurrent producers.
+type ChanStream struct {
+	C <-chan *Event
+}
+
+// Next implements Stream. It blocks until an event is available and
+// returns nil once the channel is closed.
+func (s *ChanStream) Next() *Event {
+	e, ok := <-s.C
+	if !ok {
+		return nil
+	}
+	return e
+}
+
+// Collect drains a stream into a slice.
+func Collect(s Stream) []*Event {
+	var out []*Event
+	for e := s.Next(); e != nil; e = s.Next() {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Sorted reports whether evs is in non-decreasing time order with
+// strictly increasing IDs among equal timestamps.
+func Sorted(evs []*Event) bool {
+	return sort.SliceIsSorted(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		return evs[i].ID < evs[j].ID
+	})
+}
+
+// Validate checks in-order arrival (paper §2 assumes in-order streams)
+// and returns a descriptive error on the first violation.
+func Validate(evs []*Event) error {
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			return fmt.Errorf("event: out-of-order timestamp at index %d: %d after %d",
+				i, evs[i].Time, evs[i-1].Time)
+		}
+	}
+	return nil
+}
+
+// Builder constructs in-order test and example streams with automatic
+// IDs. The zero value is ready to use.
+type Builder struct {
+	evs    []*Event
+	nextID uint64
+}
+
+// Add appends an event of the given type and time with optional numeric
+// attributes supplied as alternating name, value pairs.
+func (b *Builder) Add(typ Type, t Time, attrs map[string]float64) *Builder {
+	b.nextID++
+	b.evs = append(b.evs, &Event{ID: b.nextID, Type: typ, Time: t, Attrs: attrs})
+	return b
+}
+
+// AddStr appends an event carrying both numeric and string attributes.
+func (b *Builder) AddStr(typ Type, t Time, attrs map[string]float64, strs map[string]string) *Builder {
+	b.nextID++
+	b.evs = append(b.evs, &Event{ID: b.nextID, Type: typ, Time: t, Attrs: attrs, Str: strs})
+	return b
+}
+
+// Events returns the accumulated events. The builder remains usable.
+func (b *Builder) Events() []*Event { return b.evs }
+
+// Stream returns a SliceStream over the accumulated events.
+func (b *Builder) Stream() *SliceStream { return NewSliceStream(b.evs) }

@@ -1,0 +1,85 @@
+package event
+
+import (
+	"testing"
+)
+
+func TestBuilderAndStream(t *testing.T) {
+	var b Builder
+	b.Add("A", 1, map[string]float64{"x": 5})
+	b.AddStr("B", 2, nil, map[string]string{"g": "g1"})
+	evs := b.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].ID != 1 || evs[1].ID != 2 {
+		t.Errorf("ids = %d, %d", evs[0].ID, evs[1].ID)
+	}
+	s := b.Stream()
+	if s.Len() != 2 {
+		t.Fatalf("stream len = %d", s.Len())
+	}
+	got := Collect(s)
+	if len(got) != 2 {
+		t.Fatalf("collected %d", len(got))
+	}
+	s.Reset()
+	if e := s.Next(); e == nil || e.Type != "A" {
+		t.Error("reset failed")
+	}
+}
+
+func TestAttrAccess(t *testing.T) {
+	e := &Event{Type: "A", Time: 3, Attrs: map[string]float64{"x": 1}, Str: map[string]string{"c": "IBM"}}
+	if v, ok := e.Attr("x"); !ok || v != 1 {
+		t.Error("Attr")
+	}
+	if _, ok := e.Attr("y"); ok {
+		t.Error("missing Attr should not be ok")
+	}
+	if s, ok := e.StrAttr("c"); !ok || s != "IBM" {
+		t.Error("StrAttr")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := &Event{Type: "A", Time: 7}
+	if e.String() != "a7" {
+		t.Errorf("short form = %q", e.String())
+	}
+	e = &Event{Type: "Stock", Time: 7, ID: 3}
+	if e.String() != "Stock@7#3" {
+		t.Errorf("long form = %q", e.String())
+	}
+}
+
+func TestValidateOrder(t *testing.T) {
+	var b Builder
+	b.Add("A", 5, nil)
+	b.Add("A", 3, nil)
+	if err := Validate(b.Events()); err == nil {
+		t.Error("expected out-of-order error")
+	}
+	var b2 Builder
+	b2.Add("A", 1, nil)
+	b2.Add("A", 1, nil)
+	b2.Add("B", 2, nil)
+	if err := Validate(b2.Events()); err != nil {
+		t.Errorf("equal timestamps are in order: %v", err)
+	}
+	if !Sorted(b2.Events()) {
+		t.Error("Sorted = false")
+	}
+}
+
+func TestChanStream(t *testing.T) {
+	ch := make(chan *Event, 2)
+	ch <- &Event{Type: "A", Time: 1}
+	ch <- &Event{Type: "B", Time: 2}
+	close(ch)
+	s := &ChanStream{C: ch}
+	evs := Collect(s)
+	if len(evs) != 2 || evs[1].Type != "B" {
+		t.Errorf("collected %v", evs)
+	}
+}

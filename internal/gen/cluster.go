@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// ClusterConfig parameterizes the Hadoop cluster monitoring stream
+// (paper §10.1, Table 2): job start/end events and mapper performance
+// measurements with mapper id and job id uniform in 0–10, CPU and
+// memory uniform in 0–1000, and load Poisson with λ=100 (range
+// 0–10000). The stream rate is 3k events per second.
+type ClusterConfig struct {
+	Events int
+	// Mappers/Jobs bound the uniform id ranges (Table 2: 0–10). For the
+	// Fig. 17 group sweep, Mappers is the number of trend groups.
+	Mappers int
+	Jobs    int
+	Rate    int
+	// LoadLambda is the Poisson mean of the load attribute (Table 2:
+	// λ = 100).
+	LoadLambda float64
+	// StartEndProb is the per-event probability of emitting a job
+	// Start/End pair boundary instead of a measurement.
+	StartEndProb float64
+	Seed         int64
+}
+
+// DefaultCluster mirrors Table 2.
+func DefaultCluster(events int) ClusterConfig {
+	return ClusterConfig{
+		Events:       events,
+		Mappers:      10,
+		Jobs:         10,
+		Rate:         3000,
+		LoadLambda:   100,
+		StartEndProb: 0.02,
+		Seed:         1,
+	}
+}
+
+// Cluster generates the monitoring stream. Each (job, mapper) pair
+// cycles through Start, Measurement+, End episodes so Q2's pattern
+// SEQ(Start S, Measurement M+, End E) finds complete trends.
+type jobPhase uint8
+
+const (
+	phaseIdle jobPhase = iota
+	phaseRunning
+)
+
+// Cluster generates the monitoring stream.
+func Cluster(cfg ClusterConfig) []*event.Event {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 3000
+	}
+	if cfg.Mappers <= 0 {
+		cfg.Mappers = 10
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type key struct{ job, mapper int }
+	phase := map[key]jobPhase{}
+	evs := make([]*event.Event, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		k := key{UniformInt(rng, 0, cfg.Jobs-1), UniformInt(rng, 0, cfg.Mappers-1)}
+		t := event.Time(i / cfg.Rate)
+		strs := map[string]string{
+			"job":    fmt.Sprintf("job%02d", k.job),
+			"mapper": fmt.Sprintf("m%02d", k.mapper),
+		}
+		attrs := map[string]float64{
+			"cpu":    float64(UniformInt(rng, 0, 1000)),
+			"memory": float64(UniformInt(rng, 0, 1000)),
+			"load":   Clamp(float64(Poisson(rng, cfg.LoadLambda)), 0, 10000),
+		}
+		var typ event.Type
+		switch phase[k] {
+		case phaseIdle:
+			typ = "Start"
+			phase[k] = phaseRunning
+		case phaseRunning:
+			if rng.Float64() < cfg.StartEndProb {
+				typ = "End"
+				phase[k] = phaseIdle
+			} else {
+				typ = "Measurement"
+			}
+		}
+		evs = append(evs, &event.Event{
+			ID:    uint64(i + 1),
+			Type:  typ,
+			Time:  t,
+			Attrs: attrs,
+			Str:   strs,
+		})
+	}
+	return evs
+}
+
+// ClusterSchemas describes the generated event types.
+func ClusterSchemas() []event.Schema {
+	num := []string{"cpu", "memory", "load"}
+	strs := []string{"job", "mapper"}
+	return []event.Schema{
+		{Type: "Start", Numeric: num, Strings: strs},
+		{Type: "Measurement", Numeric: num, Strings: strs},
+		{Type: "End", Numeric: num, Strings: strs},
+	}
+}

@@ -1,0 +1,50 @@
+// Package gen implements the three evaluation workloads of the paper
+// (§10.1): a stock-transaction stream standing in for the real NYSE
+// data set, a Linear Road-style position-report stream, and a Hadoop
+// cluster monitoring stream following Table 2's attribute
+// distributions. All generators are deterministic given a seed and
+// produce in-order streams.
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Poisson draws a Poisson-distributed value with mean lambda using
+// Knuth's multiplicative method (exact; adequate for λ ≤ a few
+// hundred, which covers Table 2's λ=100 load distribution).
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// UniformInt draws an integer uniformly from [lo, hi].
+func UniformInt(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

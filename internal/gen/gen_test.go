@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	// Table 2: load ~ Poisson(λ=100). Sample mean and variance must be
+	// close to λ.
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := float64(Poisson(rng, 100))
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-100) > 1 {
+		t.Errorf("mean = %v, want ≈100", mean)
+	}
+	if math.Abs(variance-100) > 6 {
+		t.Errorf("variance = %v, want ≈100", variance)
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Poisson(rng, 0) != 0 {
+		t.Error("λ=0 must yield 0")
+	}
+	if Poisson(rng, -5) != 0 {
+		t.Error("λ<0 must yield 0")
+	}
+}
+
+func TestStockStream(t *testing.T) {
+	cfg := DefaultStock(5000)
+	evs := Stock(cfg)
+	if len(evs) != 5000 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if err := event.Validate(evs); err != nil {
+		t.Fatal(err)
+	}
+	companies := map[string]bool{}
+	sectors := map[string]bool{}
+	for _, e := range evs {
+		if e.Type != "Stock" {
+			t.Fatalf("type = %s", e.Type)
+		}
+		if e.Attrs["price"] <= 0 {
+			t.Fatalf("price = %v", e.Attrs["price"])
+		}
+		if v := e.Attrs["volume"]; v < 1 || v > 1000 {
+			t.Fatalf("volume = %v", v)
+		}
+		companies[e.Str["company"]] = true
+		sectors[e.Str["sector"]] = true
+	}
+	if len(companies) != cfg.Companies {
+		t.Errorf("companies = %d, want %d", len(companies), cfg.Companies)
+	}
+	if len(sectors) != cfg.Sectors {
+		t.Errorf("sectors = %d, want %d", len(sectors), cfg.Sectors)
+	}
+	// Deterministic given the seed.
+	evs2 := Stock(cfg)
+	if evs[42].Attrs["price"] != evs2[42].Attrs["price"] {
+		t.Error("not deterministic")
+	}
+}
+
+func TestLinearRoadStream(t *testing.T) {
+	cfg := DefaultLinearRoad(8000)
+	evs := LinearRoad(cfg)
+	if len(evs) != 8000 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if err := event.Validate(evs); err != nil {
+		t.Fatal(err)
+	}
+	accidents, positions := 0, 0
+	for _, e := range evs {
+		switch e.Type {
+		case "Accident":
+			accidents++
+		case "Position":
+			positions++
+			if s := e.Attrs["speed"]; s < 0 || s > cfg.MaxSpeed {
+				t.Fatalf("speed = %v", s)
+			}
+			if g := e.Attrs["gate"]; g != cfg.GateSelectivity {
+				t.Fatalf("gate = %v", g)
+			}
+		default:
+			t.Fatalf("type = %s", e.Type)
+		}
+	}
+	if accidents == 0 {
+		t.Error("no accidents generated")
+	}
+	if positions < accidents {
+		t.Error("positions should dominate")
+	}
+}
+
+// TestTable2Distributions checks the cluster generator against the
+// paper's Table 2: ids uniform 0–10, cpu/memory uniform 0–1k, load
+// Poisson λ=100 within 0–10k.
+func TestTable2Distributions(t *testing.T) {
+	cfg := DefaultCluster(30000)
+	evs := Cluster(cfg)
+	if err := event.Validate(evs); err != nil {
+		t.Fatal(err)
+	}
+	var loadSum float64
+	var cpuSum float64
+	mappers := map[string]bool{}
+	jobs := map[string]bool{}
+	for _, e := range evs {
+		if v := e.Attrs["cpu"]; v < 0 || v > 1000 {
+			t.Fatalf("cpu = %v outside 0–1000", v)
+		}
+		if v := e.Attrs["memory"]; v < 0 || v > 1000 {
+			t.Fatalf("memory = %v", v)
+		}
+		if v := e.Attrs["load"]; v < 0 || v > 10000 {
+			t.Fatalf("load = %v outside 0–10000", v)
+		}
+		loadSum += e.Attrs["load"]
+		cpuSum += e.Attrs["cpu"]
+		mappers[e.Str["mapper"]] = true
+		jobs[e.Str["job"]] = true
+	}
+	n := float64(len(evs))
+	if m := loadSum / n; math.Abs(m-100) > 2 {
+		t.Errorf("mean load = %v, want ≈100 (Poisson λ=100)", m)
+	}
+	if m := cpuSum / n; math.Abs(m-500) > 15 {
+		t.Errorf("mean cpu = %v, want ≈500 (uniform 0–1000)", m)
+	}
+	if len(mappers) != cfg.Mappers {
+		t.Errorf("mappers = %d, want %d", len(mappers), cfg.Mappers)
+	}
+	if len(jobs) != cfg.Jobs {
+		t.Errorf("jobs = %d, want %d", len(jobs), cfg.Jobs)
+	}
+}
+
+func TestClusterEpisodes(t *testing.T) {
+	evs := Cluster(DefaultCluster(20000))
+	// Per (job, mapper): events follow Start (Measurement* End Start)*...
+	type key struct{ j, m string }
+	state := map[key]string{}
+	for _, e := range evs {
+		k := key{e.Str["job"], e.Str["mapper"]}
+		prev := state[k]
+		switch e.Type {
+		case "Start":
+			if prev == "Start" || prev == "Measurement" {
+				t.Fatalf("Start after %s for %v", prev, k)
+			}
+		case "Measurement", "End":
+			if prev != "Start" && prev != "Measurement" {
+				t.Fatalf("%s after %q for %v", e.Type, prev, k)
+			}
+		}
+		if e.Type == "End" {
+			state[k] = ""
+		} else {
+			state[k] = string(e.Type)
+		}
+		if e.Type == "Measurement" {
+			state[k] = "Measurement"
+		}
+	}
+}
+
+// TestQuickGateSelectivity: the fraction of position pairs satisfying
+// sel <= gate tracks the configured selectivity.
+func TestQuickGateSelectivity(t *testing.T) {
+	f := func(selRaw uint8) bool {
+		sel := float64(selRaw%91) + 5 // 5..95
+		cfg := DefaultLinearRoad(4000)
+		cfg.GateSelectivity = sel
+		cfg.AccidentProb = 0
+		evs := LinearRoad(cfg)
+		match := 0
+		for _, e := range evs {
+			if e.Attrs["sel"] <= sel {
+				match++
+			}
+		}
+		got := 100 * float64(match) / float64(len(evs))
+		return math.Abs(got-sel) < 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemas(t *testing.T) {
+	if len(StockSchemas()) != 1 || len(LinearRoadSchemas()) != 2 || len(ClusterSchemas()) != 3 {
+		t.Error("schema counts wrong")
+	}
+}

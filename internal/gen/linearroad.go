@@ -1,0 +1,133 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// LinearRoadConfig parameterizes the traffic stream standing in for the
+// Linear Road benchmark's position reports (paper §10.1): vehicles
+// emitting second-granularity position reports with speeds, plus
+// occasional accident events, on a set of road segments. The event
+// rate ramps up linearly, mirroring the benchmark's increasing load.
+type LinearRoadConfig struct {
+	Events   int
+	Vehicles int
+	Segments int
+	// StartRate/EndRate are events per second at the beginning and end
+	// of the stream (linear ramp; the benchmark ramps to 4k ev/s).
+	StartRate int
+	EndRate   int
+	// AccidentProb is the per-event probability of an accident report.
+	AccidentProb float64
+	// MaxSpeed bounds speeds; vehicles alternate slowing and recovering
+	// episodes, creating the decreasing-speed trends Q3 aggregates.
+	MaxSpeed float64
+	// GateSelectivity in (0,100]: every position report carries
+	// sel ~ U[0,100) and gate = GateSelectivity, so the edge predicate
+	// P.sel <= NEXT(P).gate matches GateSelectivity percent of pairs —
+	// the direct control used by the Fig. 16 selectivity sweep.
+	GateSelectivity float64
+	Seed            int64
+}
+
+// DefaultLinearRoad mirrors the benchmark's shape at laptop scale.
+func DefaultLinearRoad(events int) LinearRoadConfig {
+	return LinearRoadConfig{
+		Events:          events,
+		Vehicles:        50,
+		Segments:        5,
+		StartRate:       1000,
+		EndRate:         4000,
+		AccidentProb:    0.001,
+		MaxSpeed:        100,
+		GateSelectivity: 50,
+		Seed:            1,
+	}
+}
+
+// LinearRoad generates the position-report stream.
+func LinearRoad(cfg LinearRoadConfig) []*event.Event {
+	if cfg.StartRate <= 0 {
+		cfg.StartRate = 1000
+	}
+	if cfg.EndRate < cfg.StartRate {
+		cfg.EndRate = cfg.StartRate
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type vstate struct {
+		speed   float64
+		slowing bool
+		segment int
+		pos     float64
+	}
+	vs := make([]vstate, cfg.Vehicles)
+	for i := range vs {
+		vs[i] = vstate{
+			speed:   20 + rng.Float64()*(cfg.MaxSpeed-20),
+			slowing: rng.Intn(2) == 0,
+			segment: rng.Intn(cfg.Segments),
+		}
+	}
+	evs := make([]*event.Event, 0, cfg.Events)
+	t := event.Time(0)
+	emitted := 0
+	for emitted < cfg.Events {
+		// Linear rate ramp.
+		frac := float64(emitted) / float64(cfg.Events)
+		rate := cfg.StartRate + int(frac*float64(cfg.EndRate-cfg.StartRate))
+		for r := 0; r < rate && emitted < cfg.Events; r++ {
+			v := rng.Intn(cfg.Vehicles)
+			st := &vs[v]
+			if rng.Float64() < 0.05 {
+				st.slowing = !st.slowing
+			}
+			delta := rng.Float64() * 5
+			if st.slowing {
+				st.speed = Clamp(st.speed-delta, 0, cfg.MaxSpeed)
+			} else {
+				st.speed = Clamp(st.speed+delta, 0, cfg.MaxSpeed)
+			}
+			st.pos += st.speed
+			emitted++
+			if rng.Float64() < cfg.AccidentProb {
+				evs = append(evs, &event.Event{
+					ID:   uint64(emitted),
+					Type: "Accident",
+					Time: t,
+					Str: map[string]string{
+						"segment": fmt.Sprintf("seg%d", st.segment),
+					},
+				})
+				continue
+			}
+			evs = append(evs, &event.Event{
+				ID:   uint64(emitted),
+				Type: "Position",
+				Time: t,
+				Attrs: map[string]float64{
+					"speed":    st.speed,
+					"position": st.pos,
+					"sel":      rng.Float64() * 100,
+					"gate":     cfg.GateSelectivity,
+				},
+				Str: map[string]string{
+					"vehicle": fmt.Sprintf("v%03d", v),
+					"segment": fmt.Sprintf("seg%d", st.segment),
+				},
+			})
+		}
+		t++
+	}
+	return evs
+}
+
+// LinearRoadSchemas describes the generated event types.
+func LinearRoadSchemas() []event.Schema {
+	return []event.Schema{
+		{Type: "Position", Numeric: []string{"speed", "position", "sel", "gate"}, Strings: []string{"vehicle", "segment"}},
+		{Type: "Accident", Strings: []string{"segment"}},
+	}
+}

@@ -1,0 +1,270 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// Parse parses the paper's PATTERN clause surface syntax (Fig. 2 plus
+// the §9 sugar):
+//
+//	P := EventType [Alias] | P '+' | P '*' | P '?' | NOT P
+//	   | SEQ(P, P, ...) | (P) | P OR P | P AND P
+//
+// Examples from the paper:
+//
+//	Stock S+
+//	SEQ(Start S, Measurement M+, End E)
+//	SEQ(NOT Accident A, Position P+)
+//	(SEQ(A+, NOT SEQ(C, NOT E, D), B))+
+//
+// Parse assigns unique aliases (EnsureAliases) and validates the
+// structural rules of §2.
+func Parse(src string) (*Node, error) {
+	p := &parser{toks: lex(src), src: src}
+	n, err := p.parseOrAnd()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("pattern: unexpected %q after pattern in %q", p.peek().text, src)
+	}
+	EnsureAliases(n)
+	if err := Validate(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokLParen
+	tokRParen
+	tokComma
+	tokPlus
+	tokStar
+	tokQuest
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+"})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*"})
+			i++
+		case c == '?':
+			toks = append(toks, token{tokQuest, "?"})
+			i++
+		default:
+			j := i
+			for j < len(src) && (isIdentRune(rune(src[j]))) {
+				j++
+			}
+			if j == i {
+				toks = append(toks, token{tokEOF, string(c)})
+				return toks
+			}
+			toks = append(toks, token{tokIdent, src[i:j]})
+			i = j
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+func (p *parser) isKw(k string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, k)
+}
+
+// parseOrAnd handles the lowest-precedence binary operators OR and AND.
+// Mixing OR and AND without parentheses is rejected to avoid silent
+// precedence surprises.
+func (p *parser) parseOrAnd() (*Node, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	children := []*Node{first}
+	for p.isKw("OR") || p.isKw("AND") {
+		t := strings.ToUpper(p.next().text)
+		if op == "" {
+			op = t
+		} else if op != t {
+			return nil, fmt.Errorf("pattern: mixing OR and AND requires parentheses in %q", p.src)
+		}
+		n, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, n)
+	}
+	if op == "" {
+		return first, nil
+	}
+	if op == "OR" {
+		return Or(children...), nil
+	}
+	return And(children...), nil
+}
+
+// parseUnary parses a primary followed by any number of postfix +, *, ?.
+func (p *parser) parseUnary() (*Node, error) {
+	n, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokPlus:
+			p.next()
+			n = Plus(n)
+		case tokStar:
+			p.next()
+			n = Star(n)
+		case tokQuest:
+			p.next()
+			n = Opt(n)
+		default:
+			return n, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (*Node, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		n, err := p.parseOrAnd()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("pattern: missing ')' in %q", p.src)
+		}
+		p.next()
+		return n, nil
+	case p.isKw("NOT"):
+		p.next()
+		n, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(n), nil
+	case p.isKw("SEQ"):
+		p.next()
+		if p.peek().kind != tokLParen {
+			return nil, fmt.Errorf("pattern: SEQ requires '(' in %q", p.src)
+		}
+		p.next()
+		var kids []*Node
+		for {
+			n, err := p.parseOrAnd()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, n)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("pattern: missing ')' closing SEQ in %q", p.src)
+		}
+		p.next()
+		if len(kids) == 1 {
+			return kids[0], nil
+		}
+		return Seq(kids...), nil
+	case t.kind == tokIdent:
+		if !isNameStart(t.text) {
+			return nil, fmt.Errorf("pattern: event type %q must start with a letter or underscore", t.text)
+		}
+		p.next()
+		typ := event.Type(t.text)
+		// Optional alias: a following identifier that is not a keyword.
+		if nt := p.peek(); nt.kind == tokIdent && !isKeyword(nt.text) {
+			if !isNameStart(nt.text) {
+				return nil, fmt.Errorf("pattern: alias %q must start with a letter or underscore", nt.text)
+			}
+			p.next()
+			return EventAs(typ, nt.text), nil
+		}
+		return &Node{Kind: KindEvent, Type: typ}, nil
+	default:
+		return nil, fmt.Errorf("pattern: unexpected %q in %q", t.text, p.src)
+	}
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SEQ", "NOT", "OR", "AND":
+		return true
+	}
+	return false
+}
+
+// isNameStart reports whether s is a valid type/alias name: it must
+// begin with a letter or underscore so names survive the predicate
+// grammar (a digit-leading name would lex as a number there).
+func isNameStart(s string) bool {
+	if s == "" {
+		return false
+	}
+	r := rune(s[0])
+	return unicode.IsLetter(r) || r == '_'
+}

@@ -1,0 +1,262 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"A+", "A+"},
+		{"Stock S+", "Stock S+"},
+		{"SEQ(A+, B)", "SEQ(A+, B)"},
+		{"(SEQ(A+,B))+", "(SEQ(A+, B))+"},
+		{"SEQ(Start S, Measurement M+, End E)", "SEQ(Start S, Measurement M+, End E)"},
+		{"SEQ(NOT Accident A, Position P+)", "SEQ(NOT Accident A, Position P+)"},
+		{"(SEQ(A+, NOT SEQ(C, NOT E, D), B))+", "(SEQ(A+, NOT SEQ(C, NOT E, D), B))+"},
+		{"SEQ(A*, B)", "SEQ(A*, B)"},
+		{"SEQ(A?, B)", "SEQ(A?, B)"},
+		{"A+ OR B+", "(A+ OR B+)"},
+		{"A+ AND B+", "(A+ AND B+)"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := n.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"NOT A",             // negation outermost
+		"SEQ(A)",            // SEQ collapses; bare type ok, but SEQ() with one elem collapses -> fine; use truly bad:
+		"SEQ(A,)",           // trailing comma
+		"SEQ(NOT A, NOT B)", // consecutive negatives
+		"(NOT A)+",          // Kleene over negation
+		"NOT (A+)",          // negation over Kleene
+		"SEQ(A+ B)",         // missing comma => alias B then error? "A+ B" -> A+ then B unexpected
+		"A+ OR B AND C",     // mixed OR/AND without parens
+		"NOT NOT A",
+	}
+	for _, c := range cases {
+		if c == "SEQ(A)" {
+			continue // single-element SEQ collapses to the element; legal
+		}
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestEnsureAliasesMultiOccurrence(t *testing.T) {
+	n := MustParse("SEQ(A+, B, A, A+, B+)")
+	got := n.Aliases()
+	want := []string{"A1", "B2", "A3", "A4", "B5"}
+	if len(got) != len(want) {
+		t.Fatalf("aliases = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("alias[%d] = %q, want %q (got %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestStartEnd(t *testing.T) {
+	cases := []struct {
+		src        string
+		start, end string
+	}{
+		{"A+", "A", "A"},
+		{"SEQ(A+, B)", "A", "B"},
+		{"(SEQ(A+, B))+", "A", "B"},
+		{"SEQ(Start S, Measurement M+, End E)", "S", "E"},
+		{"SEQ(A+, B, A, A+, B+)", "A1", "B5"},
+	}
+	for _, c := range cases {
+		n := MustParse(c.src)
+		if got := Start(n); got != c.start {
+			t.Errorf("Start(%s) = %q, want %q", c.src, got, c.start)
+		}
+		if got := End(n); got != c.end {
+			t.Errorf("End(%s) = %q, want %q", c.src, got, c.end)
+		}
+	}
+}
+
+func TestSplitCases(t *testing.T) {
+	// Case 1: preceded and followed.
+	subs, err := Split(MustParse("SEQ(A+, NOT C, B)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("got %d subs, want 2", len(subs))
+	}
+	if subs[0].Negative || !subs[1].Negative {
+		t.Fatal("wrong polarity")
+	}
+	if subs[1].Previous != "A" || subs[1].Following != "B" {
+		t.Errorf("case 1: previous=%q following=%q, want A/B", subs[1].Previous, subs[1].Following)
+	}
+
+	// Case 2: preceded only.
+	subs, _ = Split(MustParse("SEQ(A+, NOT E)"))
+	if subs[1].Previous != "A" || subs[1].Following != "" {
+		t.Errorf("case 2: previous=%q following=%q, want A and empty", subs[1].Previous, subs[1].Following)
+	}
+
+	// Case 3: followed only.
+	subs, _ = Split(MustParse("SEQ(NOT E, A+)"))
+	if subs[1].Previous != "" || subs[1].Following != "A" {
+		t.Errorf("case 3: previous=%q following=%q, want \"\"/A", subs[1].Previous, subs[1].Following)
+	}
+}
+
+func TestSplitNested(t *testing.T) {
+	// Example 2 of the paper: (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ splits
+	// into positive (SEQ(A+,B))+, negative SEQ(C,D), negative E.
+	subs, err := Split(MustParse("(SEQ(A+, NOT SEQ(C, NOT E, D), B))+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d subs, want 3", len(subs))
+	}
+	if got := subs[0].Pattern.String(); got != "(SEQ(A+, B))+" {
+		t.Errorf("positive = %s, want (SEQ(A+, B))+", got)
+	}
+	if got := subs[1].Pattern.String(); got != "SEQ(C, D)" {
+		t.Errorf("negative 1 = %s, want SEQ(C, D)", got)
+	}
+	if subs[1].Previous != "A" || subs[1].Following != "B" || subs[1].Parent != 0 {
+		t.Errorf("negative 1 connections: %+v", subs[1])
+	}
+	if got := subs[2].Pattern.String(); got != "E" {
+		t.Errorf("negative 2 = %s, want E", got)
+	}
+	if subs[2].Previous != "C" || subs[2].Following != "D" || subs[2].Parent != 1 {
+		t.Errorf("negative 2 connections: %+v", subs[2])
+	}
+	if len(subs[0].Deps) != 1 || subs[0].Deps[0] != 1 {
+		t.Errorf("root deps = %v, want [1]", subs[0].Deps)
+	}
+	if len(subs[1].Deps) != 1 || subs[1].Deps[0] != 2 {
+		t.Errorf("negative 1 deps = %v, want [2]", subs[1].Deps)
+	}
+}
+
+func TestSplitQ3(t *testing.T) {
+	// Q3's pattern: SEQ(NOT Accident A, Position P+).
+	subs, err := Split(MustParse("SEQ(NOT Accident A, Position P+)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("got %d subs, want 2", len(subs))
+	}
+	if got := subs[0].Pattern.String(); got != "Position P+" {
+		t.Errorf("positive = %s", got)
+	}
+	if subs[1].Previous != "" || subs[1].Following != "P" {
+		t.Errorf("connections: previous=%q following=%q", subs[1].Previous, subs[1].Following)
+	}
+}
+
+func TestExpandStar(t *testing.T) {
+	branches, err := Expand(MustParse("SEQ(A*, B)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 2 {
+		t.Fatalf("got %d branches, want 2", len(branches))
+	}
+	got := branches[0].String() + " | " + branches[1].String()
+	if !strings.Contains(got, "SEQ(A+, B)") || !strings.Contains(got, "B") {
+		t.Errorf("branches = %s", got)
+	}
+}
+
+func TestExpandOptional(t *testing.T) {
+	branches, err := Expand(MustParse("SEQ(A?, B?, C)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SEQ(A,B,C), SEQ(A,C), SEQ(B,C), C
+	if len(branches) != 4 {
+		t.Fatalf("got %d branches, want 4: %v", len(branches), branches)
+	}
+}
+
+func TestExpandAllOptionalRejected(t *testing.T) {
+	if _, err := Expand(MustParse("SEQ(A?, B?)")); err == nil {
+		// expansion contains the empty branch; it must be dropped but the
+		// remaining branches are fine
+		branches, _ := Expand(MustParse("SEQ(A?, B?)"))
+		if len(branches) != 3 {
+			t.Errorf("got %d branches, want 3", len(branches))
+		}
+	}
+}
+
+func TestExpandStarUnderPlusRejected(t *testing.T) {
+	if _, err := Expand(MustParse("(SEQ(A?, B))+")); err == nil {
+		t.Error("expected error for Kleene over optional alternatives")
+	}
+}
+
+func TestUnrollMinLength(t *testing.T) {
+	p := MustParse("A+")
+	u, err := UnrollMinLength(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.String(); got != "SEQ(A A1, A A2, A A3+)" {
+		t.Errorf("unrolled = %s", got)
+	}
+	if u.Size() != 5 {
+		t.Errorf("size = %d", u.Size())
+	}
+	// minLen <= 1 is the identity.
+	u, _ = UnrollMinLength(p, 1)
+	if u.String() != "A+" {
+		t.Errorf("unroll(1) = %s", u)
+	}
+}
+
+func TestStripNegation(t *testing.T) {
+	p := MustParse("(SEQ(A+, NOT SEQ(C, NOT E, D), B))+")
+	s := StripNegation(p)
+	if s.String() != "(SEQ(A+, B))+" {
+		t.Errorf("stripped = %s", s)
+	}
+	// The original is untouched.
+	if !strings.Contains(p.String(), "NOT") {
+		t.Error("original mutated")
+	}
+}
+
+func TestSizeAndKleene(t *testing.T) {
+	p := MustParse("(SEQ(A+, B))+")
+	if p.Size() != 5 { // plus, seq, plus, A, B
+		t.Errorf("size = %d, want 5", p.Size())
+	}
+	if !p.HasKleene() {
+		t.Error("HasKleene = false")
+	}
+	if !MustParse("SEQ(A, B)").IsPositive() {
+		t.Error("IsPositive(SEQ(A,B)) = false")
+	}
+	if MustParse("SEQ(A, NOT B, C)").IsPositive() {
+		t.Error("IsPositive with NOT = true")
+	}
+}

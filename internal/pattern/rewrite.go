@@ -1,0 +1,195 @@
+package pattern
+
+import "fmt"
+
+// Kleene star and optional sub-patterns are syntactic sugar (paper §9):
+//
+//	SEQ(Pi*, Pj) = SEQ(Pi+, Pj) ∨ Pj
+//	SEQ(Pi?, Pj) = SEQ(Pi, Pj) ∨ Pj
+//
+// Expand rewrites a pattern containing * and ? into the equivalent set
+// of sugar-free branches whose disjunction equals the original pattern.
+// A pattern without sugar expands to itself. The empty branch (ε) that
+// arises when every component of the pattern is optional is dropped,
+// since trends are never empty (Lemma 1).
+//
+// Branches may overlap (the same trend can match several branches); the
+// runtime combines branch counts with inclusion–exclusion over product
+// templates (see internal/core compose).
+
+// MaxExpandBranches bounds the number of branches Expand may produce;
+// beyond it the pattern is considered pathological.
+const MaxExpandBranches = 32
+
+// epsilon is a sentinel marking the empty branch during expansion.
+var epsilon = &Node{Kind: KindSeq}
+
+// Expand returns the sugar-free branches of p. Each returned branch
+// contains only KindEvent, KindSeq, KindPlus, and KindNot nodes. OR at
+// the top level contributes its branches directly; AND is not expanded
+// here (the runtime composes conjunction counts separately).
+func Expand(p *Node) ([]*Node, error) {
+	bs, err := expand(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Node
+	for _, b := range bs {
+		if b == epsilon {
+			continue
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pattern: %s matches only the empty trend", p)
+	}
+	return out, nil
+}
+
+func expand(p *Node) ([]*Node, error) {
+	switch p.Kind {
+	case KindEvent:
+		return []*Node{p.Clone()}, nil
+	case KindPlus:
+		inner, err := expand(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		// (b1 | b2 | ...)+ is not a disjunction of bi+ when branches can
+		// interleave across iterations; only the single-branch case is a
+		// sound rewrite.
+		if len(inner) != 1 {
+			return nil, fmt.Errorf("pattern: Kleene plus over optional/starred alternatives (%s) is not expressible as a disjunction of positive patterns", p)
+		}
+		if inner[0] == epsilon {
+			return nil, fmt.Errorf("pattern: (ε)+ in %s", p)
+		}
+		return []*Node{Plus(inner[0])}, nil
+	case KindStar:
+		inner, err := expand(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(inner) != 1 || inner[0] == epsilon {
+			return nil, fmt.Errorf("pattern: Kleene star over optional/starred alternatives (%s) is not expressible as a disjunction of positive patterns", p)
+		}
+		return []*Node{Plus(inner[0]), epsilon}, nil
+	case KindOpt:
+		inner, err := expand(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return append(inner, epsilon), nil
+	case KindNot:
+		inner, err := expand(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(inner) != 1 || inner[0] == epsilon {
+			return nil, fmt.Errorf("pattern: NOT over optional/starred alternatives (%s) is not supported", p)
+		}
+		return []*Node{Not(inner[0])}, nil
+	case KindSeq:
+		branches := []*Node{epsilon}
+		for _, c := range p.Children {
+			cb, err := expand(c)
+			if err != nil {
+				return nil, err
+			}
+			var next []*Node
+			for _, b := range branches {
+				for _, n := range cb {
+					next = append(next, seqAppend(b, n))
+					if len(next) > MaxExpandBranches {
+						return nil, fmt.Errorf("pattern: expansion of %s exceeds %d branches", p, MaxExpandBranches)
+					}
+				}
+			}
+			branches = next
+		}
+		out := make([]*Node, 0, len(branches))
+		for _, b := range branches {
+			out = append(out, normalizeSeq(b))
+		}
+		return out, nil
+	case KindOr:
+		var out []*Node
+		for _, c := range p.Children {
+			cb, err := expand(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cb...)
+			if len(out) > MaxExpandBranches {
+				return nil, fmt.Errorf("pattern: expansion of %s exceeds %d branches", p, MaxExpandBranches)
+			}
+		}
+		return out, nil
+	case KindAnd:
+		return nil, fmt.Errorf("pattern: AND inside a larger pattern is not supported; use AND only at the top level")
+	}
+	return nil, fmt.Errorf("pattern: unknown kind %v", p.Kind)
+}
+
+// seqAppend concatenates two (possibly ε, possibly SEQ) branches.
+func seqAppend(a, b *Node) *Node {
+	if a == epsilon {
+		return b
+	}
+	if b == epsilon {
+		return a
+	}
+	var kids []*Node
+	if a.Kind == KindSeq && a != epsilon {
+		kids = append(kids, a.Children...)
+	} else {
+		kids = append(kids, a)
+	}
+	if b.Kind == KindSeq {
+		kids = append(kids, b.Children...)
+	} else {
+		kids = append(kids, b)
+	}
+	return &Node{Kind: KindSeq, Children: kids}
+}
+
+func normalizeSeq(n *Node) *Node {
+	if n == epsilon {
+		return epsilon
+	}
+	if n.Kind == KindSeq && len(n.Children) == 1 {
+		return n.Children[0]
+	}
+	return n
+}
+
+// UnrollMinLength rewrites a Kleene-plus pattern so that its matches
+// contain at least minLen iterations of the repeated sub-pattern
+// (paper §9, "Constraints on Minimal Trend Length"): A+ with minimum 3
+// becomes SEQ(A, A, A+). The result has fresh unique aliases.
+func UnrollMinLength(p *Node, minLen int) (*Node, error) {
+	if minLen <= 1 {
+		return p.Clone(), nil
+	}
+	if p.Kind != KindPlus {
+		return nil, fmt.Errorf("pattern: minimal trend length unrolling applies to a Kleene plus pattern, got %s", p)
+	}
+	body := p.Children[0]
+	kids := make([]*Node, 0, minLen)
+	for i := 0; i < minLen-1; i++ {
+		kids = append(kids, body.Clone())
+	}
+	kids = append(kids, Plus(body.Clone()))
+	out := Seq(kids...)
+	// Copies reuse aliases; rename them to keep state identities unique,
+	// keeping the original alias as a label so predicates written
+	// against it attach to every copy.
+	for _, l := range out.EventNodes() {
+		if l.Label == "" {
+			l.Label = l.Alias
+		}
+		l.Alias = ""
+	}
+	EnsureAliases(out)
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package pattern
+
+import "fmt"
+
+// SubPattern is one of the sub-patterns produced by splitting a pattern
+// with nested negation (paper §5.1, Algorithm 3).
+//
+// The root sub-pattern (index 0) is positive. Every other sub-pattern is
+// negative: a match of it invalidates events in its parent's GRETA
+// graph. Previous and Following name the connection points *in the
+// parent sub-pattern*:
+//
+//   - Previous is the end alias of the positive sub-pattern immediately
+//     preceding the negation (events of this alias are invalidated).
+//     Empty for Case 3, SEQ(NOT N, Pj).
+//   - Following is the start alias of the positive sub-pattern
+//     immediately following the negation (connections into this alias
+//     are blocked). Empty for Case 2, SEQ(Pi, NOT N).
+type SubPattern struct {
+	Pattern   *Node // negation-free pattern of this sub-graph
+	Negative  bool
+	Previous  string
+	Following string
+	Parent    int   // index of the parent sub-pattern; -1 for the root
+	Deps      []int // indices of negative sub-patterns constraining this one
+}
+
+// Split separates pattern p into its positive root and negative
+// sub-patterns per Algorithm 3. Index 0 of the result is always the
+// root positive sub-pattern (p with all negation stripped); subsequent
+// entries are negative sub-patterns in discovery order, each itself
+// negation-free, with nested negations split recursively (a negative
+// sub-pattern may depend on further negative sub-patterns, as in
+// (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ which splits into the positive
+// (SEQ(A+,B))+, the negative SEQ(C,D), and the negative E).
+func Split(p *Node) ([]*SubPattern, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	root := &SubPattern{Pattern: StripNegation(p), Parent: -1}
+	if root.Pattern == nil {
+		return nil, fmt.Errorf("pattern: %s has no positive part", p)
+	}
+	subs := []*SubPattern{root}
+	if err := split(p, 0, "", "", &subs); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// split walks the original (negation-carrying) pattern of sub-pattern
+// parentIdx, tracking the previous/following aliases inherited from the
+// enclosing context, and registers each NOT child it encounters.
+func split(n *Node, parentIdx int, prevCtx, follCtx string, subs *[]*SubPattern) error {
+	switch n.Kind {
+	case KindEvent:
+		return nil
+	case KindPlus, KindStar, KindOpt:
+		// Negation inside a Kleene constrains each iteration's preceding
+		// and following positive parts; the loop-back edge adds no new
+		// negation context (paper Fig. 7(a)).
+		return split(n.Children[0], parentIdx, prevCtx, follCtx, subs)
+	case KindSeq:
+		for i, c := range n.Children {
+			prev := prevCtx
+			for j := i - 1; j >= 0; j-- {
+				if n.Children[j].Kind != KindNot {
+					prev = End(StripNegation(n.Children[j]))
+					break
+				}
+			}
+			foll := follCtx
+			for j := i + 1; j < len(n.Children); j++ {
+				if n.Children[j].Kind != KindNot {
+					foll = Start(StripNegation(n.Children[j]))
+					break
+				}
+			}
+			if c.Kind == KindNot {
+				inner := c.Children[0]
+				neg := &SubPattern{
+					Pattern:   StripNegation(inner),
+					Negative:  true,
+					Previous:  prev,
+					Following: foll,
+					Parent:    parentIdx,
+				}
+				if neg.Pattern == nil {
+					return fmt.Errorf("pattern: negative sub-pattern %s has no positive part", inner)
+				}
+				*subs = append(*subs, neg)
+				idx := len(*subs) - 1
+				(*subs)[parentIdx].Deps = append((*subs)[parentIdx].Deps, idx)
+				// Nested negations inside the negative sub-pattern live in
+				// the negative graph; their context starts fresh there.
+				if err := split(inner, idx, "", "", subs); err != nil {
+					return err
+				}
+			} else {
+				if err := split(c, parentIdx, prev, foll, subs); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case KindNot:
+		// Outermost NOT is rejected by Validate; NOT reached here only
+		// via SEQ handling above.
+		return fmt.Errorf("pattern: unexpected NOT outside SEQ")
+	case KindOr, KindAnd:
+		for _, c := range n.Children {
+			if err := split(c, parentIdx, prevCtx, follCtx, subs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("pattern: unknown kind %v", n.Kind)
+}

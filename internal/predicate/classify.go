@@ -1,0 +1,311 @@
+package predicate
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// Vertex is a compiled vertex predicate: a local filter on single events
+// of one alias (paper §6, "Local predicates ... purge irrelevant events
+// early"). An empty Alias applies to every event.
+type Vertex struct {
+	Alias string
+	Expr  Expr
+}
+
+// Eval reports whether event e satisfies the vertex predicate.
+func (v *Vertex) Eval(e *event.Event) bool {
+	return Eval(v.Expr, Binding{Prev: e, Next: e}).Truthy()
+}
+
+// Edge is a compiled edge predicate between adjacent trend events
+// (paper §6). From/To name the aliases of the earlier and later event;
+// in the common Kleene case they coincide (S.price > NEXT(S).price has
+// From = To = S). If a Range is available the runtime uses it to narrow
+// the Vertex Tree scan; Expr is always re-checked on candidates.
+type Edge struct {
+	From, To string
+	Expr     Expr
+	Range    *Range
+}
+
+// Eval reports whether the pair (prev, next) satisfies the predicate.
+func (e *Edge) Eval(prev, next *event.Event) bool {
+	return Eval(e.Expr, Binding{Prev: prev, Next: next}).Truthy()
+}
+
+// Range describes the compiled form a*prev.Attr + b CMP rhs(next): given
+// the later event it yields bounds on the predecessor's sort attribute,
+// enabling a B-tree range scan (paper §7, Vertex Tree).
+type Range struct {
+	Attr string // predecessor attribute the Vertex Tree is sorted by
+	a, b float64
+	op   Op   // comparison with prev-linear side on the left
+	rhs  Expr // expression over the later event only
+}
+
+// Bounds returns the half-open/closed interval [lo, hi] of predecessor
+// Attr values compatible with next. Unbounded sides are ±Inf. ok is
+// false when the right-hand side does not evaluate to a number.
+func (r *Range) Bounds(next *event.Event) (lo, hi float64, loIncl, hiIncl, ok bool) {
+	v := Eval(r.rhs, Binding{Next: next})
+	if v.Str || math.IsNaN(v.F) {
+		return 0, 0, false, false, false
+	}
+	// Solve a*x + b  op  v  for x.
+	x := (v.F - r.b) / r.a
+	op := r.op
+	if r.a < 0 {
+		op = flip(op)
+	}
+	lo, hi = math.Inf(-1), math.Inf(1)
+	switch op {
+	case OpEq:
+		return x, x, true, true, true
+	case OpGt:
+		return x, hi, false, false, true
+	case OpGe:
+		return x, hi, true, false, true
+	case OpLt:
+		return lo, x, false, false, true
+	case OpLe:
+		return lo, x, false, true, true
+	}
+	return lo, hi, false, false, false
+}
+
+func flip(op Op) Op {
+	switch op {
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	}
+	return op
+}
+
+func reverse(op Op) Op {
+	// a op b  <=>  b reverse(op) a
+	switch op {
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	}
+	return op // = and != are symmetric
+}
+
+// Classified is the result of classifying a WHERE clause.
+type Classified struct {
+	// Equivalence lists attributes that must carry equal values across
+	// all events of a trend ([company, sector] notation, paper §6); the
+	// runtime partitions the stream by them.
+	Equivalence []string
+	// Vertex holds local single-event predicates keyed per alias.
+	Vertex []*Vertex
+	// Edge holds adjacent-pair predicates.
+	Edge []*Edge
+}
+
+// Conjuncts splits e on top-level AND.
+func Conjuncts(e Expr) []Expr {
+	if b, ok := e.(Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// Classify splits the WHERE expression into vertex and edge predicates
+// (paper §6). aliases is the set of valid pattern aliases; bare
+// attribute references (no alias) are rejected here — the query planner
+// resolves them before classification.
+func Classify(where Expr, aliases map[string]bool) (*Classified, error) {
+	c := &Classified{}
+	if where == nil {
+		return c, nil
+	}
+	for _, conj := range Conjuncts(where) {
+		refs := Refs(conj)
+		var plain, next map[string]bool
+		plain, next = map[string]bool{}, map[string]bool{}
+		for _, r := range refs {
+			if r.Alias == "" {
+				return nil, fmt.Errorf("predicate: unresolved bare attribute %q in %s", r.Attr, conj)
+			}
+			if !aliases[r.Alias] {
+				return nil, fmt.Errorf("predicate: unknown alias %q in %s", r.Alias, conj)
+			}
+			if r.Next {
+				next[r.Alias] = true
+			} else {
+				plain[r.Alias] = true
+			}
+		}
+		switch {
+		case len(plain) == 0 && len(next) == 0:
+			// Constant conjunct: fold into a vertex predicate on all events.
+			c.Vertex = append(c.Vertex, &Vertex{Expr: conj})
+		case len(next) == 0 && len(plain) == 1:
+			c.Vertex = append(c.Vertex, &Vertex{Alias: one(plain), Expr: conj})
+		case len(plain) == 0 && len(next) == 1:
+			// Only NEXT references: a vertex predicate in disguise.
+			al := one(next)
+			c.Vertex = append(c.Vertex, &Vertex{Alias: al, Expr: stripNext(conj)})
+		case len(plain) == 1 && len(next) == 1:
+			e := &Edge{From: one(plain), To: one(next), Expr: conj}
+			e.Range = compileRange(conj)
+			c.Edge = append(c.Edge, e)
+		default:
+			return nil, fmt.Errorf("predicate: %s references more than two events; only vertex and adjacent-pair (edge) predicates are supported", conj)
+		}
+	}
+	return c, nil
+}
+
+func one(m map[string]bool) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// stripNext rewrites NEXT(X).a references to X.a so a NEXT-only conjunct
+// can be evaluated as a vertex predicate.
+func stripNext(e Expr) Expr {
+	switch n := e.(type) {
+	case Ref:
+		if n.Next {
+			return Ref{Alias: n.Alias, Attr: n.Attr}
+		}
+		return n
+	case Binary:
+		return Binary{n.Op, stripNext(n.L), stripNext(n.R)}
+	}
+	return e
+}
+
+// compileRange recognizes conjuncts of the form
+//
+//	linear(prev.attr) CMP expr(next)   or   expr(next) CMP linear(prev.attr)
+//
+// and returns the Range enabling B-tree scans, or nil when the shape
+// does not match (the predicate is then evaluated per candidate).
+func compileRange(e Expr) *Range {
+	b, ok := e.(Binary)
+	if !ok {
+		return nil
+	}
+	switch b.Op {
+	case OpEq, OpGt, OpGe, OpLt, OpLe:
+	default:
+		return nil
+	}
+	if lin, ok := linearize(b.L); ok && nextOnly(b.R) {
+		if lin.attr == "" || lin.a == 0 {
+			return nil
+		}
+		return &Range{Attr: lin.attr, a: lin.a, b: lin.b, op: b.Op, rhs: b.R}
+	}
+	if lin, ok := linearize(b.R); ok && nextOnly(b.L) {
+		if lin.attr == "" || lin.a == 0 {
+			return nil
+		}
+		return &Range{Attr: lin.attr, a: lin.a, b: lin.b, op: reverse(b.Op), rhs: b.L}
+	}
+	return nil
+}
+
+// linear represents a*attr + b over plain (predecessor) references.
+type linear struct {
+	a, b float64
+	attr string
+}
+
+// linearize extracts a linear form over exactly one plain attribute
+// reference; constants have attr == "".
+func linearize(e Expr) (linear, bool) {
+	switch n := e.(type) {
+	case Const:
+		return linear{0, n.V, ""}, true
+	case Ref:
+		if n.Next {
+			return linear{}, false
+		}
+		return linear{1, 0, n.Attr}, true
+	case Binary:
+		l, okL := linearize(n.L)
+		r, okR := linearize(n.R)
+		if !okL || !okR {
+			return linear{}, false
+		}
+		switch n.Op {
+		case OpAdd:
+			return combine(l, r, 1)
+		case OpSub:
+			return combine(l, r, -1)
+		case OpMul:
+			if l.attr == "" {
+				return linear{l.b * r.a, l.b * r.b, r.attr}, true
+			}
+			if r.attr == "" {
+				return linear{l.a * r.b, l.b * r.b, l.attr}, true
+			}
+			return linear{}, false
+		case OpDiv:
+			if r.attr == "" && r.b != 0 {
+				return linear{l.a / r.b, l.b / r.b, l.attr}, true
+			}
+			return linear{}, false
+		}
+		return linear{}, false
+	}
+	return linear{}, false
+}
+
+func combine(l, r linear, sign float64) (linear, bool) {
+	switch {
+	case l.attr == "":
+		return linear{sign * r.a, l.b + sign*r.b, r.attr}, true
+	case r.attr == "":
+		return linear{l.a, l.b + sign*r.b, l.attr}, true
+	case l.attr == r.attr:
+		return linear{l.a + sign*r.a, l.b + sign*r.b, l.attr}, true
+	}
+	return linear{}, false
+}
+
+// nextOnly reports whether e references only NEXT(...) attributes (or
+// constants), i.e., is evaluable given the later event alone.
+func nextOnly(e Expr) bool {
+	for _, r := range Refs(e) {
+		if !r.Next {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveBareRefs rewrites Ref nodes with empty aliases to the given
+// default alias. Queries over single-type patterns may omit the alias.
+func ResolveBareRefs(e Expr, alias string) Expr {
+	switch n := e.(type) {
+	case Ref:
+		if n.Alias == "" {
+			return Ref{Alias: alias, Attr: n.Attr, Next: n.Next}
+		}
+		return n
+	case Binary:
+		return Binary{n.Op, ResolveBareRefs(n.L, alias), ResolveBareRefs(n.R, alias)}
+	}
+	return e
+}

@@ -1,0 +1,368 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a θ expression, e.g.
+//
+//	S.price > NEXT(S).price
+//	M.load < NEXT(M).load AND M.cpu >= 10
+//	S.price * 1.05 < NEXT(S).price
+//	S.company = "IBM"
+//
+// Attribute references are written alias.attr; NEXT(alias).attr binds to
+// the later event of an adjacent pair. A bare identifier (no dot) is
+// shorthand for a reference to attribute attr of the contextual alias
+// and is resolved by the query planner; here it parses as Ref with an
+// empty alias.
+func Parse(src string) (Expr, error) {
+	p := &eparser{toks: elex(src), src: src}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("predicate: unexpected %q after expression in %q", p.peek().text, src)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type etokKind uint8
+
+const (
+	etIdent etokKind = iota
+	etNumber
+	etString
+	etOp
+	etLParen
+	etRParen
+	etDot
+	etEOF
+)
+
+type etok struct {
+	kind etokKind
+	text string
+}
+
+func elex(src string) []etok {
+	var toks []etok
+	i := 0
+	emit := func(k etokKind, s string) { toks = append(toks, etok{k, s}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			emit(etLParen, "(")
+			i++
+		case c == ')':
+			emit(etRParen, ")")
+			i++
+		case c == '.':
+			// distinguish attribute dot from a leading-dot number
+			if i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+				j := i + 1
+				for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+					j++
+				}
+				emit(etNumber, src[i:j])
+				i = j
+			} else {
+				emit(etDot, ".")
+				i++
+			}
+		case c == '"' || c == '\'':
+			q := c
+			j := i + 1
+			for j < len(src) && src[j] != q {
+				j++
+			}
+			if j >= len(src) {
+				emit(etEOF, "unterminated string")
+				return toks
+			}
+			emit(etString, src[i+1:j])
+			i = j + 1
+		case strings.ContainsRune("+-*/%", rune(c)):
+			emit(etOp, string(c))
+			i++
+		case c == '=':
+			emit(etOp, "=")
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(etOp, "!=")
+				i += 2
+			} else {
+				emit(etEOF, "!")
+				return toks
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(etOp, "<=")
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				emit(etOp, "!=")
+				i += 2
+			} else {
+				emit(etOp, "<")
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(etOp, ">=")
+				i += 2
+			} else {
+				emit(etOp, ">")
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			// Scientific notation: 1e9, 2.5E-3, 1e+22.
+			if j < len(src) && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < len(src) && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < len(src) && src[k] >= '0' && src[k] <= '9' {
+					for k < len(src) && src[k] >= '0' && src[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			emit(etNumber, src[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			if j == i {
+				emit(etEOF, string(c))
+				return toks
+			}
+			emit(etIdent, src[i:j])
+			i = j
+		}
+	}
+	emit(etEOF, "")
+	return toks
+}
+
+type eparser struct {
+	toks []etok
+	pos  int
+	src  string
+}
+
+func (p *eparser) peek() etok { return p.toks[p.pos] }
+func (p *eparser) next() etok { t := p.toks[p.pos]; p.pos++; return t }
+func (p *eparser) eof() bool  { return p.peek().kind == etEOF }
+func (p *eparser) isKw(k string) bool {
+	t := p.peek()
+	return t.kind == etIdent && strings.EqualFold(t.text, k)
+}
+
+func (p *eparser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{OpOr, l, r}
+	}
+	return l, nil
+}
+
+func (p *eparser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("AND") {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{OpAnd, l, r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]Op{"=": OpEq, "!=": OpNeq, ">": OpGt, ">=": OpGe, "<": OpLt, "<=": OpLe}
+
+func (p *eparser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == etOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{op, l, r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *eparser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != etOp || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "+" {
+			l = Binary{OpAdd, l, r}
+		} else {
+			l = Binary{OpSub, l, r}
+		}
+	}
+}
+
+func (p *eparser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != etOp || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "*":
+			l = Binary{OpMul, l, r}
+		case "/":
+			l = Binary{OpDiv, l, r}
+		case "%":
+			l = Binary{OpMod, l, r}
+		}
+	}
+}
+
+func (p *eparser) parseUnary() (Expr, error) {
+	if t := p.peek(); t.kind == etOp && t.text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{OpSub, Const{0}, e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *eparser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case etNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("predicate: bad number %q in %q", t.text, p.src)
+		}
+		return Const{v}, nil
+	case etString:
+		p.next()
+		return StrConst{t.text}, nil
+	case etLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != etRParen {
+			return nil, fmt.Errorf("predicate: missing ')' in %q", p.src)
+		}
+		p.next()
+		return e, nil
+	case etIdent:
+		if strings.EqualFold(t.text, "NEXT") {
+			p.next()
+			if p.peek().kind != etLParen {
+				return nil, fmt.Errorf("predicate: NEXT requires '(' in %q", p.src)
+			}
+			p.next()
+			al := p.next()
+			if al.kind != etIdent {
+				return nil, fmt.Errorf("predicate: NEXT requires an alias in %q", p.src)
+			}
+			if p.peek().kind != etRParen {
+				return nil, fmt.Errorf("predicate: missing ')' after NEXT(%s) in %q", al.text, p.src)
+			}
+			p.next()
+			if p.peek().kind != etDot {
+				return nil, fmt.Errorf("predicate: NEXT(%s) requires .attribute in %q", al.text, p.src)
+			}
+			p.next()
+			attr := p.next()
+			if attr.kind != etIdent {
+				return nil, fmt.Errorf("predicate: NEXT(%s). requires an attribute name in %q", al.text, p.src)
+			}
+			return Ref{Alias: al.text, Attr: attr.text, Next: true}, nil
+		}
+		if strings.EqualFold(t.text, "TRUE") {
+			p.next()
+			return Const{1}, nil
+		}
+		if strings.EqualFold(t.text, "FALSE") {
+			p.next()
+			return Const{0}, nil
+		}
+		p.next()
+		if p.peek().kind == etDot {
+			p.next()
+			attr := p.next()
+			if attr.kind != etIdent {
+				return nil, fmt.Errorf("predicate: %s. requires an attribute name in %q", t.text, p.src)
+			}
+			return Ref{Alias: t.text, Attr: attr.text}, nil
+		}
+		// Bare identifier: attribute of the contextual alias.
+		return Ref{Attr: t.text}, nil
+	}
+	return nil, fmt.Errorf("predicate: unexpected %q in %q", t.text, p.src)
+}

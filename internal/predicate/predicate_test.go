@@ -1,0 +1,208 @@
+package predicate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+func ev(t event.Time, attrs map[string]float64) *event.Event {
+	return &event.Event{ID: uint64(t), Type: "A", Time: t, Attrs: attrs}
+}
+
+func TestParseAndEval(t *testing.T) {
+	prev := ev(1, map[string]float64{"price": 10, "load": 3})
+	next := ev(2, map[string]float64{"price": 8, "load": 5})
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"S.price > NEXT(S).price", true},
+		{"S.price < NEXT(S).price", false},
+		{"S.load < NEXT(S).load", true},
+		{"S.price * 0.5 < NEXT(S).price", true},
+		{"S.price >= 10 AND NEXT(S).price <= 8", true},
+		{"S.price > 100 OR S.load = 3", true},
+		{"S.price != 10", false},
+		{"S.price - NEXT(S).price = 2", true},
+		{"S.price % 3 = 1", true},
+		{"S.time < NEXT(S).time", true},
+		{"-S.load = -3", true},
+		{"(S.price + S.load) * 2 = 26", true},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		got := Eval(e, Binding{Prev: prev, Next: next}).Truthy()
+		if got != c.want {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseStringPredicates(t *testing.T) {
+	e := &event.Event{Type: "S", Time: 1, Str: map[string]string{"company": "IBM"}}
+	expr := MustParse(`S.company = "IBM"`)
+	if !Eval(expr, Binding{Prev: e, Next: e}).Truthy() {
+		t.Error("company = IBM should hold")
+	}
+	expr = MustParse(`S.company != 'IBM'`)
+	if Eval(expr, Binding{Prev: e, Next: e}).Truthy() {
+		t.Error("company != IBM should not hold")
+	}
+}
+
+func TestMissingAttributeIsFalse(t *testing.T) {
+	e := ev(1, nil)
+	expr := MustParse("S.price > 0")
+	if Eval(expr, Binding{Prev: e, Next: e}).Truthy() {
+		t.Error("missing attribute comparison should be false")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "S.price >", "NEXT(S", "NEXT(S).", "S..x", "1 +", "(S.x > 1", `"unterminated`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	aliases := map[string]bool{"S": true, "M": true}
+	where := MustParse("S.price > NEXT(S).price AND S.vol >= 100 AND NEXT(M).load < 5 AND S.price + M.cpu > 0")
+	_, err := Classify(where, aliases)
+	if err == nil {
+		t.Fatal("expected error: S.price + M.cpu references two plain aliases")
+	}
+	where = MustParse("S.price > NEXT(S).price AND S.vol >= 100 AND NEXT(M).load < 5")
+	cls, err := Classify(where, aliases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Edge) != 1 {
+		t.Fatalf("edges = %d, want 1", len(cls.Edge))
+	}
+	if cls.Edge[0].From != "S" || cls.Edge[0].To != "S" {
+		t.Errorf("edge from %q to %q", cls.Edge[0].From, cls.Edge[0].To)
+	}
+	if cls.Edge[0].Range == nil {
+		t.Error("edge predicate should compile to a range")
+	}
+	if len(cls.Vertex) != 2 {
+		t.Fatalf("vertex preds = %d, want 2 (%v)", len(cls.Vertex), cls.Vertex)
+	}
+}
+
+func TestClassifyUnknownAlias(t *testing.T) {
+	if _, err := Classify(MustParse("X.a > 1"), map[string]bool{"S": true}); err == nil {
+		t.Error("expected unknown-alias error")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	aliases := map[string]bool{"S": true}
+	next := ev(5, map[string]float64{"price": 10})
+	cases := []struct {
+		src            string
+		lo, hi         float64
+		loIncl, hiIncl bool
+	}{
+		{"S.price > NEXT(S).price", 10, math.Inf(1), false, false},
+		{"S.price >= NEXT(S).price", 10, math.Inf(1), true, false},
+		{"S.price < NEXT(S).price", math.Inf(-1), 10, false, false},
+		{"S.price <= NEXT(S).price", math.Inf(-1), 10, false, true},
+		{"S.price = NEXT(S).price", 10, 10, true, true},
+		// Linear transforms: S.price * 2 < NEXT(S).price  =>  price < 5.
+		{"S.price * 2 < NEXT(S).price", math.Inf(-1), 5, false, false},
+		// Reversed operand order: NEXT(S).price < S.price  =>  price > 10.
+		{"NEXT(S).price < S.price", 10, math.Inf(1), false, false},
+		// Negative coefficient flips the comparison:
+		// -1 * S.price < NEXT(S).price  =>  price > -10.
+		{"0 - S.price < NEXT(S).price", -10, math.Inf(1), false, false},
+	}
+	for _, c := range cases {
+		cls, err := Classify(MustParse(c.src), aliases)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if len(cls.Edge) != 1 || cls.Edge[0].Range == nil {
+			t.Fatalf("%s: expected one compiled range edge", c.src)
+		}
+		lo, hi, loI, hiI, ok := cls.Edge[0].Range.Bounds(next)
+		if !ok {
+			t.Fatalf("%s: Bounds not ok", c.src)
+		}
+		if lo != c.lo || hi != c.hi || loI != c.loIncl || hiI != c.hiIncl {
+			t.Errorf("%s: bounds (%v,%v,%v,%v), want (%v,%v,%v,%v)",
+				c.src, lo, hi, loI, hiI, c.lo, c.hi, c.loIncl, c.hiIncl)
+		}
+	}
+}
+
+// TestQuickRangeMatchesEval: for random attribute values, membership in
+// the compiled range must agree with direct predicate evaluation.
+func TestQuickRangeMatchesEval(t *testing.T) {
+	exprs := []string{
+		"S.price > NEXT(S).price",
+		"S.price * 1.05 < NEXT(S).price",
+		"S.price * 2 - 3 >= NEXT(S).price + 1",
+		"NEXT(S).price <= S.price / 2",
+	}
+	aliases := map[string]bool{"S": true}
+	for _, src := range exprs {
+		cls, err := Classify(MustParse(src), aliases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edge := cls.Edge[0]
+		if edge.Range == nil {
+			t.Fatalf("%s: no range", src)
+		}
+		f := func(pRaw, nRaw int16) bool {
+			pv, nv := float64(pRaw)/8, float64(nRaw)/8
+			prev := ev(1, map[string]float64{"price": pv})
+			next := ev(2, map[string]float64{"price": nv})
+			want := edge.Eval(prev, next)
+			lo, hi, loI, hiI, ok := edge.Range.Bounds(next)
+			if !ok {
+				return false
+			}
+			in := (pv > lo || (loI && pv == lo)) && (pv < hi || (hiI && pv == hi))
+			return in == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	e := MustParse("S.a > 1 AND S.b > 2 AND S.c > 3")
+	if got := len(Conjuncts(e)); got != 3 {
+		t.Errorf("conjuncts = %d, want 3", got)
+	}
+	// OR does not split.
+	e = MustParse("S.a > 1 OR S.b > 2")
+	if got := len(Conjuncts(e)); got != 1 {
+		t.Errorf("conjuncts = %d, want 1", got)
+	}
+}
+
+func TestResolveBareRefs(t *testing.T) {
+	e := MustParse("price > NEXT(S).price")
+	r := ResolveBareRefs(e, "S")
+	refs := Refs(r)
+	for _, ref := range refs {
+		if ref.Alias != "S" {
+			t.Errorf("unresolved ref %v", ref)
+		}
+	}
+}

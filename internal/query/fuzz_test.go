@@ -1,0 +1,86 @@
+package query_test
+
+import (
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/pattern"
+	"github.com/greta-cep/greta/internal/predicate"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// FuzzParseQuery: the query parser must never panic and accepted
+// queries must render to text that re-parses.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"RETURN COUNT(*) PATTERN A+",
+		"RETURN sector, COUNT(*) PATTERN Stock S+ WHERE [company, sector] AND S.price > NEXT(S).price GROUP-BY sector WITHIN 10 minutes SLIDE 10 seconds",
+		"RETURN mapper, SUM(M.cpu) PATTERN SEQ(Start S, Measurement M+, End E) WHERE [job, mapper] AND M.load < NEXT(M).load GROUP-BY mapper WITHIN 1 minute SLIDE 30 seconds",
+		"RETURN segment, COUNT(*), AVG(P.speed) PATTERN SEQ(NOT Accident A, Position P+) WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed GROUP-BY segment WITHIN 5 minutes SLIDE 1 minute",
+		"RETURN COUNT(*) PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ MINLEN 2 SEMANTICS contiguous",
+		"RETURN COUNT(*) PATTERN A+ OR SEQ(B, C?)",
+		"RETURN MIN(A.x), MAX(A.x) PATTERN SEQ(A*, B) WITHIN 7 SLIDE 7",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := query.Parse(src)
+		if err != nil {
+			return
+		}
+		// Round trip: canonical text must re-parse.
+		if _, err := query.Parse(q.String()); err != nil {
+			t.Fatalf("canonical text %q of %q does not re-parse: %v", q.String(), src, err)
+		}
+		// Planning must not panic on any accepted query; plan errors are
+		// fine (unsupported combinations are rejected gracefully).
+		_, _ = core.NewPlan(q, aggregate.ModeNative)
+	})
+}
+
+// FuzzParsePattern: the pattern parser must never panic; accepted
+// patterns validate and round-trip.
+func FuzzParsePattern(f *testing.F) {
+	for _, s := range []string{
+		"A+", "SEQ(A+, B)", "(SEQ(A+, NOT SEQ(C, NOT E, D), B))+",
+		"Stock S+", "A? OR B*", "SEQ(A, B, C, D, E)", "A+ AND B+",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := pattern.Parse(src)
+		if err != nil {
+			return
+		}
+		if err := pattern.Validate(p); err != nil {
+			t.Fatalf("accepted pattern %q fails validation: %v", src, err)
+		}
+		if _, err := pattern.Parse(p.String()); err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", p.String(), src, err)
+		}
+	})
+}
+
+// FuzzParsePredicate: the predicate parser must never panic; accepted
+// expressions round-trip.
+func FuzzParsePredicate(f *testing.F) {
+	for _, s := range []string{
+		"S.price > NEXT(S).price",
+		"S.a * 2 + 1 <= NEXT(S).b / 3 AND S.c != 0",
+		`S.company = "IBM" OR S.x % 2 = 1`,
+		"-S.x < 5",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := predicate.Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := predicate.Parse(e.String()); err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", e.String(), src, err)
+		}
+	})
+}

@@ -1,0 +1,508 @@
+// Package query implements the event trend aggregation query model of
+// GRETA (paper §2, Definition 2 and the grammar of Fig. 2):
+//
+//	q := RETURN Attributes <A> PATTERN <P> (WHERE <θ>)?
+//	     (GROUP-BY Attributes)? (WITHIN Duration SLIDE Duration)?
+//	A := COUNT(*|EventType) | (MIN|MAX|SUM|AVG)(EventType.Attribute)
+//
+// plus two documented extensions: an optional SEMANTICS clause choosing
+// the event selection semantics of Table 1, and equivalence predicates
+// in WHERE written with the paper's bracket notation [attr, attr, ...].
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/pattern"
+	"github.com/greta-cep/greta/internal/predicate"
+	"github.com/greta-cep/greta/internal/window"
+)
+
+// Semantics selects the event selection semantics (paper §9, Table 1).
+type Semantics uint8
+
+// Event selection semantics. SkipTillAnyMatch is the paper's focus and
+// the default: any event may be skipped, all trends are detected.
+const (
+	SkipTillAnyMatch Semantics = iota
+	SkipTillNextMatch
+	Contiguous
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case SkipTillAnyMatch:
+		return "skip-till-any-match"
+	case SkipTillNextMatch:
+		return "skip-till-next-match"
+	case Contiguous:
+		return "contiguous"
+	}
+	return "?"
+}
+
+// Query is a parsed event trend aggregation query (Definition 2).
+type Query struct {
+	Raw         string
+	ReturnAttrs []string // non-aggregate RETURN items (grouping attributes)
+	Aggs        []aggregate.Spec
+	Pattern     *pattern.Node
+	Where       predicate.Expr // conjunction without equivalence groups
+	Equivalence []string       // [a, b] equivalence attributes
+	GroupBy     []string
+	Window      window.Spec
+	Semantics   Semantics
+	// MinLen is the minimal trend length constraint (paper §9): the
+	// planner unrolls the Kleene pattern so matches contain at least
+	// MinLen iterations. 0 or 1 means unconstrained.
+	MinLen int
+}
+
+// Parse parses a query. Clauses may appear on one line or many; clause
+// keywords are case-insensitive.
+func Parse(src string) (*Query, error) {
+	clauses, err := splitClauses(src)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Raw: src}
+	if txt, ok := clauses["RETURN"]; ok {
+		if err := q.parseReturn(txt); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("query: missing RETURN clause")
+	}
+	txt, ok := clauses["PATTERN"]
+	if !ok {
+		return nil, fmt.Errorf("query: missing PATTERN clause")
+	}
+	p, err := pattern.Parse(txt)
+	if err != nil {
+		return nil, err
+	}
+	q.Pattern = p
+	if txt, ok := clauses["WHERE"]; ok {
+		if err := q.parseWhere(txt); err != nil {
+			return nil, err
+		}
+	}
+	if txt, ok := clauses["GROUP-BY"]; ok {
+		for _, a := range strings.Split(txt, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("query: empty GROUP-BY attribute")
+			}
+			q.GroupBy = append(q.GroupBy, a)
+		}
+	}
+	within, hasWithin := clauses["WITHIN"]
+	slide, hasSlide := clauses["SLIDE"]
+	if hasWithin != hasSlide {
+		return nil, fmt.Errorf("query: WITHIN and SLIDE must be specified together")
+	}
+	if hasWithin {
+		w, err := parseDuration(within)
+		if err != nil {
+			return nil, err
+		}
+		s, err := parseDuration(slide)
+		if err != nil {
+			return nil, err
+		}
+		q.Window = window.Spec{Within: w, Slide: s}
+		if err := q.Window.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if txt, ok := clauses["MINLEN"]; ok {
+		n, err := strconv.Atoi(strings.TrimSpace(txt))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("query: MINLEN requires a positive integer, got %q", txt)
+		}
+		q.MinLen = n
+	}
+	if txt, ok := clauses["SEMANTICS"]; ok {
+		switch strings.ToLower(strings.TrimSpace(txt)) {
+		case "skip-till-any-match", "any":
+			q.Semantics = SkipTillAnyMatch
+		case "skip-till-next-match", "next":
+			q.Semantics = SkipTillNextMatch
+		case "contiguous":
+			q.Semantics = Contiguous
+		default:
+			return nil, fmt.Errorf("query: unknown semantics %q", txt)
+		}
+	}
+	if err := q.resolveAliases(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+var clauseKeywords = []string{"RETURN", "PATTERN", "WHERE", "GROUP-BY", "GROUPBY", "WITHIN", "SLIDE", "SEMANTICS", "MINLEN"}
+
+// splitClauses cuts the query text at clause keywords that appear at
+// the top level (outside parentheses, brackets, and strings).
+func splitClauses(src string) (map[string]string, error) {
+	type mark struct {
+		kw    string
+		start int // index after the keyword
+		kwPos int
+	}
+	var marks []mark
+	depth := 0
+	inStr := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inStr != 0:
+			if c == inStr {
+				inStr = 0
+			}
+		case c == '"' || c == '\'':
+			inStr = c
+		case c == '(' || c == '[':
+			depth++
+		case c == ')' || c == ']':
+			depth--
+		case depth == 0 && (i == 0 || isSpace(src[i-1])):
+			for _, kw := range clauseKeywords {
+				if matchKeyword(src, i, kw) {
+					marks = append(marks, mark{kw, i + len(kw), i})
+					i += len(kw) - 1
+					break
+				}
+			}
+		}
+	}
+	if len(marks) == 0 {
+		return nil, fmt.Errorf("query: no clauses found in %q", src)
+	}
+	if strings.TrimSpace(src[:marks[0].kwPos]) != "" {
+		return nil, fmt.Errorf("query: unexpected text %q before first clause", strings.TrimSpace(src[:marks[0].kwPos]))
+	}
+	out := map[string]string{}
+	for i, m := range marks {
+		end := len(src)
+		if i+1 < len(marks) {
+			end = marks[i+1].kwPos
+		}
+		kw := m.kw
+		if kw == "GROUPBY" {
+			kw = "GROUP-BY"
+		}
+		if _, dup := out[kw]; dup {
+			return nil, fmt.Errorf("query: duplicate %s clause", kw)
+		}
+		out[kw] = strings.TrimSpace(src[m.start:end])
+	}
+	return out, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func matchKeyword(src string, i int, kw string) bool {
+	if i+len(kw) > len(src) {
+		return false
+	}
+	if !strings.EqualFold(src[i:i+len(kw)], kw) {
+		return false
+	}
+	// keyword must end at a word boundary
+	j := i + len(kw)
+	return j == len(src) || isSpace(src[j]) || src[j] == '('
+}
+
+// parseReturn parses the RETURN item list: grouping attributes and
+// aggregate specifications.
+func (q *Query) parseReturn(txt string) error {
+	for _, item := range splitTop(txt, ',') {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return fmt.Errorf("query: empty RETURN item")
+		}
+		up := strings.ToUpper(item)
+		var kind aggregate.SpecKind
+		var isAgg = true
+		switch {
+		case strings.HasPrefix(up, "COUNT("):
+			kind = aggregate.CountStar
+		case strings.HasPrefix(up, "MIN("):
+			kind = aggregate.Min
+		case strings.HasPrefix(up, "MAX("):
+			kind = aggregate.Max
+		case strings.HasPrefix(up, "SUM("):
+			kind = aggregate.Sum
+		case strings.HasPrefix(up, "AVG("):
+			kind = aggregate.Avg
+		default:
+			isAgg = false
+		}
+		if !isAgg {
+			q.ReturnAttrs = append(q.ReturnAttrs, item)
+			continue
+		}
+		open := strings.IndexByte(item, '(')
+		if !strings.HasSuffix(item, ")") {
+			return fmt.Errorf("query: malformed aggregate %q", item)
+		}
+		arg := strings.TrimSpace(item[open+1 : len(item)-1])
+		spec := aggregate.Spec{Kind: kind}
+		switch kind {
+		case aggregate.CountStar:
+			if arg != "*" {
+				if arg == "" {
+					return fmt.Errorf("query: COUNT requires * or an event type")
+				}
+				spec.Kind = aggregate.CountType
+				spec.Type = event.Type(arg)
+			}
+		default:
+			dot := strings.IndexByte(arg, '.')
+			if dot < 0 {
+				return fmt.Errorf("query: %s requires EventType.Attribute, got %q", kind, arg)
+			}
+			spec.Type = event.Type(strings.TrimSpace(arg[:dot]))
+			spec.Attr = strings.TrimSpace(arg[dot+1:])
+			if spec.Type == "" || spec.Attr == "" {
+				return fmt.Errorf("query: %s requires EventType.Attribute, got %q", kind, arg)
+			}
+		}
+		q.Aggs = append(q.Aggs, spec)
+	}
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("query: RETURN clause has no aggregation function")
+	}
+	return nil
+}
+
+// parseWhere parses the WHERE clause, separating bracketed equivalence
+// groups ([company, sector]) from ordinary predicate conjuncts.
+func (q *Query) parseWhere(txt string) error {
+	var conjuncts []string
+	for _, part := range splitTopAnd(txt) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.HasPrefix(part, "[") && strings.HasSuffix(part, "]") {
+			for _, a := range strings.Split(part[1:len(part)-1], ",") {
+				a = strings.TrimSpace(a)
+				// Strip an alias qualifier: [P.vehicle, segment] means the
+				// attribute values are equal across all trend events, so
+				// the qualifier is informational.
+				if dot := strings.IndexByte(a, '.'); dot >= 0 {
+					a = a[dot+1:]
+				}
+				if a == "" {
+					return fmt.Errorf("query: empty attribute in equivalence predicate %q", part)
+				}
+				q.Equivalence = append(q.Equivalence, a)
+			}
+			continue
+		}
+		conjuncts = append(conjuncts, part)
+	}
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	expr, err := predicate.Parse(strings.Join(conjuncts, " AND "))
+	if err != nil {
+		return err
+	}
+	q.Where = expr
+	return nil
+}
+
+// splitTop splits s on sep at parenthesis depth zero.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// splitTopAnd splits on the keyword AND at depth zero.
+func splitTopAnd(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		default:
+			if depth == 0 && (i == 0 || isSpace(s[i-1])) && matchKeyword(s, i, "AND") {
+				out = append(out, s[start:i])
+				start = i + 3
+				i += 2
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// parseDuration parses "10 minutes", "30 seconds", "2 hours", or a bare
+// tick count, into time ticks (seconds in the paper's workloads).
+func parseDuration(txt string) (event.Time, error) {
+	fields := strings.Fields(txt)
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("query: empty duration")
+	}
+	n, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad duration %q: %v", txt, err)
+	}
+	if len(fields) == 1 {
+		return n, nil
+	}
+	unit := strings.ToLower(strings.TrimSuffix(fields[1], "s"))
+	switch unit {
+	case "tick", "second", "sec":
+		return n, nil
+	case "minute", "min":
+		return n * 60, nil
+	case "hour", "hr":
+		return n * 3600, nil
+	}
+	return 0, fmt.Errorf("query: unknown duration unit %q", fields[1])
+}
+
+// resolveAliases maps alias names used in RETURN aggregates and WHERE
+// predicates to pattern aliases, and resolves bare attribute references
+// when the pattern has a single alias.
+func (q *Query) resolveAliases() error {
+	aliases := map[string]bool{}
+	aliasType := map[string]event.Type{}
+	typeCount := map[event.Type]int{}
+	for _, leaf := range q.Pattern.EventNodes() {
+		aliases[leaf.Alias] = true
+		aliasType[leaf.Alias] = leaf.Type
+		typeCount[leaf.Type]++
+	}
+	// RETURN aggregate targets may be written with the alias (SUM(M.cpu)
+	// where M aliases Measurement) or the type name.
+	for i := range q.Aggs {
+		sp := &q.Aggs[i]
+		if sp.Kind == aggregate.CountStar {
+			continue
+		}
+		name := string(sp.Type)
+		if t, ok := aliasType[name]; ok {
+			sp.Type = t
+			continue
+		}
+		if typeCount[sp.Type] > 0 {
+			continue
+		}
+		return fmt.Errorf("query: aggregate %s references unknown type or alias %q", sp, name)
+	}
+	if q.Where != nil {
+		if len(aliases) == 1 {
+			var only string
+			for a := range aliases {
+				only = a
+			}
+			q.Where = predicate.ResolveBareRefs(q.Where, only)
+		}
+		for _, r := range predicate.Refs(q.Where) {
+			if r.Alias == "" {
+				return fmt.Errorf("query: bare attribute %q is ambiguous; qualify it with a pattern alias", r.Attr)
+			}
+			if !aliases[r.Alias] {
+				// Allow the underlying type name as a stand-in for a
+				// uniquely aliased type.
+				if cnt := typeCount[event.Type(r.Alias)]; cnt == 1 {
+					var al string
+					for a, t := range aliasType {
+						if t == event.Type(r.Alias) {
+							al = a
+						}
+					}
+					q.Where = renameAlias(q.Where, r.Alias, al)
+					continue
+				}
+				return fmt.Errorf("query: predicate references unknown alias %q", r.Alias)
+			}
+		}
+	}
+	return nil
+}
+
+func renameAlias(e predicate.Expr, from, to string) predicate.Expr {
+	switch n := e.(type) {
+	case predicate.Ref:
+		if n.Alias == from {
+			return predicate.Ref{Alias: to, Attr: n.Attr, Next: n.Next}
+		}
+		return n
+	case predicate.Binary:
+		return predicate.Binary{Op: n.Op, L: renameAlias(n.L, from, to), R: renameAlias(n.R, from, to)}
+	}
+	return e
+}
+
+// String reconstructs a canonical query text.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("RETURN ")
+	var items []string
+	items = append(items, q.ReturnAttrs...)
+	for _, a := range q.Aggs {
+		items = append(items, a.String())
+	}
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" PATTERN ")
+	b.WriteString(q.Pattern.String())
+	if q.Where != nil || len(q.Equivalence) > 0 {
+		b.WriteString(" WHERE ")
+		var parts []string
+		if len(q.Equivalence) > 0 {
+			parts = append(parts, "["+strings.Join(q.Equivalence, ", ")+"]")
+		}
+		if q.Where != nil {
+			parts = append(parts, q.Where.String())
+		}
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP-BY " + strings.Join(q.GroupBy, ", "))
+	}
+	if !q.Window.Unbounded() {
+		fmt.Fprintf(&b, " WITHIN %d SLIDE %d", q.Window.Within, q.Window.Slide)
+	}
+	if q.MinLen > 1 {
+		fmt.Fprintf(&b, " MINLEN %d", q.MinLen)
+	}
+	if q.Semantics != SkipTillAnyMatch {
+		b.WriteString(" SEMANTICS " + q.Semantics.String())
+	}
+	return b.String()
+}

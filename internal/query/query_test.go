@@ -1,0 +1,198 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+)
+
+// The paper's three motivating queries (§1).
+const (
+	q1 = `RETURN sector, COUNT(*) PATTERN Stock S+
+	      WHERE [company, sector] AND S.price > NEXT(S).price
+	      GROUP-BY sector WITHIN 10 minutes SLIDE 10 seconds`
+	q2 = `RETURN mapper, SUM(M.cpu)
+	      PATTERN SEQ(Start S, Measurement M+, End E)
+	      WHERE [job, mapper] AND M.load < NEXT(M).load
+	      GROUP-BY mapper WITHIN 1 minute SLIDE 30 seconds`
+	q3 = `RETURN segment, COUNT(*), AVG(P.speed)
+	      PATTERN SEQ(NOT Accident A, Position P+)
+	      WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed
+	      GROUP-BY segment WITHIN 5 minutes SLIDE 1 minute`
+)
+
+func TestParseQ1(t *testing.T) {
+	q, err := Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Kind != aggregate.CountStar {
+		t.Errorf("aggs = %v", q.Aggs)
+	}
+	if len(q.ReturnAttrs) != 1 || q.ReturnAttrs[0] != "sector" {
+		t.Errorf("return attrs = %v", q.ReturnAttrs)
+	}
+	if got := q.Pattern.String(); got != "Stock S+" {
+		t.Errorf("pattern = %s", got)
+	}
+	if len(q.Equivalence) != 2 || q.Equivalence[0] != "company" || q.Equivalence[1] != "sector" {
+		t.Errorf("equivalence = %v", q.Equivalence)
+	}
+	if q.Where == nil || !strings.Contains(q.Where.String(), "S.price > NEXT(S).price") {
+		t.Errorf("where = %v", q.Where)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "sector" {
+		t.Errorf("group-by = %v", q.GroupBy)
+	}
+	if q.Window.Within != 600 || q.Window.Slide != 10 {
+		t.Errorf("window = %+v", q.Window)
+	}
+}
+
+func TestParseQ2(t *testing.T) {
+	q, err := Parse(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SUM(M.cpu): M is the alias for type Measurement and must resolve.
+	if q.Aggs[0].Kind != aggregate.Sum || q.Aggs[0].Type != "Measurement" || q.Aggs[0].Attr != "cpu" {
+		t.Errorf("agg = %+v", q.Aggs[0])
+	}
+	if q.Window.Within != 60 || q.Window.Slide != 30 {
+		t.Errorf("window = %+v", q.Window)
+	}
+}
+
+func TestParseQ3(t *testing.T) {
+	q, err := Parse(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggs) != 2 {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	if q.Aggs[1].Kind != aggregate.Avg || q.Aggs[1].Type != "Position" {
+		t.Errorf("avg agg = %+v", q.Aggs[1])
+	}
+	if !q.Pattern.IsPositive() == false && q.Pattern.IsPositive() {
+		t.Error("pattern should contain negation")
+	}
+	if q.Window.Within != 300 || q.Window.Slide != 60 {
+		t.Errorf("window = %+v", q.Window)
+	}
+	// [P.vehicle, segment]: the alias qualifier is stripped.
+	if len(q.Equivalence) != 2 || q.Equivalence[0] != "vehicle" {
+		t.Errorf("equivalence = %v", q.Equivalence)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse("RETURN COUNT(*), COUNT(A), MIN(A.x), MAX(A.x), SUM(A.x), AVG(A.x) PATTERN A+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []aggregate.SpecKind{
+		aggregate.CountStar, aggregate.CountType, aggregate.Min,
+		aggregate.Max, aggregate.Sum, aggregate.Avg,
+	}
+	if len(q.Aggs) != len(kinds) {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	for i, k := range kinds {
+		if q.Aggs[i].Kind != k {
+			t.Errorf("agg %d kind = %v, want %v", i, q.Aggs[i].Kind, k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"PATTERN A+",                          // missing RETURN
+		"RETURN COUNT(*)",                     // missing PATTERN
+		"RETURN sector PATTERN A+",            // no aggregate
+		"RETURN COUNT(*) PATTERN A+ WITHIN 5", // WITHIN without SLIDE
+		"RETURN COUNT(*) PATTERN A+ WITHIN 5 SLIDE 10",   // slide > within
+		"RETURN COUNT(*) PATTERN A+ WITHIN 5 SLIDE 0",    // zero slide
+		"RETURN SUM(x) PATTERN A+",                       // SUM without Type.Attr
+		"RETURN COUNT(*) PATTERN A+ WHERE Z.a > 1",       // unknown alias
+		"RETURN SUM(Z.x) PATTERN A+",                     // unknown agg target
+		"RETURN COUNT(*) PATTERN A+ SEMANTICS bogus",     // unknown semantics
+		"RETURN COUNT(*) PATTERN A+ PATTERN B+",          // duplicate clause
+		"bogus RETURN COUNT(*) PATTERN A+",               // leading junk
+		"RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE x > 1", // ambiguous bare attr
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestBareAttrSingleAlias(t *testing.T) {
+	// With a single alias, bare attribute references resolve to it.
+	q, err := Parse("RETURN COUNT(*) PATTERN A+ WHERE price > NEXT(A).price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Where.String(), "A.price") {
+		t.Errorf("where = %v", q.Where)
+	}
+}
+
+func TestTypeNameInPredicate(t *testing.T) {
+	// A predicate may use the type name when the type has one alias.
+	q, err := Parse("RETURN COUNT(*) PATTERN Stock S+ WHERE Stock.price > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Where.String(), "S.price") {
+		t.Errorf("where = %v", q.Where)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"RETURN COUNT(*) PATTERN A+ WITHIN 10 seconds SLIDE 5 seconds", 10},
+		{"RETURN COUNT(*) PATTERN A+ WITHIN 2 minutes SLIDE 1 minute", 120},
+		{"RETURN COUNT(*) PATTERN A+ WITHIN 1 hour SLIDE 30 minutes", 3600},
+		{"RETURN COUNT(*) PATTERN A+ WITHIN 42 SLIDE 7", 42},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if q.Window.Within != c.want {
+			t.Errorf("%q: within = %d, want %d", c.src, q.Window.Within, c.want)
+		}
+	}
+}
+
+func TestSemanticsClause(t *testing.T) {
+	q := MustParse("RETURN COUNT(*) PATTERN A+ SEMANTICS skip-till-next-match")
+	if q.Semantics != SkipTillNextMatch {
+		t.Errorf("semantics = %v", q.Semantics)
+	}
+	q = MustParse("RETURN COUNT(*) PATTERN A+ SEMANTICS contiguous")
+	if q.Semantics != Contiguous {
+		t.Errorf("semantics = %v", q.Semantics)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	q := MustParse(q1)
+	s := q.String()
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if q2.Window != q.Window || len(q2.Aggs) != len(q.Aggs) {
+		t.Errorf("round trip mismatch: %q vs %q", s, q2.String())
+	}
+}

@@ -1,0 +1,94 @@
+// Package reorder implements bounded out-of-order event handling: a
+// slack-based reorder buffer in the spirit of the out-of-order stream
+// processing literature the paper delegates to (§2, citing Li et al.
+// and Liu et al.): "we assume that events arrive in-order by time
+// stamps. Otherwise, an existing approach to handle out-of-order events
+// can be employed."
+//
+// The buffer holds events until the observed maximum timestamp exceeds
+// their timestamp by at least the configured slack, then releases them
+// in (time, id) order. Events arriving later than the already-released
+// horizon are reported as dropped.
+package reorder
+
+import (
+	"container/heap"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// Buffer is a slack-based reorderer. The zero value is unusable; use
+// New.
+type Buffer struct {
+	slack    event.Time
+	h        eventHeap
+	maxSeen  event.Time
+	released event.Time
+	dropped  uint64
+	out      func(*event.Event)
+}
+
+// New returns a buffer that delays events by up to slack time units and
+// delivers them in order to out.
+func New(slack event.Time, out func(*event.Event)) *Buffer {
+	return &Buffer{slack: slack, maxSeen: -1, released: -1, out: out}
+}
+
+// Push offers an event in arrival order. Events whose timestamp is
+// already behind the released horizon are dropped (counted in
+// Dropped()); everything else is buffered and released once safe.
+func (b *Buffer) Push(e *event.Event) {
+	if e.Time < b.released {
+		b.dropped++
+		return
+	}
+	heap.Push(&b.h, e)
+	if e.Time > b.maxSeen {
+		b.maxSeen = e.Time
+	}
+	b.drain(b.maxSeen - b.slack)
+}
+
+// drain releases all buffered events with time <= horizon.
+func (b *Buffer) drain(horizon event.Time) {
+	for b.h.Len() > 0 && b.h[0].Time <= horizon {
+		e := heap.Pop(&b.h).(*event.Event)
+		if e.Time > b.released {
+			b.released = e.Time
+		}
+		b.out(e)
+	}
+}
+
+// Flush releases every buffered event in order; call at end of stream.
+func (b *Buffer) Flush() {
+	b.drain(1<<62 - 1)
+}
+
+// Pending returns the number of buffered events.
+func (b *Buffer) Pending() int { return b.h.Len() }
+
+// Dropped returns the number of events that arrived too late (beyond
+// the slack) and were discarded.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// eventHeap orders by (Time, ID).
+type eventHeap []*event.Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].ID < h[j].ID
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event.Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

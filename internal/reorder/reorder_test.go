@@ -1,0 +1,115 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+func mk(id uint64, t event.Time) *event.Event {
+	return &event.Event{ID: id, Type: "A", Time: t}
+}
+
+func TestInOrderPassThrough(t *testing.T) {
+	var got []event.Time
+	b := New(0, func(e *event.Event) { got = append(got, e.Time) })
+	for i := 1; i <= 5; i++ {
+		b.Push(mk(uint64(i), event.Time(i)))
+	}
+	b.Flush()
+	for i, tm := range got {
+		if tm != event.Time(i+1) {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	if b.Dropped() != 0 {
+		t.Errorf("dropped = %d", b.Dropped())
+	}
+}
+
+func TestReordersWithinSlack(t *testing.T) {
+	var got []event.Time
+	b := New(5, func(e *event.Event) { got = append(got, e.Time) })
+	for _, tm := range []event.Time{3, 1, 2, 7, 5, 4, 10, 9} {
+		b.Push(mk(uint64(tm), tm))
+	}
+	b.Flush()
+	want := []event.Time{1, 2, 3, 4, 5, 7, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if b.Dropped() != 0 {
+		t.Errorf("dropped = %d", b.Dropped())
+	}
+}
+
+func TestDropsBeyondSlack(t *testing.T) {
+	var got []event.Time
+	b := New(2, func(e *event.Event) { got = append(got, e.Time) })
+	b.Push(mk(1, 10)) // maxSeen 10, horizon 8
+	b.Push(mk(2, 20)) // horizon 18: releases 10
+	b.Push(mk(3, 5))  // before released horizon 10: dropped
+	b.Flush()
+	if b.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", b.Dropped())
+	}
+	if len(got) != 2 {
+		t.Errorf("released %v", got)
+	}
+}
+
+// TestQuickOrdered: whatever the arrival permutation within slack, the
+// output is non-decreasing in time.
+func TestQuickOrdered(t *testing.T) {
+	f := func(seed int64, nRaw uint8, slackRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 1
+		slack := event.Time(slackRaw % 20)
+		var prev event.Time = -1
+		ok := true
+		b := New(slack, func(e *event.Event) {
+			if e.Time < prev {
+				ok = false
+			}
+			prev = e.Time
+		})
+		base := event.Time(0)
+		for i := 0; i < n; i++ {
+			base += event.Time(rng.Intn(3))
+			jitter := event.Time(rng.Intn(int(slack) + 1))
+			tm := base - jitter
+			if tm < 0 {
+				tm = 0
+			}
+			b.Push(mk(uint64(i), tm))
+			if !ok {
+				return false
+			}
+		}
+		b.Flush()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPending(t *testing.T) {
+	b := New(100, func(*event.Event) {})
+	b.Push(mk(1, 1))
+	b.Push(mk(2, 2))
+	if b.Pending() != 2 {
+		t.Errorf("pending = %d", b.Pending())
+	}
+	b.Flush()
+	if b.Pending() != 0 {
+		t.Errorf("pending after flush = %d", b.Pending())
+	}
+}

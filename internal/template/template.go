@@ -1,0 +1,280 @@
+// Package template implements the static GRETA template (paper §4.1,
+// Algorithm 1): the finite-state-automaton representation of a positive
+// Kleene pattern that guides runtime graph construction.
+//
+// States correspond to event leaves of the pattern (identified by
+// alias, which equals the event type unless the type occurs several
+// times — the §9 multi-occurrence extension). Transitions correspond to
+// the SEQ and Kleene-plus operators and define predecessor
+// relationships between states.
+package template
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/pattern"
+)
+
+// State is a template state: one event leaf of the pattern.
+type State struct {
+	Idx   int
+	Alias string
+	Type  event.Type
+	// Labels lists the pattern aliases this state represents. For plain
+	// templates it is {Alias}; for product templates (Product) it is the
+	// union of the component states' labels, so predicates written
+	// against pattern aliases can be attached to product states.
+	Labels []string
+	// Start marks states of type start(P): events of this state may
+	// begin a trend. End marks end(P) states: events of this state may
+	// finish a trend.
+	Start bool
+	End   bool
+	// Preds lists indices of predecessor states (states whose events may
+	// immediately precede events of this state in a trend).
+	Preds []int
+}
+
+// Transition is an automaton transition labeled "SEQ" or "+"
+// (Algorithm 1 lines 3–8).
+type Transition struct {
+	From, To int
+	Label    string
+}
+
+// Template is the automaton-based representation T = (S, T) of a
+// positive pattern.
+type Template struct {
+	States      []*State
+	Transitions []Transition
+	ByAlias     map[string]int
+	ByType      map[event.Type][]int
+	StartIdx    int // index of the unique start(P) state (Theorem 4.1)
+	EndIdx      int // index of the unique end(P) state
+}
+
+// Build constructs the GRETA template for a positive pattern per
+// Algorithm 1. The pattern must be negation-free and sugar-free (run
+// pattern.StripNegation / pattern.Expand first) with unique aliases.
+func Build(p *pattern.Node) (*Template, error) {
+	if p == nil {
+		return nil, fmt.Errorf("template: nil pattern")
+	}
+	if !p.IsPositive() {
+		return nil, fmt.Errorf("template: pattern %s contains negation; split it first", p)
+	}
+	t := &Template{ByAlias: map[string]int{}, ByType: map[event.Type][]int{}}
+	for _, leaf := range p.EventNodes() {
+		if _, dup := t.ByAlias[leaf.Alias]; dup {
+			return nil, fmt.Errorf("template: duplicate alias %q", leaf.Alias)
+		}
+		labels := []string{leaf.Alias}
+		if leaf.Label != "" && leaf.Label != leaf.Alias {
+			labels = append(labels, leaf.Label)
+		}
+		s := &State{Idx: len(t.States), Alias: leaf.Alias, Type: leaf.Type, Labels: labels}
+		t.States = append(t.States, s)
+		t.ByAlias[s.Alias] = s.Idx
+		t.ByType[s.Type] = append(t.ByType[s.Type], s.Idx)
+	}
+	if len(t.States) == 0 {
+		return nil, fmt.Errorf("template: pattern %s has no event types", p)
+	}
+	if err := t.addTransitions(p); err != nil {
+		return nil, err
+	}
+	startAlias, endAlias := pattern.Start(p), pattern.End(p)
+	t.StartIdx = t.ByAlias[startAlias]
+	t.EndIdx = t.ByAlias[endAlias]
+	t.States[t.StartIdx].Start = true
+	t.States[t.EndIdx].End = true
+	for _, tr := range t.Transitions {
+		t.States[tr.To].Preds = append(t.States[tr.To].Preds, tr.From)
+	}
+	for _, s := range t.States {
+		sort.Ints(s.Preds)
+		s.Preds = dedupInts(s.Preds)
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func MustBuild(p *pattern.Node) *Template {
+	t, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// addTransitions walks the pattern adding one transition per operator
+// (Algorithm 1 lines 3–8): end(Pi) → start(Pj) labeled "SEQ" for each
+// sequence pair, and end(Pi) → start(Pi) labeled "+" for each Kleene.
+func (t *Template) addTransitions(n *pattern.Node) error {
+	switch n.Kind {
+	case pattern.KindEvent:
+		return nil
+	case pattern.KindSeq:
+		for i := 0; i+1 < len(n.Children); i++ {
+			from := pattern.End(n.Children[i])
+			to := pattern.Start(n.Children[i+1])
+			t.Transitions = append(t.Transitions, Transition{t.ByAlias[from], t.ByAlias[to], "SEQ"})
+		}
+		for _, c := range n.Children {
+			if err := t.addTransitions(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pattern.KindPlus:
+		from := pattern.End(n.Children[0])
+		to := pattern.Start(n.Children[0])
+		t.Transitions = append(t.Transitions, Transition{t.ByAlias[from], t.ByAlias[to], "+"})
+		return t.addTransitions(n.Children[0])
+	default:
+		return fmt.Errorf("template: operator %v must be rewritten before template construction", n.Kind)
+	}
+}
+
+// PredAliases returns the aliases of the predecessor states of the
+// state with the given alias (P.predTypes in the paper).
+func (t *Template) PredAliases(alias string) []string {
+	idx, ok := t.ByAlias[alias]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(t.States[idx].Preds))
+	for _, p := range t.States[idx].Preds {
+		out = append(out, t.States[p].Alias)
+	}
+	return out
+}
+
+// Mid returns the aliases of states that are neither start nor end.
+func (t *Template) Mid() []string {
+	var out []string
+	for _, s := range t.States {
+		if !s.Start && !s.End {
+			out = append(out, s.Alias)
+		}
+	}
+	return out
+}
+
+// String renders the template compactly for debugging, e.g.
+// "A[start] B[end]; A-(+)->A A-(SEQ)->B B-(+)->A".
+func (t *Template) String() string {
+	var b strings.Builder
+	for i, s := range t.States {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Alias)
+		var marks []string
+		if s.Start {
+			marks = append(marks, "start")
+		}
+		if s.End {
+			marks = append(marks, "end")
+		}
+		if len(marks) > 0 {
+			b.WriteString("[" + strings.Join(marks, ",") + "]")
+		}
+	}
+	b.WriteString(";")
+	for _, tr := range t.Transitions {
+		fmt.Fprintf(&b, " %s-(%s)->%s", t.States[tr.From].Alias, tr.Label, t.States[tr.To].Alias)
+	}
+	return b.String()
+}
+
+func unionLabels(a, b []string) []string {
+	out := append([]string{}, a...)
+	for _, x := range b {
+		dup := false
+		for _, y := range out {
+			if x == y {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Product builds the intersection template of t1 and t2 (paper §9,
+// disjunction/conjunction support): its trends are exactly the trends
+// matched by both source patterns. States are pairs (s1, s2) with equal
+// event types; transitions advance both components simultaneously. The
+// result generally has several states per event type, which the runtime
+// supports via the multi-occurrence extension.
+func Product(t1, t2 *Template) *Template {
+	type pair struct{ a, b int }
+	idx := map[pair]int{}
+	t := &Template{ByAlias: map[string]int{}, ByType: map[event.Type][]int{}}
+	var pairs []pair
+	for _, s1 := range t1.States {
+		for _, s2 := range t2.States {
+			if s1.Type != s2.Type {
+				continue
+			}
+			p := pair{s1.Idx, s2.Idx}
+			alias := s1.Alias + "×" + s2.Alias
+			st := &State{
+				Idx:    len(t.States),
+				Alias:  alias,
+				Type:   s1.Type,
+				Labels: unionLabels(s1.Labels, s2.Labels),
+				Start:  s1.Start && s2.Start,
+				End:    s1.End && s2.End,
+			}
+			idx[p] = st.Idx
+			pairs = append(pairs, p)
+			t.States = append(t.States, st)
+			t.ByAlias[alias] = st.Idx
+			t.ByType[st.Type] = append(t.ByType[st.Type], st.Idx)
+		}
+	}
+	edge := func(tt *Template, from, to int) bool {
+		for _, tr := range tt.Transitions {
+			if tr.From == from && tr.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range pairs {
+		for _, q := range pairs {
+			if edge(t1, p.a, q.a) && edge(t2, p.b, q.b) {
+				t.Transitions = append(t.Transitions, Transition{idx[p], idx[q], "SEQ"})
+			}
+		}
+	}
+	for _, tr := range t.Transitions {
+		t.States[tr.To].Preds = append(t.States[tr.To].Preds, tr.From)
+	}
+	for _, s := range t.States {
+		sort.Ints(s.Preds)
+		s.Preds = dedupInts(s.Preds)
+	}
+	// StartIdx/EndIdx are not unique in a product; mark -1 and rely on
+	// the per-state Start/End flags.
+	t.StartIdx, t.EndIdx = -1, -1
+	return t
+}

@@ -1,0 +1,152 @@
+package template
+
+import (
+	"testing"
+
+	"github.com/greta-cep/greta/internal/pattern"
+)
+
+func TestBuildFig5(t *testing.T) {
+	// Paper Fig. 5: template for (SEQ(A+, B))+ has states A (start) and
+	// B (end) with transitions A-+->A, A-SEQ->B, B-+->A, and
+	// predTypes(A) = {A, B}, predTypes(B) = {A}.
+	tm := MustBuild(pattern.MustParse("(SEQ(A+, B))+"))
+	if len(tm.States) != 2 {
+		t.Fatalf("states = %d", len(tm.States))
+	}
+	a, b := tm.States[tm.ByAlias["A"]], tm.States[tm.ByAlias["B"]]
+	if !a.Start || a.End {
+		t.Errorf("A flags: start=%v end=%v", a.Start, a.End)
+	}
+	if b.Start || !b.End {
+		t.Errorf("B flags: start=%v end=%v", b.Start, b.End)
+	}
+	predA := tm.PredAliases("A")
+	if len(predA) != 2 {
+		t.Errorf("predTypes(A) = %v, want {A,B}", predA)
+	}
+	predB := tm.PredAliases("B")
+	if len(predB) != 1 || predB[0] != "A" {
+		t.Errorf("predTypes(B) = %v, want {A}", predB)
+	}
+	if len(tm.Transitions) != 3 {
+		t.Errorf("transitions = %v", tm.Transitions)
+	}
+}
+
+func TestBuildSingleType(t *testing.T) {
+	// A+ : A is both start and end, with a self-loop.
+	tm := MustBuild(pattern.MustParse("A+"))
+	a := tm.States[0]
+	if !a.Start || !a.End {
+		t.Error("A should be both start and end")
+	}
+	if len(a.Preds) != 1 || a.Preds[0] != 0 {
+		t.Errorf("preds = %v", a.Preds)
+	}
+}
+
+func TestBuildQ2(t *testing.T) {
+	tm := MustBuild(pattern.MustParse("SEQ(Start S, Measurement M+, End E)"))
+	if len(tm.States) != 3 {
+		t.Fatalf("states = %d", len(tm.States))
+	}
+	if tm.States[tm.StartIdx].Alias != "S" || tm.States[tm.EndIdx].Alias != "E" {
+		t.Errorf("start/end = %s/%s", tm.States[tm.StartIdx].Alias, tm.States[tm.EndIdx].Alias)
+	}
+	mids := tm.Mid()
+	if len(mids) != 1 || mids[0] != "M" {
+		t.Errorf("mid = %v", mids)
+	}
+	// M's predecessors: S (SEQ) and M (Kleene).
+	preds := tm.PredAliases("M")
+	if len(preds) != 2 {
+		t.Errorf("predTypes(M) = %v", preds)
+	}
+}
+
+func TestBuildMultiOccurrence(t *testing.T) {
+	// Fig. 13: SEQ(A1+, B2, A3, A4+, B5+).
+	tm := MustBuild(pattern.MustParse("SEQ(A+, B, A, A+, B+)"))
+	if len(tm.States) != 5 {
+		t.Fatalf("states = %d", len(tm.States))
+	}
+	if len(tm.ByType["A"]) != 3 || len(tm.ByType["B"]) != 2 {
+		t.Errorf("ByType = %v", tm.ByType)
+	}
+	if tm.States[tm.StartIdx].Alias != "A1" {
+		t.Errorf("start = %s", tm.States[tm.StartIdx].Alias)
+	}
+	if tm.States[tm.EndIdx].Alias != "B5" {
+		t.Errorf("end = %s", tm.States[tm.EndIdx].Alias)
+	}
+}
+
+func TestBuildRejectsNegation(t *testing.T) {
+	if _, err := Build(pattern.MustParse("SEQ(A+, NOT C, B)")); err == nil {
+		t.Error("expected error for negated pattern")
+	}
+}
+
+func TestBuildRejectsSugar(t *testing.T) {
+	if _, err := Build(pattern.MustParse("SEQ(A*, B)")); err == nil {
+		t.Error("expected error for starred pattern")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	// Product of A+ with SEQ(A+, B): trends matched by both must
+	// contain a B after a's — impossible for A+ trends, so the product
+	// has no state that is both start and end reachable... but the
+	// state structure is still well-formed: A×A with self loop.
+	t1 := MustBuild(pattern.MustParse("A+"))
+	t2 := MustBuild(pattern.MustParse("SEQ(A+, B)"))
+	p := Product(t1, t2)
+	if len(p.States) != 1 {
+		t.Fatalf("product states = %d, want 1 (A×A)", len(p.States))
+	}
+	st := p.States[0]
+	if !st.Start {
+		t.Error("A×A should be a start state")
+	}
+	if st.End {
+		t.Error("A×A must not be an end state (B missing)")
+	}
+	// Self-loop: both components allow A->A.
+	if len(st.Preds) != 1 {
+		t.Errorf("preds = %v", st.Preds)
+	}
+	if len(st.Labels) != 1 || st.Labels[0] != "A" {
+		t.Errorf("labels = %v", st.Labels)
+	}
+}
+
+func TestProductIdentical(t *testing.T) {
+	// P ∩ P should accept exactly P's trends: same state structure.
+	t1 := MustBuild(pattern.MustParse("SEQ(A+, B)"))
+	t2 := MustBuild(pattern.MustParse("SEQ(A+, B)"))
+	p := Product(t1, t2)
+	if len(p.States) != 2 {
+		t.Fatalf("states = %d", len(p.States))
+	}
+	starts, ends := 0, 0
+	for _, s := range p.States {
+		if s.Start {
+			starts++
+		}
+		if s.End {
+			ends++
+		}
+	}
+	if starts != 1 || ends != 1 {
+		t.Errorf("starts=%d ends=%d", starts, ends)
+	}
+}
+
+func TestString(t *testing.T) {
+	tm := MustBuild(pattern.MustParse("(SEQ(A+, B))+"))
+	s := tm.String()
+	if s == "" {
+		t.Error("empty string rendering")
+	}
+}

@@ -1,0 +1,147 @@
+// Package window implements the sliding-window arithmetic of the
+// WITHIN/SLIDE clause (paper §6): window identifiers (wids), the set of
+// windows an event falls into, pane sizing (paper §7, Time Panes), and
+// window close detection.
+//
+// Window wid covers the half-open time interval
+// [wid*Slide, wid*Slide+Within). An event at time t falls into
+// k = Within/Slide windows in the steady state.
+package window
+
+import (
+	"fmt"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// Spec is a WITHIN/SLIDE window specification. A zero Spec (Within ==
+// 0) means a single unbounded window covering the whole stream.
+type Spec struct {
+	Within event.Time
+	Slide  event.Time
+}
+
+// Global is the unbounded single-window spec.
+var Global = Spec{}
+
+// Unbounded reports whether the spec is the single global window.
+func (s Spec) Unbounded() bool { return s.Within <= 0 }
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Unbounded() {
+		return nil
+	}
+	if s.Slide <= 0 {
+		return fmt.Errorf("window: SLIDE must be positive, got %d", s.Slide)
+	}
+	if s.Slide > s.Within {
+		return fmt.Errorf("window: SLIDE %d larger than WITHIN %d creates gaps; events between windows would be dropped", s.Slide, s.Within)
+	}
+	return nil
+}
+
+// Start returns the start time of window wid.
+func (s Spec) Start(wid int64) event.Time {
+	if s.Unbounded() {
+		return 0
+	}
+	return wid * s.Slide
+}
+
+// End returns the exclusive end time of window wid.
+func (s Spec) End(wid int64) event.Time {
+	if s.Unbounded() {
+		return 1<<63 - 1
+	}
+	return wid*s.Slide + s.Within
+}
+
+// K returns the maximum number of windows an event can fall into.
+func (s Spec) K() int {
+	if s.Unbounded() {
+		return 1
+	}
+	return int((s.Within + s.Slide - 1) / s.Slide)
+}
+
+// Wids returns the inclusive range [lo, hi] of window ids containing
+// time t. With an unbounded spec the range is [0, 0].
+func (s Spec) Wids(t event.Time) (lo, hi int64) {
+	if s.Unbounded() {
+		return 0, 0
+	}
+	hi = floorDiv(t, s.Slide)
+	lo = floorDiv(t-s.Within, s.Slide) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// Contains reports whether window wid contains time t.
+func (s Spec) Contains(wid int64, t event.Time) bool {
+	if s.Unbounded() {
+		return true
+	}
+	return s.Start(wid) <= t && t < s.End(wid)
+}
+
+// ClosedBy returns the inclusive range [lo, hi] of window ids that are
+// closed by the arrival of an event at time t: windows with End <= t
+// that were still open at the previous observed time prev (exclusive).
+// Returns ok == false when no window closes. Use prev = -1 initially.
+func (s Spec) ClosedBy(prev, t event.Time) (lo, hi int64, ok bool) {
+	if s.Unbounded() {
+		return 0, 0, false
+	}
+	// Window wid closed iff wid*Slide + Within <= t.
+	hi = floorDiv(t-s.Within, s.Slide)
+	lo = floorDiv(prev-s.Within, s.Slide) + 1
+	if prev < 0 {
+		lo = 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// OldestNeeded returns the earliest time that can still contribute to
+// any window open at time t; events (and panes) strictly older can be
+// expired (paper §7, pane purge).
+func (s Spec) OldestNeeded(t event.Time) event.Time {
+	if s.Unbounded() {
+		return 0
+	}
+	lo, _ := s.Wids(t)
+	return s.Start(lo)
+}
+
+// PaneSize returns the duration of a Time Pane: gcd(Within, Slide),
+// the largest interval such that every window is an integral union of
+// panes (paper §7, citing Li et al.'s paired-window panes).
+func (s Spec) PaneSize() event.Time {
+	if s.Unbounded() {
+		return 1 << 30
+	}
+	return gcd(s.Within, s.Slide)
+}
+
+func gcd(a, b event.Time) event.Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func floorDiv(a, b event.Time) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,149 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWids(t *testing.T) {
+	// WITHIN 10 SLIDE 3: windows [0,10), [3,13), [6,16), [9,19), ...
+	s := Spec{Within: 10, Slide: 3}
+	cases := []struct {
+		t      int64
+		lo, hi int64
+	}{
+		{0, 0, 0},
+		{2, 0, 0},
+		{3, 0, 1},
+		{9, 0, 3},
+		{10, 1, 3},
+		{12, 1, 4},
+		{13, 2, 4},
+	}
+	for _, c := range cases {
+		lo, hi := s.Wids(c.t)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("Wids(%d) = (%d,%d), want (%d,%d)", c.t, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Spec{Within: 10, Slide: 3}
+	if !s.Contains(1, 3) || !s.Contains(1, 12) || s.Contains(1, 13) || s.Contains(1, 2) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+}
+
+func TestK(t *testing.T) {
+	if k := (Spec{Within: 10, Slide: 3}).K(); k != 4 {
+		t.Errorf("K = %d, want 4", k)
+	}
+	if k := (Spec{Within: 600, Slide: 10}).K(); k != 60 {
+		t.Errorf("K = %d, want 60", k)
+	}
+	if k := Global.K(); k != 1 {
+		t.Errorf("K = %d, want 1", k)
+	}
+}
+
+func TestClosedBy(t *testing.T) {
+	s := Spec{Within: 10, Slide: 3}
+	// At t=10 window 0 ([0,10)) closes.
+	lo, hi, ok := s.ClosedBy(-1, 10)
+	if !ok || lo != 0 || hi != 0 {
+		t.Errorf("ClosedBy(-1,10) = (%d,%d,%v)", lo, hi, ok)
+	}
+	// Nothing closes between 10 and 12.
+	if _, _, ok := s.ClosedBy(10, 12); ok {
+		t.Error("ClosedBy(10,12) should be empty")
+	}
+	// At t=20 windows 1 ([3,13)), 2 ([6,16)), 3 ([9,19)) close.
+	lo, hi, ok = s.ClosedBy(12, 20)
+	if !ok || lo != 1 || hi != 3 {
+		t.Errorf("ClosedBy(12,20) = (%d,%d,%v)", lo, hi, ok)
+	}
+}
+
+func TestPaneSize(t *testing.T) {
+	if p := (Spec{Within: 10, Slide: 3}).PaneSize(); p != 1 {
+		t.Errorf("pane = %d, want 1 (gcd)", p)
+	}
+	if p := (Spec{Within: 600, Slide: 10}).PaneSize(); p != 10 {
+		t.Errorf("pane = %d, want 10", p)
+	}
+	if p := (Spec{Within: 12, Slide: 8}).PaneSize(); p != 4 {
+		t.Errorf("pane = %d, want 4", p)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{Within: 10, Slide: 3}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Spec{Within: 5, Slide: 10}).Validate(); err == nil {
+		t.Error("slide > within should fail")
+	}
+	if err := (Spec{Within: 5, Slide: 0}).Validate(); err == nil {
+		t.Error("zero slide should fail")
+	}
+	if err := Global.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWidsConsistent: for any event time, Contains(wid, t) holds
+// exactly for the wids in [lo, hi] returned by Wids.
+func TestQuickWidsConsistent(t *testing.T) {
+	f := func(tRaw uint16, withinRaw, slideRaw uint8) bool {
+		within := int64(withinRaw%50) + 1
+		slide := int64(slideRaw%50) + 1
+		if slide > within {
+			slide, within = within, slide
+		}
+		s := Spec{Within: within, Slide: slide}
+		tm := int64(tRaw % 2000)
+		lo, hi := s.Wids(tm)
+		if lo > hi {
+			return false
+		}
+		for wid := lo - 2; wid <= hi+2; wid++ {
+			in := wid >= lo && wid <= hi
+			if wid >= 0 && s.Contains(wid, tm) != in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPaneAlignment: every window is an integral union of panes.
+func TestQuickPaneAlignment(t *testing.T) {
+	f := func(withinRaw, slideRaw uint8) bool {
+		within := int64(withinRaw%60) + 1
+		slide := int64(slideRaw%60) + 1
+		if slide > within {
+			slide, within = within, slide
+		}
+		s := Spec{Within: within, Slide: slide}
+		p := s.PaneSize()
+		return within%p == 0 && slide%p == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOldestNeeded(t *testing.T) {
+	s := Spec{Within: 10, Slide: 3}
+	// At t=12, open windows are 1..4; window 1 starts at 3.
+	if got := s.OldestNeeded(12); got != 3 {
+		t.Errorf("OldestNeeded(12) = %d, want 3", got)
+	}
+	if got := Global.OldestNeeded(1 << 40); got != 0 {
+		t.Errorf("global OldestNeeded = %d, want 0", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package netstream provides network ingestion for GRETA engines: a
+// line-oriented JSON protocol over TCP (or any net.Conn) that feeds an
+// engine from remote event producers and pushes window results back as
+// they are emitted.
+//
+// Protocol (newline-delimited JSON):
+//
+//	client → server   {"type":"Stock","time":17,"attrs":{"price":99.5},"str":{"company":"co01"}}
+//	client → server   {"cmd":"flush"}     — close windows, receive remaining results, end session
+//	server → client   {"result":{"group":"...","wid":3,"start":30,"end":60,"values":[42]}}
+//	server → client   {"done":true,"events":12345,"dropped":0}
+//
+// Events must arrive in non-decreasing time order per connection; an
+// optional reorder slack buffers and re-sorts bounded disorder (the
+// out-of-order handling the paper delegates upstream, §2).
+package netstream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/greta-cep/greta"
+	"github.com/greta-cep/greta/internal/reorder"
+)
+
+// WireEvent is the JSON representation of one event.
+type WireEvent struct {
+	Cmd   string             `json:"cmd,omitempty"`
+	Type  string             `json:"type,omitempty"`
+	Time  int64              `json:"time"`
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+	Str   map[string]string  `json:"str,omitempty"`
+}
+
+// WireResult is the JSON representation of one emitted result.
+type WireResult struct {
+	Group  string    `json:"group"`
+	Wid    int64     `json:"wid"`
+	Start  int64     `json:"start"`
+	End    int64     `json:"end"`
+	Values []float64 `json:"values"`
+}
+
+type wireOut struct {
+	Result *WireResult `json:"result,omitempty"`
+	Done   bool        `json:"done,omitempty"`
+	Events uint64      `json:"events,omitempty"`
+	Drop   uint64      `json:"dropped,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// EngineFactory builds a fresh engine per connection.
+type EngineFactory func() *greta.Engine
+
+// Server serves GRETA sessions: each accepted connection gets its own
+// engine (its own stream).
+type Server struct {
+	NewEngine EngineFactory
+	// Slack enables the reorder buffer with the given time slack.
+	Slack greta.Time
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// Serve accepts connections on ln until it is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// ServeConn runs one session over an established connection.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	eng := s.NewEngine()
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	var wmu sync.Mutex
+	send := func(o wireOut) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = enc.Encode(o)
+		_ = w.Flush()
+	}
+	eng.OnResult(func(r greta.Result) {
+		send(wireOut{Result: &WireResult{
+			Group: r.Group, Wid: r.Wid,
+			Start: r.WindowStart, End: r.WindowEnd,
+			Values: r.Values,
+		}})
+	})
+	var nextID uint64
+	feed := func(e *greta.Event) { eng.Process(e) }
+	var buf *reorder.Buffer
+	if s.Slack > 0 {
+		buf = reorder.New(s.Slack, feed)
+		feed = buf.Push
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var we WireEvent
+		if err := json.Unmarshal(line, &we); err != nil {
+			send(wireOut{Error: fmt.Sprintf("bad event: %v", err)})
+			continue
+		}
+		if we.Cmd == "flush" {
+			break
+		}
+		if we.Type == "" {
+			send(wireOut{Error: "event missing type"})
+			continue
+		}
+		nextID++
+		feed(&greta.Event{
+			ID:    nextID,
+			Type:  greta.Type(we.Type),
+			Time:  we.Time,
+			Attrs: we.Attrs,
+			Str:   we.Str,
+		})
+	}
+	if buf != nil {
+		buf.Flush()
+	}
+	eng.Flush()
+	var dropped uint64
+	if buf != nil {
+		dropped = buf.Dropped()
+	}
+	send(wireOut{Done: true, Events: eng.Stats().Events, Drop: dropped + eng.Stats().OutOfOrder})
+}
+
+// Client streams events to a netstream server and receives results.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(bufio.NewReader(conn))}
+}
+
+// Send streams one event.
+func (c *Client) Send(typ string, t int64, attrs map[string]float64, strs map[string]string) error {
+	return c.enc.Encode(WireEvent{Type: typ, Time: t, Attrs: attrs, Str: strs})
+}
+
+// Flush ends the stream and collects all remaining results plus the
+// session summary.
+func (c *Client) Flush() ([]WireResult, uint64, error) {
+	if err := c.enc.Encode(WireEvent{Cmd: "flush"}); err != nil {
+		return nil, 0, err
+	}
+	var results []WireResult
+	for {
+		var o wireOut
+		if err := c.dec.Decode(&o); err != nil {
+			return results, 0, err
+		}
+		if o.Error != "" {
+			return results, 0, fmt.Errorf("server: %s", o.Error)
+		}
+		if o.Result != nil {
+			results = append(results, *o.Result)
+		}
+		if o.Done {
+			return results, o.Events, nil
+		}
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

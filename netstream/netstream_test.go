@@ -1,0 +1,187 @@
+package netstream
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"github.com/greta-cep/greta"
+)
+
+func startServer(t *testing.T, qsrc string, slack greta.Time) (addr string, srv *Server) {
+	t.Helper()
+	stmt, err := greta.Compile(qsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = &Server{
+		NewEngine: func() *greta.Engine { return stmt.NewEngine() },
+		Slack:     slack,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+func TestEndToEndSession(t *testing.T) {
+	addr, _ := startServer(t, "RETURN COUNT(*), SUM(A.x) PATTERN (SEQ(A+, B))+", 0)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The Fig. 12 stream: expect COUNT(*)=11, SUM(A.x)=100.
+	send := func(typ string, tm int64, x float64) {
+		attrs := map[string]float64{}
+		if x != 0 {
+			attrs["x"] = x
+		}
+		if err := c.Send(typ, tm, attrs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send("A", 1, 5)
+	send("B", 2, 0)
+	send("A", 3, 6)
+	send("A", 4, 4)
+	send("B", 7, 0)
+	results, events, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 5 {
+		t.Errorf("events = %d, want 5", events)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Values[0] != 11 || results[0].Values[1] != 100 {
+		t.Errorf("values = %v, want [11 100]", results[0].Values)
+	}
+}
+
+func TestStreamingWindowResults(t *testing.T) {
+	addr, _ := startServer(t, "RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10", 0)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, tm := range []int64{1, 5, 12, 25} {
+		if err := c.Send("A", tm, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, _, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows 0 ([0,10): a1,a5 -> 3 trends), 1 ([10,20): a12 -> 1),
+	// 2 ([20,30): a25 -> 1).
+	if len(results) != 3 {
+		t.Fatalf("results = %+v, want 3 windows", results)
+	}
+	if results[0].Values[0] != 3 {
+		t.Errorf("window 0 count = %v, want 3", results[0].Values[0])
+	}
+}
+
+func TestReorderSlack(t *testing.T) {
+	addr, _ := startServer(t, "RETURN COUNT(*) PATTERN SEQ(A, B)", 10)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// B arrives before A but carries a later timestamp after reordering
+	// the pair forms one match.
+	if err := c.Send("B", 5, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send("A", 2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Values[0] != 1 {
+		t.Errorf("results = %+v, want one match", results)
+	}
+}
+
+func TestBadInputReported(t *testing.T) {
+	addr, _ := startServer(t, "RETURN COUNT(*) PATTERN A+", 0)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("{not json}\n")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	if _, _, err := c.Flush(); err == nil {
+		t.Error("expected protocol error for malformed event")
+	}
+}
+
+func TestMissingTypeReported(t *testing.T) {
+	addr, _ := startServer(t, "RETURN COUNT(*) PATTERN A+", 0)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send("", 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Flush(); err == nil {
+		t.Error("expected error for missing type")
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	addr, _ := startServer(t, "RETURN COUNT(*) PATTERN A+", 0)
+	done := make(chan error, 4)
+	for s := 0; s < 4; s++ {
+		go func(n int) {
+			c, err := Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for i := 1; i <= n; i++ {
+				if err := c.Send("A", int64(i), nil, nil); err != nil {
+					done <- err
+					return
+				}
+			}
+			results, _, err := c.Flush()
+			if err != nil {
+				done <- err
+				return
+			}
+			want := float64(uint64(1)<<uint(n)) - 1
+			if len(results) != 1 || results[0].Values[0] != want {
+				done <- errorf("session %d: got %+v, want %v", n, results, want)
+				return
+			}
+			done <- nil
+		}(3 + s)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func errorf(format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}

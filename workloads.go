@@ -1,0 +1,34 @@
+package greta
+
+import "github.com/greta-cep/greta/internal/gen"
+
+// The evaluation workloads of the paper (§10.1) are exposed for
+// examples, benchmarks, and downstream experimentation.
+
+// StockConfig parameterizes the NYSE-style transaction stream.
+type StockConfig = gen.StockConfig
+
+// LinearRoadConfig parameterizes the traffic position-report stream.
+type LinearRoadConfig = gen.LinearRoadConfig
+
+// ClusterConfig parameterizes the Hadoop cluster monitoring stream
+// (Table 2 distributions).
+type ClusterConfig = gen.ClusterConfig
+
+// StockStream generates a stock transaction stream.
+func StockStream(cfg StockConfig) []*Event { return gen.Stock(cfg) }
+
+// DefaultStock returns the paper-shaped stock configuration.
+func DefaultStock(events int) StockConfig { return gen.DefaultStock(events) }
+
+// LinearRoadStream generates a position-report stream.
+func LinearRoadStream(cfg LinearRoadConfig) []*Event { return gen.LinearRoad(cfg) }
+
+// DefaultLinearRoad returns the benchmark-shaped traffic configuration.
+func DefaultLinearRoad(events int) LinearRoadConfig { return gen.DefaultLinearRoad(events) }
+
+// ClusterStream generates a cluster monitoring stream.
+func ClusterStream(cfg ClusterConfig) []*Event { return gen.Cluster(cfg) }
+
+// DefaultCluster returns the Table 2-shaped cluster configuration.
+func DefaultCluster(events int) ClusterConfig { return gen.DefaultCluster(events) }
