@@ -1,0 +1,30 @@
+# Developer entry points. The repo needs only the Go toolchain.
+
+GO ?= go
+
+.PHONY: build test race bench bench-quick alloc-guard
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the paper-figure benchmarks (Fig. 14-17 + parallel
+# partitions) with allocation stats and writes BENCH_1.json, the perf
+# snapshot future changes are compared against.
+bench:
+	scripts/bench.sh BENCH_1.json 2s
+
+# bench-quick is the fast variant for local iteration (1 run per bench).
+bench-quick:
+	scripts/bench.sh BENCH_1.json 1x
+
+# alloc-guard runs the zero-allocation hot-path guard and the routing /
+# pool micro-benchmarks.
+alloc-guard:
+	$(GO) test -run TestNoHotPathAllocs -count=1 ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkPartitionRouting|BenchmarkPayloadPool' -benchmem ./internal/core

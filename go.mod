@@ -1,0 +1,3 @@
+module github.com/greta-cep/greta
+
+go 1.24.0

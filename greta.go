@@ -52,6 +52,17 @@ type Type = event.Type
 // Stream is an in-order event source.
 type Stream = event.Stream
 
+// Schema describes an event type's attributes. Binding events to a
+// schema (Schema.Bind or BindSchemas) populates dense slot arrays that
+// the runtime reads by precompiled index — the steady-state per-event
+// path then runs without map probes or allocation. Events without a
+// schema are processed through the equivalent map fallback.
+type Schema = event.Schema
+
+// BindSchemas binds each event whose type has a schema in schemas;
+// call once at ingest. Events of other types stay schemaless.
+func BindSchemas(evs []*Event, schemas []*Schema) { event.BindAll(evs, schemas) }
+
 // Builder assembles in-order test and example streams.
 type Builder = event.Builder
 

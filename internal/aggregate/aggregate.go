@@ -215,28 +215,33 @@ func (d *Def) OnEvent(dst *Payload, e *event.Event) {
 		if !ok {
 			continue
 		}
-		dv := &dst.Slots[i]
-		switch s.Kind {
-		case SlotCountE:
-			dv.N += dst.Count
-			if d.Mode == ModeExact {
-				dv.X.Add(dv.X, dst.XCount)
-			}
-		case SlotSum:
-			dv.F += attr * float64(dst.Count)
-			if d.Mode == ModeExact {
-				t := new(big.Float).SetPrec(sumPrec).SetInt(dst.XCount)
-				t.Mul(t, big.NewFloat(attr))
-				dv.XF.Add(dv.XF, t)
-			}
-		case SlotMin:
-			if attr < dv.F {
-				dv.F = attr
-			}
-		case SlotMax:
-			if attr > dv.F {
-				dv.F = attr
-			}
+		d.applySelf(dst, i, s.Kind, attr)
+	}
+}
+
+// applySelf folds the self-contribution of one event into slot i.
+func (d *Def) applySelf(dst *Payload, i int, kind SlotKind, attr float64) {
+	dv := &dst.Slots[i]
+	switch kind {
+	case SlotCountE:
+		dv.N += dst.Count
+		if d.Mode == ModeExact {
+			dv.X.Add(dv.X, dst.XCount)
+		}
+	case SlotSum:
+		dv.F += attr * float64(dst.Count)
+		if d.Mode == ModeExact {
+			t := new(big.Float).SetPrec(sumPrec).SetInt(dst.XCount)
+			t.Mul(t, big.NewFloat(attr))
+			dv.XF.Add(dv.XF, t)
+		}
+	case SlotMin:
+		if attr < dv.F {
+			dv.F = attr
+		}
+	case SlotMax:
+		if attr > dv.F {
+			dv.F = attr
 		}
 	}
 }

@@ -38,10 +38,62 @@ func (n *node[V]) leaf() bool { return len(n.children) == 0 }
 type Tree[V any] struct {
 	root *node[V]
 	size int
+	free *FreeList[V]
 }
 
 // New returns an empty tree.
 func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// FreeList recycles tree nodes. All Vertex Trees of one graph share a
+// free list, so nodes released when a pane expires are reused by later
+// insertions instead of allocated. Single-owner state: not safe for
+// concurrent use.
+type FreeList[V any] struct {
+	nodes []*node[V]
+}
+
+// NewFreeList returns an empty free list.
+func NewFreeList[V any]() *FreeList[V] { return &FreeList[V]{} }
+
+// NewWithFreeList returns an empty tree drawing nodes from f.
+func NewWithFreeList[V any](f *FreeList[V]) *Tree[V] { return &Tree[V]{free: f} }
+
+func (t *Tree[V]) newNode() *node[V] {
+	if t.free != nil {
+		if n := len(t.free.nodes); n > 0 {
+			nd := t.free.nodes[n-1]
+			t.free.nodes[n-1] = nil
+			t.free.nodes = t.free.nodes[:n-1]
+			return nd
+		}
+	}
+	return &node[V]{}
+}
+
+func (t *Tree[V]) putNode(n *node[V]) {
+	if t.free == nil {
+		return
+	}
+	n.items = n.items[:0]
+	n.children = n.children[:0]
+	t.free.nodes = append(t.free.nodes, n)
+}
+
+// Release empties the tree, returning every node to the free list.
+func (t *Tree[V]) Release() {
+	if t.root != nil {
+		t.releaseNode(t.root)
+	}
+	t.root = nil
+	t.size = 0
+}
+
+func (t *Tree[V]) releaseNode(n *node[V]) {
+	for _, c := range n.children {
+		t.releaseNode(c)
+	}
+	t.putNode(n)
+}
 
 // Len returns the number of items.
 func (t *Tree[V]) Len() int { return t.size }
@@ -52,16 +104,18 @@ func (t *Tree[V]) Len() int { return t.size }
 func (t *Tree[V]) Insert(key float64, id uint64, val V) {
 	it := Item[V]{key, id, val}
 	if t.root == nil {
-		t.root = &node[V]{items: []Item[V]{it}}
+		t.root = t.newNode()
+		t.root.items = append(t.root.items, it)
 		t.size = 1
 		return
 	}
 	if len(t.root.items) == maxItems {
 		old := t.root
-		t.root = &node[V]{children: []*node[V]{old}}
-		t.root.splitChild(0)
+		t.root = t.newNode()
+		t.root.children = append(t.root.children, old)
+		t.splitChild(t.root, 0)
 	}
-	t.root.insert(it)
+	t.insertInto(t.root, it)
 	t.size++
 }
 
@@ -82,11 +136,11 @@ func (n *node[V]) findSlot(key float64, id uint64) int {
 
 // splitChild splits the full child at index i, lifting the median item
 // into n.
-func (n *node[V]) splitChild(i int) {
+func (t *Tree[V]) splitChild(n *node[V], i int) {
 	child := n.children[i]
 	mid := degree - 1
 	median := child.items[mid]
-	right := &node[V]{}
+	right := t.newNode()
 	right.items = append(right.items, child.items[mid+1:]...)
 	child.items = child.items[:mid]
 	if !child.leaf() {
@@ -101,7 +155,7 @@ func (n *node[V]) splitChild(i int) {
 	n.children[i+1] = right
 }
 
-func (n *node[V]) insert(it Item[V]) {
+func (t *Tree[V]) insertInto(n *node[V], it Item[V]) {
 	i := n.findSlot(it.Key, it.ID)
 	if n.leaf() {
 		n.items = append(n.items, Item[V]{})
@@ -110,12 +164,12 @@ func (n *node[V]) insert(it Item[V]) {
 		return
 	}
 	if len(n.children[i].items) == maxItems {
-		n.splitChild(i)
+		t.splitChild(n, i)
 		if lessKey(n.items[i].Key, n.items[i].ID, it.Key, it.ID) {
 			i++
 		}
 	}
-	n.children[i].insert(it)
+	t.insertInto(n.children[i], it)
 }
 
 // AscendRange visits items with keys in the interval defined by lo/hi
@@ -242,13 +296,15 @@ func (t *Tree[V]) Delete(key float64, id uint64) bool {
 	if t.root == nil {
 		return false
 	}
-	ok := t.root.delete(key, id)
+	ok := t.deleteFrom(t.root, key, id)
 	if len(t.root.items) == 0 {
+		old := t.root
 		if t.root.leaf() {
 			t.root = nil
 		} else {
 			t.root = t.root.children[0]
 		}
+		t.putNode(old)
 	}
 	if ok {
 		t.size--
@@ -256,7 +312,7 @@ func (t *Tree[V]) Delete(key float64, id uint64) bool {
 	return ok
 }
 
-func (n *node[V]) delete(key float64, id uint64) bool {
+func (t *Tree[V]) deleteFrom(n *node[V], key float64, id uint64) bool {
 	i := n.findSlot(key, id)
 	found := i < len(n.items) && n.items[i].Key == key && n.items[i].ID == id
 	if n.leaf() {
@@ -273,28 +329,28 @@ func (n *node[V]) delete(key float64, id uint64) bool {
 		if len(left.items) >= degree {
 			pred := left.max()
 			n.items[i] = pred
-			return left.delete(pred.Key, pred.ID)
+			return t.deleteFrom(left, pred.Key, pred.ID)
 		}
 		right := n.children[i+1]
 		if len(right.items) >= degree {
 			succ := right.min()
 			n.items[i] = succ
-			return right.delete(succ.Key, succ.ID)
+			return t.deleteFrom(right, succ.Key, succ.ID)
 		}
 		// Merge left, median, right into left and recurse.
-		n.merge(i)
-		return n.children[i].delete(key, id)
+		t.mergeAt(n, i)
+		return t.deleteFrom(n.children[i], key, id)
 	}
 	// Descend into children[i], topping it up first if minimal. fill may
 	// merge the last child into its left sibling, shifting the target
 	// child index down by one.
 	if len(n.children[i].items) < degree {
-		n.fill(i)
+		t.fill(n, i)
 		if i > len(n.children)-1 {
 			i = len(n.children) - 1
 		}
 	}
-	return n.children[i].delete(key, id)
+	return t.deleteFrom(n.children[i], key, id)
 }
 
 func (n *node[V]) min() Item[V] {
@@ -311,19 +367,20 @@ func (n *node[V]) max() Item[V] {
 	return n.items[len(n.items)-1]
 }
 
-// merge folds children[i], items[i], children[i+1] into children[i].
-func (n *node[V]) merge(i int) {
+// mergeAt folds children[i], items[i], children[i+1] into children[i].
+func (t *Tree[V]) mergeAt(n *node[V], i int) {
 	left, right := n.children[i], n.children[i+1]
 	left.items = append(left.items, n.items[i])
 	left.items = append(left.items, right.items...)
 	left.children = append(left.children, right.children...)
 	n.items = append(n.items[:i], n.items[i+1:]...)
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	t.putNode(right)
 }
 
 // fill ensures children[i] has at least degree items by borrowing from
 // a sibling or merging.
-func (n *node[V]) fill(i int) {
+func (t *Tree[V]) fill(n *node[V], i int) {
 	if i > 0 && len(n.children[i-1].items) >= degree {
 		// Borrow from left sibling through the separator.
 		child, left := n.children[i], n.children[i-1]
@@ -354,8 +411,8 @@ func (n *node[V]) fill(i int) {
 		return
 	}
 	if i < len(n.children)-1 {
-		n.merge(i)
+		t.mergeAt(n, i)
 	} else {
-		n.merge(i - 1)
+		t.mergeAt(n, i-1)
 	}
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// allocStockSchema mirrors the stock generator's schema for the
+// hot-path allocation tests.
+var allocStockSchema = &event.Schema{
+	Type:    "Stock",
+	Numeric: []string{"price"},
+	Strings: []string{"company"},
+}
+
+// allocStockEvent builds one schema-bound stock event.
+func allocStockEvent(id uint64, t event.Time, company string, price float64) *event.Event {
+	ev := &event.Event{
+		ID:    id,
+		Type:  "Stock",
+		Time:  t,
+		Attrs: map[string]float64{"price": price},
+		Str:   map[string]string{"company": company},
+	}
+	allocStockSchema.Bind(ev)
+	return ev
+}
+
+// TestNoHotPathAllocs locks in the zero-allocation steady state of the
+// simple-plan Process path: schema-compiled events into an existing
+// partition, with the recycling pools pre-warmed by expired panes,
+// must not allocate at all.
+func TestNoHotPathAllocs(t *testing.T) {
+	q := query.MustParse("RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ " +
+		"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 10 SLIDE 10")
+	plan, err := NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(plan)
+
+	// Warmup: stream enough events through enough windows that panes
+	// expire and charge the vertex/payload/node pools, and the partition
+	// (company c0) exists.
+	id := uint64(0)
+	price := func(i uint64) float64 { return float64(1000 - i%7) }
+	for i := 0; i < 20000; i++ {
+		id++
+		eng.Process(allocStockEvent(id, event.Time(i/100), "c0", price(id)))
+	}
+
+	// Steady state: events at one fixed timestamp inside the current
+	// window — every Process matches the vertex state, scans
+	// predecessors, folds payloads, and stores a pooled vertex.
+	last := event.Time(20000 / 100)
+	const runs = 300
+	evs := make([]*event.Event, runs)
+	for i := range evs {
+		id++
+		evs[i] = allocStockEvent(id, last, "c0", price(id))
+	}
+	insertedBefore := eng.Stats().Inserted
+	i := 0
+	avg := testing.AllocsPerRun(runs-1, func() {
+		eng.Process(evs[i])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Process allocates %.2f objects/op, want 0", avg)
+	}
+	// Guard against the guard: the measured events must actually have
+	// exercised the insertion path (vertex + payload + tree insert), not
+	// a filtered no-op.
+	if got := eng.Stats().Inserted - insertedBefore; got < runs {
+		t.Fatalf("measured loop inserted %d vertices, want >= %d (test no longer exercises the hot path)", got, runs)
+	}
+}
+
+// BenchmarkPartitionRouting measures the hash-first partition lookup in
+// isolation: hashing the partitioning attributes of a schema-bound
+// event and resolving the partition with collision verification.
+func BenchmarkPartitionRouting(b *testing.B) {
+	q := query.MustParse("RETURN COUNT(*) PATTERN Stock S+ " +
+		"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 10 SLIDE 10")
+	plan, err := NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(plan)
+	const companies = 64
+	evs := make([]*event.Event, companies)
+	for c := range evs {
+		evs[c] = allocStockEvent(uint64(c+1), 0, fmt.Sprintf("co%02d", c), 100)
+		eng.Process(evs[c]) // create the partition
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := evs[i%companies]
+		h := eng.routeHash(ev)
+		if eng.lookupPartition(h, ev) == nil {
+			b.Fatal("partition missing")
+		}
+	}
+}
+
+// BenchmarkPayloadPool compares pooled payload recycling against fresh
+// allocation, for the payload shape of a COUNT + SUM query.
+func BenchmarkPayloadPool(b *testing.B) {
+	def := &aggregate.Def{Mode: aggregate.ModeNative}
+	def.AddSlot(aggregate.Slot{Kind: aggregate.SlotSum, Type: "Stock", Attr: "price"})
+	def.AddSlot(aggregate.Slot{Kind: aggregate.SlotCountE, Type: "Stock"})
+	b.Run("pooled", func(b *testing.B) {
+		pool := aggregate.NewPool(def)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pool.Get()
+			p.Count = 1
+			pool.Put(p)
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := def.New()
+			p.Count = 1
+			_ = p
+		}
+	})
+}

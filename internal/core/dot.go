@@ -27,21 +27,17 @@ func (e *Engine) DOT() string {
 		b.WriteString("}\n")
 		return b.String()
 	}
-	keys := make([]string, 0, len(e.parts))
-	for k := range e.parts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for pi, key := range keys {
-		part := e.parts[key]
+	parts := append([]*partition{}, e.partList...)
+	sort.Slice(parts, func(i, j int) bool { return parts[i].key < parts[j].key })
+	for pi, part := range parts {
 		for gi, g := range part.graphs {
 			name := "positive"
 			if g.spec.Negative {
 				name = fmt.Sprintf("negative %d", gi)
 			}
 			label := name
-			if key != "" {
-				label = fmt.Sprintf("%s [%s]", name, strings.ReplaceAll(key, "\x1f", ","))
+			if part.key != "" {
+				label = fmt.Sprintf("%s [%s]", name, strings.ReplaceAll(part.key, "\x1f", ","))
 			}
 			fmt.Fprintf(&b, "  subgraph cluster_%d_%d {\n    label=%q;\n", pi, gi, label)
 			g.dotVertices(&b, fmt.Sprintf("p%dg%d", pi, gi))
@@ -123,17 +119,14 @@ type GraphSnapshot struct {
 // Snapshot lists the live graphs of the engine.
 func (e *Engine) Snapshot() []GraphSnapshot {
 	var out []GraphSnapshot
-	keys := make([]string, 0, len(e.parts))
-	for k := range e.parts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		for _, g := range e.parts[key].graphs {
+	parts := append([]*partition{}, e.partList...)
+	sort.Slice(parts, func(i, j int) bool { return parts[i].key < parts[j].key })
+	for _, part := range parts {
+		for _, g := range part.graphs {
 			n := 0
 			g.forEachVertex(func(*Vertex) { n++ })
 			out = append(out, GraphSnapshot{
-				Partition: key,
+				Partition: part.key,
 				Negative:  g.spec.Negative,
 				Vertices:  n,
 				Panes:     len(g.panes),

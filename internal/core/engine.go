@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +36,12 @@ type Result struct {
 }
 
 // Stats aggregates runtime statistics over all partitions and graphs.
+// PeakVertices/PeakPayloads are the engine-level concurrent peaks,
+// sampled at window boundaries (and at flush): the true maximum of
+// simultaneously stored state, not the sum of per-partition peaks that
+// occurred at different times. After RunParallel they are the sum of
+// the workers' sampled peaks — an upper bound, since workers run
+// concurrently but peak at different instants.
 type Stats struct {
 	Events       uint64
 	OutOfOrder   uint64 // events dropped for violating time order
@@ -52,19 +59,52 @@ type partition struct {
 	graphs []*Graph
 	// group is the output grouping key (GROUP-BY attributes only).
 	group string
+	// key is the interned display form of the partition key, built once
+	// at creation (debug rendering and deterministic iteration order).
+	key string
+	// pk holds the typed partition-key values for hash-collision
+	// verification: routing is hash-first, so two distinct keys landing
+	// on the same 64-bit hash are told apart by comparing against pk.
+	pk partKey
 	// sched executes stream transactions concurrently when the engine
 	// runs in transactional mode (paper §7); nil otherwise.
 	sched *Scheduler
 }
+
+// partKey is the typed identity of a partition: one entry per
+// partitioning attribute, tagged by kind. Numbers compare by bit
+// pattern (matching the hash), strings by value.
+type partKey struct {
+	kinds []uint8 // pkMissing, pkNum, or pkStr per attribute
+	nums  []uint64
+	strs  []string
+}
+
+const (
+	pkMissing uint8 = iota
+	pkNum
+	pkStr
+)
 
 // Engine executes a compiled Plan over an in-order event stream
 // (the GRETA Runtime, paper Fig. 4).
 type Engine struct {
 	plan *Plan
 
-	// simple plan state
-	parts map[string]*partition
-	order []int // graph processing order: negatives before parents
+	// simple plan state: hash-first partition routing. parts maps the
+	// 64-bit partition-key hash to its (almost always singleton)
+	// collision chain; partList keeps creation order for iteration.
+	parts    map[uint64][]*partition
+	partList []*partition
+	order    []int // graph processing order: negatives before parents
+
+	// routeAcc reads the partitioning attributes (schema-compiled when
+	// events carry schemas); single-owner per engine.
+	routeAcc []event.Accessor
+
+	// cspecs holds the per-engine compiled form of each plan sub-spec,
+	// shared by that spec's graphs across all partitions.
+	cspecs []*compiledSpec
 
 	// composite plan state (disjunction / conjunction, §9)
 	branchEngines  []*Engine
@@ -89,8 +129,12 @@ type Engine struct {
 
 // NewEngine builds an engine for plan.
 func NewEngine(plan *Plan) *Engine {
-	e := &Engine{plan: plan, parts: map[string]*partition{}, prevTime: -1}
+	e := &Engine{plan: plan, parts: map[uint64][]*partition{}, prevTime: -1}
 	e.partAttrs = append(append([]string{}, plan.GroupBy...), plan.Query.Equivalence...)
+	e.routeAcc = make([]event.Accessor, len(e.partAttrs))
+	for i, a := range e.partAttrs {
+		e.routeAcc[i] = event.NewAccessor(a)
+	}
 	if !plan.Simple() {
 		for _, bp := range plan.Branches {
 			e.branchEngines = append(e.branchEngines, NewEngine(bp))
@@ -106,6 +150,11 @@ func NewEngine(plan *Plan) *Engine {
 	// equivalent of the time-driven scheduler of §7.
 	for i := len(plan.Subs) - 1; i >= 0; i-- {
 		e.order = append(e.order, i)
+	}
+	// Compile each sub-spec once per engine; partitions share the result.
+	e.cspecs = make([]*compiledSpec, len(plan.Subs))
+	for i, spec := range plan.Subs {
+		e.cspecs[i] = newCompiledSpec(spec, plan.Subs)
 	}
 	return e
 }
@@ -149,19 +198,153 @@ func attrKey(ev *event.Event, attrs []string) string {
 }
 
 // newPartition instantiates the graphs of one partition and wires
-// dependencies.
+// dependencies. The display key and group strings are interned here,
+// once per partition — never on the per-event path.
 func (e *Engine) newPartition(ev *event.Event) *partition {
+	key := attrKey(ev, e.partAttrs)
 	p := &partition{
 		graphs: make([]*Graph, len(e.plan.Subs)),
-		group:  attrKey(ev, e.plan.GroupBy),
+		group:  groupPrefix(key, len(e.plan.GroupBy), len(e.partAttrs)),
+		key:    key,
+		pk:     e.buildPartKey(ev),
 	}
 	for i, spec := range e.plan.Subs {
-		p.graphs[i] = newGraph(spec, e.plan.Window, e.plan.Sem)
+		p.graphs[i] = newGraph(spec, e.cspecs[i], e.plan.Window, e.plan.Sem)
 	}
 	for i, spec := range e.plan.Subs {
 		for _, dep := range spec.Deps {
-			p.graphs[i].addDep(p.graphs[dep], e.plan.Subs[dep])
+			p.graphs[i].addDep(p.graphs[dep], dep)
 		}
+	}
+	return p
+}
+
+// groupPrefix returns the prefix of the interned partition key that
+// covers its first n of total \x1f-separated segments — the GROUP-BY
+// attributes lead the partition-attribute list, so the group string is
+// a substring of the key (no extra interning).
+func groupPrefix(key string, n, total int) string {
+	if n == 0 {
+		return ""
+	}
+	if n >= total {
+		return key
+	}
+	seen := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x1f' {
+			seen++
+			if seen == n {
+				return key[:i]
+			}
+		}
+	}
+	return key
+}
+
+// routeHash computes the 64-bit partition-routing hash of an event
+// directly from its attribute values (FNV-1a over kind-tagged values) —
+// no key string is built. Events bound to a schema are read by dense
+// slot; schemaless events fall back to map probes.
+//
+// Partition identity is typed (see partKey): a missing attribute, an
+// empty-string value, and a numeric value are three distinct keys.
+// This is deliberately stricter than the legacy string rendering,
+// which conflated missing with "" and Str "5" with Attrs 5 — those
+// degenerate keys no longer share a partition
+// (TestTypedPartitionIdentity locks this in).
+func (e *Engine) routeHash(ev *event.Event) uint64 {
+	h := uint64(14695981039346656037)
+	for i := range e.routeAcc {
+		a := &e.routeAcc[i]
+		if s, ok := a.Str(ev); ok {
+			h = hashByte(h, pkStr)
+			for j := 0; j < len(s); j++ {
+				h = hashByte(h, s[j])
+			}
+		} else if f, ok := a.Float(ev); ok {
+			h = hashByte(h, pkNum)
+			h = hashU64(h, math.Float64bits(f))
+		} else {
+			h = hashByte(h, pkMissing)
+		}
+	}
+	return h
+}
+
+func hashByte(h uint64, b uint8) uint64 {
+	h ^= uint64(b)
+	h *= 1099511628211
+	return h
+}
+
+func hashU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = hashByte(h, uint8(v))
+		v >>= 8
+	}
+	return h
+}
+
+// buildPartKey captures the typed partition-key values of ev (partition
+// creation only).
+func (e *Engine) buildPartKey(ev *event.Event) partKey {
+	k := partKey{kinds: make([]uint8, len(e.routeAcc))}
+	for i := range e.routeAcc {
+		a := &e.routeAcc[i]
+		if s, ok := a.Str(ev); ok {
+			if k.strs == nil {
+				k.strs = make([]string, len(e.routeAcc))
+			}
+			k.kinds[i], k.strs[i] = pkStr, s
+		} else if f, ok := a.Float(ev); ok {
+			if k.nums == nil {
+				k.nums = make([]uint64, len(e.routeAcc))
+			}
+			k.kinds[i], k.nums[i] = pkNum, math.Float64bits(f)
+		}
+	}
+	return k
+}
+
+// keyMatches verifies that ev carries exactly the partition-key values
+// of pk (collision check after the hash lookup). Allocation-free.
+func (e *Engine) keyMatches(pk *partKey, ev *event.Event) bool {
+	for i := range e.routeAcc {
+		a := &e.routeAcc[i]
+		if s, ok := a.Str(ev); ok {
+			if pk.kinds[i] != pkStr || pk.strs[i] != s {
+				return false
+			}
+		} else if f, ok := a.Float(ev); ok {
+			if pk.kinds[i] != pkNum || pk.nums[i] != math.Float64bits(f) {
+				return false
+			}
+		} else if pk.kinds[i] != pkMissing {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupPartition resolves the partition of ev given its routing hash,
+// or nil when it does not exist yet.
+func (e *Engine) lookupPartition(h uint64, ev *event.Event) *partition {
+	for _, p := range e.parts[h] {
+		if e.keyMatches(&p.pk, ev) {
+			return p
+		}
+	}
+	return nil
+}
+
+// partitionFor returns (creating if needed) the partition of ev.
+func (e *Engine) partitionFor(h uint64, ev *event.Event) *partition {
+	p := e.lookupPartition(h, ev)
+	if p == nil {
+		p = e.newPartition(ev)
+		e.parts[h] = append(e.parts[h], p)
+		e.partList = append(e.partList, p)
 	}
 	return p
 }
@@ -171,12 +354,12 @@ func (e *Engine) newPartition(ev *event.Event) *partition {
 // delegated to upstream mechanisms); a late event would corrupt
 // already-propagated aggregates, so it is counted and dropped.
 func (e *Engine) Process(ev *event.Event) {
-	if ev.Time < e.prevTime {
-		e.stats.OutOfOrder++
-		return
-	}
-	e.stats.Events++
 	if !e.plan.Simple() {
+		if ev.Time < e.prevTime {
+			e.stats.OutOfOrder++
+			return
+		}
+		e.stats.Events++
 		for _, be := range e.branchEngines {
 			be.Process(ev)
 		}
@@ -186,6 +369,25 @@ func (e *Engine) Process(ev *event.Event) {
 		e.prevTime = ev.Time
 		return
 	}
+	var h uint64
+	if !e.transactional {
+		// The transactional path batches first and hashes in runBatch.
+		h = e.routeHash(ev)
+	}
+	e.ProcessRouted(ev, h)
+}
+
+// ProcessRouted is Process with the partition-routing hash already
+// computed (RunParallel hashes once to pick a worker and forwards the
+// hash with the event, so workers do not recompute it). Only valid for
+// simple plans; the hash must equal routeHash(ev) (it is ignored in
+// transactional mode, where runBatch hashes per batch).
+func (e *Engine) ProcessRouted(ev *event.Event, h uint64) {
+	if ev.Time < e.prevTime {
+		e.stats.OutOfOrder++
+		return
+	}
+	e.stats.Events++
 	if e.transactional {
 		// Seal and execute the previous same-timestamp transaction before
 		// the clock advances.
@@ -198,13 +400,12 @@ func (e *Engine) Process(ev *event.Event) {
 		return
 	}
 	e.closeUpTo(ev.Time)
+	e.dispatch(ev, h)
+}
 
-	key := attrKey(ev, e.partAttrs)
-	p := e.parts[key]
-	if p == nil {
-		p = e.newPartition(ev)
-		e.parts[key] = p
-	}
+// dispatch routes one event into its partition's graphs.
+func (e *Engine) dispatch(ev *event.Event, h uint64) {
+	p := e.partitionFor(h, ev)
 	// Dependency-ordered processing: all graphs a graph depends on see
 	// the event first (stream-transaction ordering, §7).
 	for _, idx := range e.order {
@@ -216,17 +417,40 @@ func (e *Engine) Process(ev *event.Event) {
 // merging partition payloads per output group.
 func (e *Engine) closeUpTo(t event.Time) {
 	if lo, hi, ok := e.plan.Window.ClosedBy(e.prevTime, t); ok {
+		// Window boundaries are the natural sampling points for the
+		// engine-level memory peak: state is maximal just before expiry.
+		e.samplePeaks()
 		for wid := lo; wid <= hi; wid++ {
 			e.closeWindow(wid)
 		}
 		// Let idle partitions reclaim expired panes.
-		for _, p := range e.parts {
+		for _, p := range e.partList {
 			for _, g := range p.graphs {
 				g.Advance(t)
 			}
 		}
 	}
 	e.prevTime = t
+}
+
+// samplePeaks updates the engine-level concurrent peak of stored
+// vertices and payloads. Summing per-graph peaks would overstate the
+// true peak (partitions peak at different times), so the engine samples
+// the actual concurrent totals at window boundaries.
+func (e *Engine) samplePeaks() {
+	var verts, pays uint64
+	for _, p := range e.partList {
+		for _, g := range p.graphs {
+			verts += g.stats.Vertices
+			pays += g.stats.Payloads
+		}
+	}
+	if verts > e.stats.PeakVertices {
+		e.stats.PeakVertices = verts
+	}
+	if pays > e.stats.PeakPayloads {
+		e.stats.PeakPayloads = pays
+	}
 }
 
 // runBatch executes the pending stream transaction: the batch is split
@@ -236,13 +460,7 @@ func (e *Engine) runBatch() {
 	byPart := map[*partition][]*event.Event{}
 	var order []*partition
 	for _, ev := range e.batch {
-		key := attrKey(ev, e.partAttrs)
-		p := e.parts[key]
-		if p == nil {
-			p = e.newPartition(ev)
-			p.sched = NewScheduler(p.graphs, e.plan.Subs)
-			e.parts[key] = p
-		}
+		p := e.partitionFor(e.routeHash(ev), ev)
 		if p.sched == nil {
 			p.sched = NewScheduler(p.graphs, e.plan.Subs)
 		}
@@ -262,15 +480,18 @@ func (e *Engine) runBatch() {
 func (e *Engine) closeWindow(wid int64) {
 	def := e.plan.Def()
 	merged := map[string]*aggregate.Payload{}
-	for _, p := range e.parts {
+	for _, p := range e.partList {
 		pl := p.graphs[0].CollectWindow(wid)
 		if pl == nil {
 			continue
 		}
 		if cur := merged[p.group]; cur == nil {
-			merged[p.group] = def.Clone(pl)
+			// CollectWindow transfers ownership, so the first payload of a
+			// group becomes the merge target directly (no clone).
+			merged[p.group] = pl
 		} else {
 			def.Merge(cur, pl)
+			p.graphs[0].Release(pl)
 		}
 	}
 	groups := make([]string, 0, len(merged))
@@ -293,6 +514,9 @@ func (e *Engine) emit(group string, wid int64, payload *aggregate.Payload) {
 		WindowEnd:   e.plan.Window.End(wid),
 		Payload:     payload,
 		Emitted:     time.Now(),
+	}
+	if len(e.plan.Specs) > 0 {
+		r.Values = make([]float64, 0, len(e.plan.Specs))
 	}
 	for _, ss := range e.plan.Specs {
 		r.Values = append(r.Values, def.Value(payload, ss.Spec, ss.Slot, ss.Slot2))
@@ -320,24 +544,30 @@ func (e *Engine) RunParallel(s event.Stream, workers int) {
 		e.Run(s)
 		return
 	}
+	type routed struct {
+		ev   *event.Event
+		hash uint64
+	}
 	subEngines := make([]*Engine, workers)
-	chans := make([]chan *event.Event, workers)
+	chans := make([]chan routed, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		subEngines[w] = NewEngine(e.plan)
-		chans[w] = make(chan *event.Event, 1024)
+		chans[w] = make(chan routed, 1024)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for ev := range chans[w] {
-				subEngines[w].Process(ev)
+			for r := range chans[w] {
+				subEngines[w].ProcessRouted(r.ev, r.hash)
 			}
 			subEngines[w].Flush()
 		}(w)
 	}
+	// One hash per event: it selects the worker AND rides along so the
+	// worker's Process does not recompute the partition key.
 	for ev := s.Next(); ev != nil; ev = s.Next() {
-		w := int(hashString(attrKey(ev, e.partAttrs)) % uint64(workers))
-		chans[w] <- ev
+		h := e.routeHash(ev)
+		chans[int(h%uint64(workers))] <- routed{ev, h}
 	}
 	for _, c := range chans {
 		close(c)
@@ -369,16 +599,6 @@ func (e *Engine) RunParallel(s event.Stream, workers int) {
 	sortResults(e.results)
 }
 
-func hashString(s string) uint64 {
-	// FNV-1a
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
 // Flush closes all open windows in all partitions.
 func (e *Engine) Flush() {
 	if !e.plan.Simple() {
@@ -394,8 +614,9 @@ func (e *Engine) Flush() {
 	if e.transactional && len(e.batch) > 0 {
 		e.runBatch()
 	}
+	e.samplePeaks()
 	widSet := map[int64]bool{}
-	for _, p := range e.parts {
+	for _, p := range e.partList {
 		for _, g := range p.graphs {
 			g.FoldAll()
 		}
@@ -450,20 +671,36 @@ func (e *Engine) Stats() Stats {
 		s.Results = len(e.results)
 		return s
 	}
-	s.Partitions = len(e.parts)
-	for _, p := range e.parts {
+	s.Partitions = len(e.partList)
+	// Engine-level peaks are sampled at window boundaries (samplePeaks);
+	// fold in the current totals so an engine that never closed a window
+	// still reports its live state.
+	var verts, pays uint64
+	for _, p := range e.partList {
 		for _, g := range p.graphs {
 			gs := g.Stats()
 			s.Inserted += gs.Inserted
 			s.Edges += gs.Edges
-			s.PeakVertices += gs.PeakVertices
-			s.PeakPayloads += gs.PeakPayloads
+			verts += gs.Vertices
+			pays += gs.Payloads
 		}
+	}
+	if verts > s.PeakVertices {
+		s.PeakVertices = verts
+	}
+	if pays > s.PeakPayloads {
+		s.PeakPayloads = pays
 	}
 	s.Results = len(e.results)
 	return s
 }
 
+// mergeStats folds a RunParallel worker's stats into the parent.
+// Workers run concurrently, so the sum of their sampled peaks is an
+// upper bound on the true concurrent peak (the workers' individual
+// peaks need not coincide in time); it is not the per-partition-sum
+// overstatement the sequential engine avoids, but callers should read
+// parallel-run peaks as a bound, not an exact maximum.
 func (e *Engine) mergeStats(se *Engine) {
 	ss := se.Stats()
 	e.stats.Inserted += ss.Inserted

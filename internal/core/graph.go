@@ -62,6 +62,7 @@ type depLink struct {
 	kind depKind
 	// prevStates / follStates are state indices in the parent template;
 	// nil means "all states" (Cases 2 and 3 invalidate whole events).
+	// They point at the shared linkProto maps (read-only at runtime).
 	prevStates map[int]bool
 	follStates map[int]bool
 	// prunable is true when events of the previous states may precede
@@ -77,15 +78,16 @@ type depLink struct {
 	minEnd   map[int64]event.Time
 }
 
-// GraphStats tracks runtime costs for the evaluation harness.
+// GraphStats tracks runtime costs for the evaluation harness. Peaks
+// are tracked at the engine level (Engine.samplePeaks), not per graph:
+// per-graph peaks occur at different times, so their sum overstates
+// the concurrent footprint.
 type GraphStats struct {
-	Events       uint64 // events offered to the graph
-	Vertices     uint64 // vertices currently stored
-	PeakVertices uint64
-	Inserted     uint64 // vertices ever inserted
-	Edges        uint64 // edges traversed (each exactly once, §7)
-	Payloads     uint64 // window payloads currently held
-	PeakPayloads uint64
+	Events   uint64 // events offered to the graph
+	Vertices uint64 // vertices currently stored
+	Inserted uint64 // vertices ever inserted
+	Edges    uint64 // edges traversed (each exactly once, §7)
+	Payloads uint64 // window payloads currently held
 }
 
 // Graph is a runtime GRETA graph for one sub-pattern in one stream
@@ -101,11 +103,15 @@ type Graph struct {
 
 	// results accumulates final aggregates per window incrementally
 	// (Theorem 4.3(2)); graphs with a Case-2 dependency compute finals
-	// lazily at window close instead (see closeWindow).
+	// lazily at window close instead (see closeWindow). Created on first
+	// END vertex: most graphs of a heavily partitioned stream never see
+	// one between window closes, so creation is deferred off the
+	// partition-creation path.
 	results   map[int64]*aggregate.Payload
 	lazyFinal bool
 	// endWids records windows that received at least one END vertex, so
-	// lazy finalization knows which windows may have results.
+	// lazy finalization knows which windows may have results. Lazily
+	// created like results.
 	endWids map[int64]bool
 
 	deps       []*depLink // dependencies where this graph is the parent
@@ -114,61 +120,243 @@ type Graph struct {
 	prevTime    event.Time // last processed event time
 	lastEventID uint64     // previous stream event id (contiguous semantics)
 
+	// cs is the engine-level compiled form of spec (predicates and
+	// accessors), shared by this spec's graphs across all partitions of
+	// one engine — see compiledSpec for why that sharing is race-free.
+	cs *compiledSpec
+
+	// ins is the insertion scratch state read by scanFn; scanFn and
+	// expireFn are created once so per-event tree scans allocate no
+	// closures.
+	ins      insertState
+	scanFn   func(btree.Item[*Vertex]) bool
+	expireFn func(btree.Item[*Vertex]) bool
+
 	stats GraphStats
 }
 
-// newGraph builds the runtime graph for spec.
-func newGraph(spec *GraphSpec, win window.Spec, sem query.Semantics) *Graph {
-	return &Graph{
+// edgePred is a compiled edge predicate: the static Edge with its
+// expression (and range right-hand side) compiled for schema-slot
+// access.
+type edgePred struct {
+	src  *predicate.Edge
+	eval *predicate.Compiled
+	rng  *predicate.Range
+	rhs  *predicate.Compiled // compiled rng.RHS(); nil when rng is nil
+}
+
+// compiledSpec is the per-engine compiled form of one GraphSpec:
+// predicate evaluators and attribute accessors whose schema-slot caches
+// mutate on evaluation, plus immutable derived tables. It is built once
+// per (engine, spec) and shared by that spec's graphs across all
+// partitions, so partition creation does not recompile.
+//
+// Sharing is race-free: within one engine, events are processed
+// sequentially, and the §7 scheduler's only concurrency is across
+// graphs of *different* specs inside one partition — each with its own
+// compiledSpec. Distinct engines (RunParallel workers) build their own.
+type compiledSpec struct {
+	cVert    [][]*predicate.Compiled // vertex predicates per state
+	epsBySrc [][][]*edgePred         // [toState][fromState] applicable edge predicates
+	sortAcc  []event.Accessor        // Vertex Tree sort-attribute accessor per state
+	slotAcc  []event.Accessor        // aggregate slot attribute accessors
+	hasSucc  []bool                  // state has outgoing transitions
+	links    map[int]*linkProto      // dependency-link template per child spec index
+
+	// Recycling pools, shared by the spec's graphs across partitions of
+	// one engine (sequential access, same argument as above): expired
+	// panes return payloads, vertices, panes, and tree nodes here so the
+	// steady-state per-event path allocates nothing — and a partition
+	// warms up from state another partition expired.
+	pool     aggregate.Pool
+	vfree    []*Vertex
+	pfree    []*pane
+	nodeFree btree.FreeList[*Vertex]
+}
+
+// linkProto is the immutable part of a depLink, computed once per
+// (parent spec, child spec) pair instead of per partition.
+type linkProto struct {
+	kind       depKind
+	prevStates map[int]bool
+	follStates map[int]bool
+	prunable   bool
+}
+
+// newCompiledSpec compiles spec against the schema-slot fast path.
+func newCompiledSpec(spec *GraphSpec, subs []*GraphSpec) *compiledSpec {
+	cs := &compiledSpec{}
+	cs.pool.Init(spec.Def)
+	n := len(spec.Tmpl.States)
+	cs.cVert = make([][]*predicate.Compiled, n)
+	for sIdx, vps := range spec.VertexPreds {
+		for _, vp := range vps {
+			cs.cVert[sIdx] = append(cs.cVert[sIdx], predicate.Compile(vp.Expr))
+		}
+	}
+	// Compile each distinct edge predicate once, then index the compiled
+	// form per (destination, source) state pair so the hot path does no
+	// label matching.
+	compiled := map[*predicate.Edge]*edgePred{}
+	cs.epsBySrc = make([][][]*edgePred, n)
+	for i := range cs.epsBySrc {
+		cs.epsBySrc[i] = make([][]*edgePred, n)
+	}
+	for toIdx, eps := range spec.EdgePreds {
+		for _, ep := range eps {
+			ce := compiled[ep]
+			if ce == nil {
+				ce = &edgePred{src: ep, eval: predicate.Compile(ep.Expr), rng: ep.Range}
+				if ep.Range != nil {
+					ce.rhs = predicate.Compile(ep.Range.RHS())
+				}
+				compiled[ep] = ce
+			}
+			for _, from := range spec.Tmpl.States {
+				if hasLabel(from, ep.From) {
+					cs.epsBySrc[toIdx][from.Idx] = append(cs.epsBySrc[toIdx][from.Idx], ce)
+				}
+			}
+		}
+	}
+	cs.sortAcc = make([]event.Accessor, n)
+	for sIdx := 0; sIdx < n; sIdx++ {
+		cs.sortAcc[sIdx] = event.NewAccessor(spec.SortAttr[sIdx])
+	}
+	cs.slotAcc = spec.Def.NewAccessors()
+	cs.hasSucc = make([]bool, n)
+	for _, st := range spec.Tmpl.States {
+		for _, p := range st.Preds {
+			cs.hasSucc[p] = true
+		}
+	}
+	cs.links = map[int]*linkProto{}
+	for _, dep := range spec.Deps {
+		cs.links[dep] = buildLinkProto(spec, subs[dep])
+	}
+	return cs
+}
+
+// buildLinkProto classifies the dependency on childSpec per paper §5.1
+// and precomputes the state sets of Case-1 links.
+func buildLinkProto(spec, childSpec *GraphSpec) *linkProto {
+	lp := &linkProto{}
+	switch {
+	case childSpec.Previous != "" && childSpec.Following != "":
+		lp.kind = depCase1
+	case childSpec.Previous != "":
+		lp.kind = depCase2
+	default:
+		lp.kind = depCase3
+	}
+	if lp.kind != depCase1 {
+		return lp
+	}
+	lp.prevStates = map[int]bool{}
+	lp.follStates = map[int]bool{}
+	for _, st := range spec.Tmpl.States {
+		if hasLabel(st, childSpec.Previous) {
+			lp.prevStates[st.Idx] = true
+		}
+		if hasLabel(st, childSpec.Following) {
+			lp.follStates[st.Idx] = true
+		}
+	}
+	// Invalid event pruning is safe when previous-state events may
+	// precede only following-state events (Theorem 5.1).
+	lp.prunable = true
+	for prev := range lp.prevStates {
+		for _, st := range spec.Tmpl.States {
+			for _, ps := range st.Preds {
+				if ps == prev && !lp.follStates[st.Idx] {
+					lp.prunable = false
+				}
+			}
+		}
+	}
+	return lp
+}
+
+// insertState carries one insertion through the candidate scan.
+type insertState struct {
+	e        *event.Event
+	sIdx     int
+	lo, hi   int64
+	payloads []*aggregate.Payload // aliases the vertex's Aggs
+	eps      []*edgePred          // edge predicates of the current transition
+	gotPred  bool
+}
+
+// newGraph builds the runtime graph for spec using the engine's
+// compiled form cs.
+func newGraph(spec *GraphSpec, cs *compiledSpec, win window.Spec, sem query.Semantics) *Graph {
+	g := &Graph{
 		spec:     spec,
+		cs:       cs,
 		def:      spec.Def,
 		win:      win,
 		sem:      sem,
 		paneSize: win.PaneSize(),
-		results:  map[int64]*aggregate.Payload{},
-		endWids:  map[int64]bool{},
 		prevTime: -1,
 	}
+	g.scanFn = g.scanVisit
+	g.expireFn = g.expireVisit
+	return g
 }
 
-// addDep wires a negative child graph into the parent.
-func (g *Graph) addDep(child *Graph, childSpec *GraphSpec) {
+// getVertex returns a recycled (or new) vertex with a nil-cleared Aggs
+// slice of length k.
+func (g *Graph) getVertex(k int) *Vertex {
+	var v *Vertex
+	if n := len(g.cs.vfree); n > 0 {
+		v = g.cs.vfree[n-1]
+		g.cs.vfree[n-1] = nil
+		g.cs.vfree = g.cs.vfree[:n-1]
+	} else {
+		v = &Vertex{}
+	}
+	if cap(v.Aggs) >= k {
+		v.Aggs = v.Aggs[:k]
+	} else {
+		v.Aggs = make([]*aggregate.Payload, k)
+	}
+	v.closed = false
+	return v
+}
+
+// putVertex recycles v, returning its remaining payloads to the pool.
+func (g *Graph) putVertex(v *Vertex) {
+	for i, p := range v.Aggs {
+		if p != nil {
+			g.cs.pool.Put(p)
+			v.Aggs[i] = nil
+		}
+	}
+	v.Ev = nil
+	g.cs.vfree = append(g.cs.vfree, v)
+}
+
+// Release returns a payload obtained from CollectWindow to the graph's
+// pool once the engine has folded it into the merged result.
+func (g *Graph) Release(p *aggregate.Payload) {
+	g.cs.pool.Put(p)
+}
+
+// addDep wires the negative child graph (spec index childIdx) into the
+// parent. The link's immutable classification comes from the shared
+// linkProto; only the per-partition watermark state is allocated here.
+func (g *Graph) addDep(child *Graph, childIdx int) {
+	lp := g.cs.links[childIdx]
 	link := &depLink{
-		maxStart: map[int64]int64{},
-		minEnd:   map[int64]event.Time{},
+		kind:       lp.kind,
+		prevStates: lp.prevStates,
+		follStates: lp.follStates,
+		prunable:   lp.prunable,
+		maxStart:   map[int64]int64{},
+		minEnd:     map[int64]event.Time{},
 	}
-	switch {
-	case childSpec.Previous != "" && childSpec.Following != "":
-		link.kind = depCase1
-	case childSpec.Previous != "":
-		link.kind = depCase2
+	if link.kind == depCase2 {
 		g.lazyFinal = true
-	default:
-		link.kind = depCase3
-	}
-	if link.kind == depCase1 {
-		link.prevStates = map[int]bool{}
-		link.follStates = map[int]bool{}
-		for _, st := range g.spec.Tmpl.States {
-			if hasLabel(st, childSpec.Previous) {
-				link.prevStates[st.Idx] = true
-			}
-			if hasLabel(st, childSpec.Following) {
-				link.follStates[st.Idx] = true
-			}
-		}
-		// Invalid event pruning is safe when previous-state events may
-		// precede only following-state events (Theorem 5.1).
-		link.prunable = true
-		for prev := range link.prevStates {
-			for _, st := range g.spec.Tmpl.States {
-				for _, ps := range st.Preds {
-					if ps == prev && !link.follStates[st.Idx] {
-						link.prunable = false
-					}
-				}
-			}
-		}
 	}
 	g.deps = append(g.deps, link)
 	child.parentLink = link
@@ -195,110 +383,85 @@ func (g *Graph) Process(e *event.Event) {
 
 // insertAt attempts to insert event e as a vertex of state sIdx
 // (Algorithm 2 generalized: per-state, per-window, all aggregates).
+// The steady-state path allocates nothing: the vertex, its payloads,
+// and its Aggs array come from the graph's recycling pools, and the
+// candidate scan runs through the preallocated scanFn closure.
 func (g *Graph) insertAt(e *event.Event, sIdx int, lo, hi int64) {
 	st := g.spec.Tmpl.States[sIdx]
-	for _, vp := range g.spec.VertexPreds[sIdx] {
-		if !vp.Eval(e) {
+	for _, cv := range g.cs.cVert[sIdx] {
+		if !cv.EvalEvent(e) {
 			return
 		}
 	}
 	k := int(hi - lo + 1)
-	// Case-3 invalidation: the event is unusable in windows containing a
-	// finished negative trend that ended before it (paper Fig. 8(b)).
-	validWid := func(wid int64) bool {
-		for _, d := range g.deps {
-			if d.kind != depCase3 {
-				continue
-			}
-			if te, ok := d.minEnd[wid]; ok && te < e.Time {
-				return false
-			}
-		}
-		return true
-	}
-	payloads := make([]*aggregate.Payload, k)
-	gotPred := false
+	v := g.getVertex(k)
+	ins := &g.ins
+	ins.e, ins.sIdx, ins.lo, ins.hi = e, sIdx, lo, hi
+	ins.payloads = v.Aggs
+	ins.gotPred = false
 	for _, psIdx := range st.Preds {
-		g.forEachCandidate(e, psIdx, sIdx, lo, func(p *Vertex) {
-			connected := false
-			pHi := p.FirstWid + int64(len(p.Aggs)) - 1
-			shLo, shHi := lo, pHi
-			if shHi > hi {
-				shHi = hi
-			}
-			for wid := shLo; wid <= shHi; wid++ {
-				pp := p.Aggs[wid-p.FirstWid]
-				if pp == nil || !validWid(wid) {
-					continue
-				}
-				if g.invalidPred(p, sIdx, wid, e.Time) {
-					continue
-				}
-				i := int(wid - lo)
-				if payloads[i] == nil {
-					payloads[i] = g.def.New()
-				}
-				g.def.AddPred(payloads[i], pp)
-				connected = true
-			}
-			if connected {
-				g.stats.Edges++
-				gotPred = true
-				if g.sem == query.SkipTillNextMatch {
-					p.closed = true
-				}
-			}
-		})
+		g.scanCandidates(psIdx, sIdx)
 	}
-	if !st.Start && !gotPred {
+	ins.e = nil
+	if !st.Start && !ins.gotPred {
 		// A MID or END event without predecessor events extends no trend
 		// and is not inserted (Algorithm 2 line 5).
+		g.putVertex(v)
 		return
 	}
 	hasPayload := false
 	for i := 0; i < k; i++ {
 		wid := lo + int64(i)
-		if !validWid(wid) {
-			payloads[i] = nil
+		if !g.validWid(wid, e.Time) {
+			if v.Aggs[i] != nil {
+				g.cs.pool.Put(v.Aggs[i])
+				v.Aggs[i] = nil
+			}
 			continue
 		}
 		if st.Start {
-			if payloads[i] == nil {
-				payloads[i] = g.def.New()
+			if v.Aggs[i] == nil {
+				v.Aggs[i] = g.cs.pool.Get()
 			}
-			g.def.OnStart(payloads[i], e.Time)
+			g.def.OnStart(v.Aggs[i], e.Time)
 		}
-		if payloads[i] != nil {
-			g.def.OnEvent(payloads[i], e)
+		if v.Aggs[i] != nil {
+			g.def.OnEventAcc(v.Aggs[i], e, g.cs.slotAcc)
 			hasPayload = true
 		}
 	}
 	if !hasPayload {
+		g.putVertex(v)
 		return
 	}
-	v := &Vertex{Ev: e, State: sIdx, FirstWid: lo, Aggs: payloads}
+	v.Ev, v.State, v.FirstWid = e, sIdx, lo
 	if st.End {
 		g.onEndVertex(v, lo, hi)
 	}
 	// Finished trend pruning (paper §5.2): an END vertex of a negative
 	// graph whose state has no outgoing transitions can never extend a
 	// trend; it has done its invalidation work and is not stored.
-	if g.spec.Negative && st.End && !g.hasSuccessors(sIdx) {
+	if g.spec.Negative && st.End && !g.cs.hasSucc[sIdx] {
+		g.putVertex(v)
 		return
 	}
 	g.store(v)
 }
 
-// hasSuccessors reports whether any state lists sIdx as a predecessor.
-func (g *Graph) hasSuccessors(sIdx int) bool {
-	for _, st := range g.spec.Tmpl.States {
-		for _, p := range st.Preds {
-			if p == sIdx {
-				return true
-			}
+// validWid reports whether e at time t may carry trends in window wid
+// under Case-3 invalidation: the event is unusable in windows
+// containing a finished negative trend that ended before it (paper
+// Fig. 8(b)).
+func (g *Graph) validWid(wid int64, t event.Time) bool {
+	for _, d := range g.deps {
+		if d.kind != depCase3 {
+			continue
+		}
+		if te, ok := d.minEnd[wid]; ok && te < t {
+			return false
 		}
 	}
-	return false
+	return true
 }
 
 // onEndVertex folds an END vertex into final aggregates (positive
@@ -329,13 +492,19 @@ func (g *Graph) onEndVertex(v *Vertex, lo, hi int64) {
 			continue
 		}
 		wid := lo + int64(i)
+		if g.endWids == nil {
+			g.endWids = map[int64]bool{}
+		}
 		g.endWids[wid] = true
 		if g.lazyFinal {
 			continue
 		}
 		r := g.results[wid]
 		if r == nil {
-			r = g.def.New()
+			r = g.cs.pool.Get()
+			if g.results == nil {
+				g.results = map[int64]*aggregate.Payload{}
+			}
 			g.results[wid] = r
 		}
 		g.def.Merge(r, p)
@@ -435,6 +604,7 @@ func (g *Graph) pruneInvalid(d *depLink) {
 					pn.vertices--
 					g.stats.Vertices--
 					g.stats.Payloads -= uint64(countPayloads(v))
+					g.putVertex(v)
 				}
 			}
 		}
@@ -451,50 +621,21 @@ func countPayloads(v *Vertex) int {
 	return n
 }
 
-// forEachCandidate scans stored vertices of state psIdx that may
-// precede event e at state sIdx, using the Vertex Tree range for the
-// compiled edge predicate when available (paper §7) and re-checking all
-// edge predicates per candidate.
-func (g *Graph) forEachCandidate(e *event.Event, psIdx, sIdx int, loWid int64, visit func(*Vertex)) {
-	ps := g.spec.Tmpl.States[psIdx]
-	sortAttr := g.spec.SortAttr[psIdx]
-	// Applicable edge predicates for the transition ps -> s.
-	var eps []*predicate.Edge
-	for _, ep := range g.spec.EdgePreds[sIdx] {
-		if hasLabel(ps, ep.From) {
-			eps = append(eps, ep)
-		}
+// scanCandidates scans stored vertices of state psIdx that may precede
+// the event being inserted (g.ins) at state sIdx, using the Vertex Tree
+// range for the compiled edge predicate when available (paper §7). It
+// is the zero-allocation runtime twin of forEachCandidate: candidate
+// work happens in the preallocated scanVisit closure reading g.ins.
+func (g *Graph) scanCandidates(psIdx, sIdx int) {
+	ins := &g.ins
+	e := ins.e
+	eps := g.cs.epsBySrc[sIdx][psIdx]
+	ins.eps = eps
+	rlo, rhi, rloIncl, rhiIncl, useRange, ok := g.scanBounds(psIdx, eps, e)
+	if !ok {
+		return
 	}
-	// Range bounds on the predecessor sort attribute.
-	rlo, rhi := math.Inf(-1), math.Inf(1)
-	rloIncl, rhiIncl := true, true
-	useRange := false
-	timeSorted := sortAttr == ""
-	if timeSorted {
-		// Trees without an edge-predicate attribute sort by time; bound
-		// the scan by strict adjacency p.time < e.time.
-		rhi, rhiIncl = float64(e.Time), false
-		useRange = true
-	} else {
-		for _, pe := range eps {
-			r := pe.Range
-			if r == nil || r.Attr != sortAttr {
-				continue
-			}
-			lo2, hi2, loI, hiI, ok := r.Bounds(e)
-			if !ok {
-				return
-			}
-			if lo2 > rlo || (lo2 == rlo && !loI) {
-				rlo, rloIncl = lo2, loI
-			}
-			if hi2 < rhi || (hi2 == rhi && !hiI) {
-				rhi, rhiIncl = hi2, hiI
-			}
-			useRange = true
-		}
-	}
-	oldest := g.win.Start(loWid)
+	oldest := g.win.Start(ins.lo)
 	for _, pn := range g.panes {
 		if pn.end <= oldest || pn.start > e.Time {
 			continue
@@ -503,26 +644,132 @@ func (g *Graph) forEachCandidate(e *event.Event, psIdx, sIdx int, loWid int64, v
 		if tree == nil {
 			continue
 		}
-		scan := func(it btree.Item[*Vertex]) bool {
-			p := it.Val
-			if p.Ev.Time >= e.Time {
-				// Adjacent trend events have strictly increasing time
-				// (Definition 1).
-				return true
-			}
-			if g.sem == query.Contiguous && p.Ev.ID != g.lastEventID {
-				return true
-			}
-			if g.sem == query.SkipTillNextMatch && p.closed {
-				return true
-			}
-			for _, pe := range eps {
-				if !pe.Eval(p.Ev, e) {
-					return true
-				}
-			}
-			visit(p)
-			return true
+		if useRange {
+			tree.AscendRange(rlo, rhi, rloIncl, rhiIncl, g.scanFn)
+		} else {
+			tree.Ascend(g.scanFn)
+		}
+	}
+}
+
+// scanBounds computes the Vertex Tree range bounds on the predecessor
+// sort attribute for an insertion of e. ok is false when a compiled
+// range proves no predecessor can match.
+func (g *Graph) scanBounds(psIdx int, eps []*edgePred, e *event.Event) (rlo, rhi float64, rloIncl, rhiIncl, useRange, ok bool) {
+	rlo, rhi = math.Inf(-1), math.Inf(1)
+	rloIncl, rhiIncl = true, true
+	if g.cs.sortAcc[psIdx].Attr() == "" {
+		// Trees without an edge-predicate attribute sort by time; bound
+		// the scan by strict adjacency p.time < e.time.
+		return rlo, float64(e.Time), true, false, true, true
+	}
+	sortAttr := g.spec.SortAttr[psIdx]
+	for _, pe := range eps {
+		if pe.rng == nil || pe.rng.Attr != sortAttr {
+			continue
+		}
+		lo2, hi2, loI, hiI, bok := pe.rng.BoundsOf(pe.rhs.EvalNext(e))
+		if !bok {
+			return 0, 0, false, false, false, false
+		}
+		if lo2 > rlo || (lo2 == rlo && !loI) {
+			rlo, rloIncl = lo2, loI
+		}
+		if hi2 < rhi || (hi2 == rhi && !hiI) {
+			rhi, rhiIncl = hi2, hiI
+		}
+		useRange = true
+	}
+	return rlo, rhi, rloIncl, rhiIncl, useRange, true
+}
+
+// candidateOK applies the per-candidate adjacency filter shared by the
+// runtime scan and the DOT renderer: strictly increasing time
+// (Definition 1), the event selection semantics, and all edge
+// predicates of the transition.
+func (g *Graph) candidateOK(p *Vertex, e *event.Event, eps []*edgePred) bool {
+	if p.Ev.Time >= e.Time {
+		return false
+	}
+	if g.sem == query.Contiguous && p.Ev.ID != g.lastEventID {
+		return false
+	}
+	if g.sem == query.SkipTillNextMatch && p.closed {
+		return false
+	}
+	for _, pe := range eps {
+		if !pe.eval.EvalPair(p.Ev, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanVisit processes one candidate predecessor during scanCandidates
+// (installed once as g.scanFn so per-event scans allocate no closure).
+func (g *Graph) scanVisit(it btree.Item[*Vertex]) bool {
+	ins := &g.ins
+	p := it.Val
+	e := ins.e
+	if !g.candidateOK(p, e, ins.eps) {
+		return true
+	}
+	connected := false
+	pHi := p.FirstWid + int64(len(p.Aggs)) - 1
+	shLo, shHi := ins.lo, pHi
+	if shHi > ins.hi {
+		shHi = ins.hi
+	}
+	for wid := shLo; wid <= shHi; wid++ {
+		pp := p.Aggs[wid-p.FirstWid]
+		if pp == nil || !g.validWid(wid, e.Time) {
+			continue
+		}
+		if g.invalidPred(p, ins.sIdx, wid, e.Time) {
+			continue
+		}
+		i := int(wid - ins.lo)
+		if ins.payloads[i] == nil {
+			ins.payloads[i] = g.cs.pool.Get()
+		}
+		g.def.AddPred(ins.payloads[i], pp)
+		connected = true
+	}
+	if connected {
+		g.stats.Edges++
+		ins.gotPred = true
+		if g.sem == query.SkipTillNextMatch {
+			p.closed = true
+		}
+	}
+	return true
+}
+
+// forEachCandidate visits predecessors of an arbitrary stored event
+// for the DOT debug renderer. It shares scanBounds and candidateOK
+// with the runtime scan (scanCandidates/scanVisit), so the rendered
+// edges cannot drift from what the engine matches; only the closure
+// and the lack of payload folding differ.
+func (g *Graph) forEachCandidate(e *event.Event, psIdx, sIdx int, loWid int64, visit func(*Vertex)) {
+	eps := g.cs.epsBySrc[sIdx][psIdx]
+	rlo, rhi, rloIncl, rhiIncl, useRange, ok := g.scanBounds(psIdx, eps, e)
+	if !ok {
+		return
+	}
+	oldest := g.win.Start(loWid)
+	scan := func(it btree.Item[*Vertex]) bool {
+		if g.candidateOK(it.Val, e, eps) {
+			visit(it.Val)
+		}
+		return true
+	}
+	for _, pn := range g.panes {
+		if pn.end <= oldest || pn.start > e.Time {
+			continue
+		}
+		tree := pn.trees[psIdx]
+		if tree == nil {
+			continue
 		}
 		if useRange {
 			tree.AscendRange(rlo, rhi, rloIncl, rhiIncl, scan)
@@ -537,7 +784,7 @@ func (g *Graph) store(v *Vertex) {
 	pn := g.paneFor(v.Ev.Time)
 	tree := pn.trees[v.State]
 	if tree == nil {
-		tree = btree.New[*Vertex]()
+		tree = btree.NewWithFreeList(&g.cs.nodeFree)
 		pn.trees[v.State] = tree
 	}
 	tree.Insert(g.sortKey(v.State, v.Ev), v.Ev.ID, v)
@@ -545,39 +792,43 @@ func (g *Graph) store(v *Vertex) {
 	g.stats.Vertices++
 	g.stats.Inserted++
 	g.stats.Payloads += uint64(countPayloads(v))
-	if g.stats.Vertices > g.stats.PeakVertices {
-		g.stats.PeakVertices = g.stats.Vertices
-	}
-	if g.stats.Payloads > g.stats.PeakPayloads {
-		g.stats.PeakPayloads = g.stats.Payloads
-	}
 }
 
 // sortKey computes the Vertex Tree key of an event in a state: the
 // compiled edge-predicate attribute when one exists, time otherwise.
 func (g *Graph) sortKey(sIdx int, e *event.Event) float64 {
-	attr := g.spec.SortAttr[sIdx]
-	if attr == "" {
+	acc := &g.cs.sortAcc[sIdx]
+	if acc.Attr() == "" {
 		return float64(e.Time)
 	}
-	if v, ok := e.Attrs[attr]; ok {
+	if v, ok := acc.Float(e); ok {
 		return v
 	}
 	return 0
 }
 
-// paneFor returns (creating if needed) the pane containing time t.
+// paneFor returns (creating or recycling) the pane containing time t.
 // Events arrive in order, so t lands in the last pane or a new one.
 func (g *Graph) paneFor(t event.Time) *pane {
 	idx := t / g.paneSize
 	if n := len(g.panes); n > 0 && g.panes[n-1].idx == idx {
 		return g.panes[n-1]
 	}
-	pn := &pane{
-		idx:   idx,
-		start: idx * g.paneSize,
-		end:   (idx + 1) * g.paneSize,
-		trees: map[int]*btree.Tree[*Vertex]{},
+	var pn *pane
+	if n := len(g.cs.pfree); n > 0 {
+		// Expired panes come back with empty trees (nodes already in the
+		// free list), so only the bounds need resetting.
+		pn = g.cs.pfree[n-1]
+		g.cs.pfree[n-1] = nil
+		g.cs.pfree = g.cs.pfree[:n-1]
+		pn.idx, pn.start, pn.end = idx, idx*g.paneSize, (idx+1)*g.paneSize
+	} else {
+		pn = &pane{
+			idx:   idx,
+			start: idx * g.paneSize,
+			end:   (idx + 1) * g.paneSize,
+			trees: map[int]*btree.Tree[*Vertex]{},
+		}
 	}
 	g.panes = append(g.panes, pn)
 	return pn
@@ -585,7 +836,9 @@ func (g *Graph) paneFor(t event.Time) *pane {
 
 // expire drops panes that can no longer contribute to any open window
 // (paper §7: "a whole pane with its associated data structures is
-// deleted after the pane has contributed to all windows").
+// deleted after the pane has contributed to all windows"). Dropped
+// panes recycle their vertices, payloads, and tree nodes into the
+// graph's pools.
 func (g *Graph) expire(t event.Time) {
 	oldest := g.win.OldestNeeded(t)
 	n := 0
@@ -593,11 +846,11 @@ func (g *Graph) expire(t event.Time) {
 		if pn.end <= oldest {
 			g.stats.Vertices -= uint64(pn.vertices)
 			for _, tree := range pn.trees {
-				tree.Ascend(func(it btree.Item[*Vertex]) bool {
-					g.stats.Payloads -= uint64(countPayloads(it.Val))
-					return true
-				})
+				tree.Ascend(g.expireFn)
+				tree.Release()
 			}
+			pn.vertices = 0
+			g.cs.pfree = append(g.cs.pfree, pn)
 			continue
 		}
 		g.panes[n] = pn
@@ -607,6 +860,15 @@ func (g *Graph) expire(t event.Time) {
 		g.panes[i] = nil
 	}
 	g.panes = g.panes[:n]
+}
+
+// expireVisit recycles one vertex of an expiring pane (installed once
+// as g.expireFn).
+func (g *Graph) expireVisit(it btree.Item[*Vertex]) bool {
+	v := it.Val
+	g.stats.Payloads -= uint64(countPayloads(v))
+	g.putVertex(v)
+	return true
 }
 
 // CollectWindow computes, removes, and returns the final aggregate of
@@ -686,7 +948,7 @@ func (g *Graph) lazyResult(wid int64) *aggregate.Payload {
 					}
 				}
 				if r == nil {
-					r = g.def.New()
+					r = g.cs.pool.Get()
 				}
 				g.def.Merge(r, p)
 				return true

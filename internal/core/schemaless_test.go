@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/gen"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// stripSchemas deep-copies a stream without the dense schema binding,
+// leaving only the attribute maps (the schemaless fallback path).
+func stripSchemas(evs []*event.Event) []*event.Event {
+	out := make([]*event.Event, len(evs))
+	for i, ev := range evs {
+		c := *ev
+		c.Sch, c.Num, c.StrV = nil, nil, nil
+		out[i] = &c
+	}
+	return out
+}
+
+// runResults executes a query over a stream and returns the results.
+func runResults(t *testing.T, qsrc string, evs []*event.Event, mode aggregate.Mode) []Result {
+	t.Helper()
+	plan, err := NewPlan(query.MustParse(qsrc), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(plan)
+	eng.Run(event.NewSliceStream(evs))
+	return eng.Results()
+}
+
+// compareResults asserts two result sets are identical in every
+// query-visible field (group, window, values).
+func compareResults(t *testing.T, name string, schema, schemaless []Result) {
+	t.Helper()
+	if len(schema) != len(schemaless) {
+		t.Fatalf("%s: schema path emitted %d results, schemaless %d", name, len(schema), len(schemaless))
+	}
+	for i := range schema {
+		a, b := schema[i], schemaless[i]
+		if a.Group != b.Group || a.Wid != b.Wid || a.WindowStart != b.WindowStart || a.WindowEnd != b.WindowEnd {
+			t.Fatalf("%s: result %d keys differ: (%q,%d,%d,%d) vs (%q,%d,%d,%d)",
+				name, i, a.Group, a.Wid, a.WindowStart, a.WindowEnd, b.Group, b.Wid, b.WindowStart, b.WindowEnd)
+		}
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("%s: result %d value counts differ", name, i)
+		}
+		for j := range a.Values {
+			av, bv := a.Values[j], b.Values[j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatalf("%s: result %d value %d differs: %v vs %v", name, i, j, av, bv)
+			}
+		}
+	}
+}
+
+// TestSchemalessFallbackStock checks that a grouped + equivalence query
+// over schemaless events (no dense slots, map fallback everywhere:
+// routing, predicates, sort keys, aggregates) produces results
+// identical to the schema-compiled path.
+func TestSchemalessFallbackStock(t *testing.T) {
+	cfg := gen.DefaultStock(4000)
+	cfg.Rate = 10
+	withSchema := gen.Stock(cfg) // generator binds schemas
+	withoutSchema := stripSchemas(withSchema)
+	queries := []string{
+		"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY sector WITHIN 20 SLIDE 5",
+		"RETURN COUNT(S), SUM(S.price), MIN(S.price), MAX(S.volume), AVG(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 30 SLIDE 10",
+	}
+	for _, mode := range []aggregate.Mode{aggregate.ModeNative, aggregate.ModeExact} {
+		for _, q := range queries {
+			compareResults(t, q+"/"+mode.String(),
+				runResults(t, q, withSchema, mode),
+				runResults(t, q, withoutSchema, mode))
+		}
+	}
+}
+
+// TestSchemalessFallbackCluster exercises a multi-state SEQ pattern
+// with numeric predicates over the cluster stream, schemaless vs
+// schema-bound.
+func TestSchemalessFallbackCluster(t *testing.T) {
+	withSchema := gen.Cluster(gen.DefaultCluster(6000))
+	withoutSchema := stripSchemas(withSchema)
+	q := "RETURN COUNT(*), SUM(M.cpu) PATTERN SEQ(Start T, Measurement M+, End E) " +
+		"WHERE [job, mapper] AND M.load > 50 GROUP-BY mapper WITHIN 2 SLIDE 1"
+	compareResults(t, q,
+		runResults(t, q, withSchema, aggregate.ModeNative),
+		runResults(t, q, withoutSchema, aggregate.ModeNative))
+}
+
+// TestSchemalessFallbackNegation covers the negative sub-pattern path
+// (invalidation watermarks) and mixed schema/schemaless event types:
+// Halt events carry a schema in one run and none in the other.
+func TestSchemalessFallbackNegation(t *testing.T) {
+	cfg := gen.DefaultStock(3000)
+	cfg.Rate = 10
+	cfg.HaltProb = 0.01
+	withSchema := gen.Stock(cfg)
+	withoutSchema := stripSchemas(withSchema)
+	q := "RETURN COUNT(*) PATTERN SEQ(Stock S+, NOT Halt H, Stock E) " +
+		"WHERE [company] AND S.price > NEXT(S).price GROUP-BY sector WITHIN 20 SLIDE 10"
+	compareResults(t, q,
+		runResults(t, q, withSchema, aggregate.ModeNative),
+		runResults(t, q, withoutSchema, aggregate.ModeNative))
+}
+
+// TestPartialSchemaFallsBackToMaps binds events to a schema that omits
+// attributes the query uses: the accessors must fall back to the
+// attribute maps for the unlisted attributes (the dense arrays are a
+// cache, not a filter), so grouping and predicates still see them.
+func TestPartialSchemaFallsBackToMaps(t *testing.T) {
+	cfg := gen.DefaultStock(2000)
+	cfg.Rate = 10
+	full := gen.Stock(cfg)
+	partial := stripSchemas(full)
+	partialSchema := &event.Schema{Type: "Stock", Numeric: []string{"price"}} // no company!
+	for _, ev := range partial {
+		if ev.Type == "Stock" {
+			partialSchema.Bind(ev)
+		}
+	}
+	q := "RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5"
+	compareResults(t, q,
+		runResults(t, q, full, aggregate.ModeNative),
+		runResults(t, q, partial, aggregate.ModeNative))
+}
+
+// TestTypedPartitionIdentity locks in the typed partition-key
+// semantics of hash-first routing: a missing attribute, an
+// empty-string value, and a numeric value are three distinct partition
+// keys (the legacy string rendering conflated missing with "" and
+// Str "5" with Attrs 5).
+func TestTypedPartitionIdentity(t *testing.T) {
+	plan, err := NewPlan(query.MustParse(
+		"RETURN COUNT(*) PATTERN A+ WHERE [k] WITHIN 100 SLIDE 100"), aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(plan)
+	evs := []*event.Event{
+		{ID: 1, Type: "A", Time: 1},                                       // k missing
+		{ID: 2, Type: "A", Time: 2, Str: map[string]string{"k": ""}},      // k = ""
+		{ID: 3, Type: "A", Time: 3, Str: map[string]string{"k": "5"}},     // k = "5" (string)
+		{ID: 4, Type: "A", Time: 4, Attrs: map[string]float64{"k": 5}},    // k = 5 (number)
+		{ID: 5, Type: "A", Time: 5},                                       // k missing again
+		{ID: 6, Type: "A", Time: 6, Attrs: map[string]float64{"k": 5}},    // k = 5 again
+		{ID: 7, Type: "A", Time: 7, Str: map[string]string{"k": "other"}}, // distinct string
+	}
+	eng.Run(event.NewSliceStream(evs))
+	if got := eng.Stats().Partitions; got != 5 {
+		t.Fatalf("partitions = %d, want 5 (missing, \"\", \"5\", 5.0, \"other\" all distinct)", got)
+	}
+	// Trends form only within a partition: the two missing-k events
+	// (t=1,5) connect (3 trends), the two numeric-5 events (t=4,6)
+	// connect (3 trends), and the three singleton partitions contribute
+	// one trend each. COUNT(*) sums to 3+3+1+1+1 = 9.
+	rs := eng.Results()
+	if len(rs) != 1 {
+		t.Fatalf("results = %d, want 1", len(rs))
+	}
+	if got := rs[0].Values[0]; got != 9 {
+		t.Fatalf("COUNT(*) = %v, want 9", got)
+	}
+}
+
+// TestSchemalessPartialBinding checks a stream mixing schema-bound and
+// schemaless events of the same type: the accessors must fall back per
+// event, not per stream.
+func TestSchemalessPartialBinding(t *testing.T) {
+	cfg := gen.DefaultStock(2000)
+	cfg.Rate = 10
+	full := gen.Stock(cfg)
+	mixed := stripSchemas(full)
+	for i, ev := range full {
+		if i%2 == 0 {
+			mixed[i] = ev // keep the schema-bound original
+		}
+	}
+	q := "RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5"
+	compareResults(t, q,
+		runResults(t, q, full, aggregate.ModeNative),
+		runResults(t, q, mixed, aggregate.ModeNative))
+}

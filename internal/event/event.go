@@ -11,6 +11,7 @@ package event
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -37,6 +38,17 @@ type Event struct {
 	// equivalence predicates and grouping. Numeric attributes live in
 	// Attrs so predicate evaluation stays allocation-free.
 	Str map[string]string
+
+	// Sch, Num, and StrV are the schema-compiled dense representation:
+	// when Sch is non-nil, Num is aligned with Sch.Numeric (NaN marks an
+	// absent value) and StrV with Sch.Strings ("" marks an absent value).
+	// The runtime reads attributes through these arrays by precompiled
+	// slot index instead of probing the maps, keeping the per-event hot
+	// path free of hashing. Populate them once at ingest with
+	// Schema.Bind; events without a schema fall back to the maps.
+	Sch  *Schema
+	Num  []float64
+	StrV []string
 }
 
 // Attr returns the numeric attribute named name and whether it exists.
@@ -61,12 +73,82 @@ func (e *Event) String() string {
 	return fmt.Sprintf("%s@%d#%d", t, e.Time, e.ID)
 }
 
-// Schema describes the attributes of an event type. It is informational:
-// generators attach schemas so tooling can introspect workloads.
+// Schema describes the attributes of an event type. Generators attach
+// schemas so tooling can introspect workloads, and the runtime compiles
+// attribute access against them: events bound to a schema (Schema.Bind)
+// carry dense slot arrays that replace map probes on the hot path.
 type Schema struct {
 	Type    Type
 	Numeric []string
 	Strings []string
+}
+
+// NumSlot returns the dense slot index of a numeric attribute, or -1.
+// Attribute counts are small, so a linear scan beats a map and needs no
+// precomputed state (keeping Schema values safe for concurrent reads).
+func (s *Schema) NumSlot(name string) int {
+	for i, n := range s.Numeric {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// StrSlot returns the dense slot index of a string attribute, or -1.
+func (s *Schema) StrSlot(name string) int {
+	for i, n := range s.Strings {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Bind attaches the schema to e and populates its dense slot arrays
+// from the attribute maps. Absent numeric attributes read as NaN,
+// absent strings as "". Call once per event at ingest; concurrent
+// consumers may then read the arrays freely.
+func (s *Schema) Bind(e *Event) {
+	e.Sch = s
+	if len(s.Numeric) > 0 {
+		if cap(e.Num) >= len(s.Numeric) {
+			e.Num = e.Num[:len(s.Numeric)]
+		} else {
+			e.Num = make([]float64, len(s.Numeric))
+		}
+		for i, n := range s.Numeric {
+			if v, ok := e.Attrs[n]; ok {
+				e.Num[i] = v
+			} else {
+				e.Num[i] = math.NaN()
+			}
+		}
+	}
+	if len(s.Strings) > 0 {
+		if cap(e.StrV) >= len(s.Strings) {
+			e.StrV = e.StrV[:len(s.Strings)]
+		} else {
+			e.StrV = make([]string, len(s.Strings))
+		}
+		for i, n := range s.Strings {
+			e.StrV[i] = e.Str[n]
+		}
+	}
+}
+
+// BindAll binds each event whose type has a schema in schemas; events
+// of other types are left schemaless (the runtime falls back to map
+// access for them).
+func BindAll(evs []*Event, schemas []*Schema) {
+	for _, ev := range evs {
+		for _, s := range schemas {
+			if s.Type == ev.Type {
+				s.Bind(ev)
+				break
+			}
+		}
+	}
 }
 
 // Stream is a finite, in-order sequence of events. The runtime consumes

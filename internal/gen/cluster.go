@@ -91,24 +91,36 @@ func Cluster(cfg ClusterConfig) []*event.Event {
 				typ = "Measurement"
 			}
 		}
-		evs = append(evs, &event.Event{
+		ev := &event.Event{
 			ID:    uint64(i + 1),
 			Type:  typ,
 			Time:  t,
 			Attrs: attrs,
 			Str:   strs,
-		})
+		}
+		clusterSchemas[typ].Bind(ev)
+		evs = append(evs, ev)
 	}
 	return evs
 }
 
-// ClusterSchemas describes the generated event types.
-func ClusterSchemas() []event.Schema {
+// clusterSchemas are the ingest schemas, one per event type.
+var clusterSchemas = func() map[event.Type]*event.Schema {
 	num := []string{"cpu", "memory", "load"}
 	strs := []string{"job", "mapper"}
-	return []event.Schema{
-		{Type: "Start", Numeric: num, Strings: strs},
-		{Type: "Measurement", Numeric: num, Strings: strs},
-		{Type: "End", Numeric: num, Strings: strs},
+	m := map[event.Type]*event.Schema{}
+	for _, t := range []event.Type{"Start", "Measurement", "End"} {
+		m[t] = &event.Schema{Type: t, Numeric: num, Strings: strs}
+	}
+	return m
+}()
+
+// ClusterSchemas describes the generated event types (stable pointers;
+// see StockSchemas).
+func ClusterSchemas() []*event.Schema {
+	return []*event.Schema{
+		clusterSchemas["Start"],
+		clusterSchemas["Measurement"],
+		clusterSchemas["End"],
 	}
 }

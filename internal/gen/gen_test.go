@@ -207,7 +207,14 @@ func TestQuickGateSelectivity(t *testing.T) {
 }
 
 func TestSchemas(t *testing.T) {
-	if len(StockSchemas()) != 1 || len(LinearRoadSchemas()) != 2 || len(ClusterSchemas()) != 3 {
+	if len(StockSchemas()) != 2 || len(LinearRoadSchemas()) != 2 || len(ClusterSchemas()) != 3 {
 		t.Error("schema counts wrong")
+	}
+	for _, schemas := range [][]*event.Schema{StockSchemas(), LinearRoadSchemas(), ClusterSchemas()} {
+		for _, s := range schemas {
+			if s.Type == "" {
+				t.Error("schema missing type")
+			}
+		}
 	}
 }

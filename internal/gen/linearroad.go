@@ -93,17 +93,19 @@ func LinearRoad(cfg LinearRoadConfig) []*event.Event {
 			st.pos += st.speed
 			emitted++
 			if rng.Float64() < cfg.AccidentProb {
-				evs = append(evs, &event.Event{
+				ev := &event.Event{
 					ID:   uint64(emitted),
 					Type: "Accident",
 					Time: t,
 					Str: map[string]string{
 						"segment": fmt.Sprintf("seg%d", st.segment),
 					},
-				})
+				}
+				accidentSchema.Bind(ev)
+				evs = append(evs, ev)
 				continue
 			}
-			evs = append(evs, &event.Event{
+			ev := &event.Event{
 				ID:   uint64(emitted),
 				Type: "Position",
 				Time: t,
@@ -117,17 +119,27 @@ func LinearRoad(cfg LinearRoadConfig) []*event.Event {
 					"vehicle": fmt.Sprintf("v%03d", v),
 					"segment": fmt.Sprintf("seg%d", st.segment),
 				},
-			})
+			}
+			positionSchema.Bind(ev)
+			evs = append(evs, ev)
 		}
 		t++
 	}
 	return evs
 }
 
-// LinearRoadSchemas describes the generated event types.
-func LinearRoadSchemas() []event.Schema {
-	return []event.Schema{
-		{Type: "Position", Numeric: []string{"speed", "position", "sel", "gate"}, Strings: []string{"vehicle", "segment"}},
-		{Type: "Accident", Strings: []string{"segment"}},
+// positionSchema / accidentSchema are the ingest schemas.
+var (
+	positionSchema = &event.Schema{
+		Type:    "Position",
+		Numeric: []string{"speed", "position", "sel", "gate"},
+		Strings: []string{"vehicle", "segment"},
 	}
+	accidentSchema = &event.Schema{Type: "Accident", Strings: []string{"segment"}}
+)
+
+// LinearRoadSchemas describes the generated event types (stable
+// pointers; see StockSchemas).
+func LinearRoadSchemas() []*event.Schema {
+	return []*event.Schema{positionSchema, accidentSchema}
 }

@@ -63,7 +63,7 @@ func Stock(cfg StockConfig) []*event.Event {
 	for i := 0; i < cfg.Events; i++ {
 		c := rng.Intn(cfg.Companies)
 		if cfg.HaltProb > 0 && rng.Float64() < cfg.HaltProb {
-			evs = append(evs, &event.Event{
+			ev := &event.Event{
 				ID:   uint64(i + 1),
 				Type: "Halt",
 				Time: event.Time(i / cfg.Rate),
@@ -71,7 +71,9 @@ func Stock(cfg StockConfig) []*event.Event {
 					"company": fmt.Sprintf("co%02d", c),
 					"sector":  fmt.Sprintf("sec%d", c%cfg.Sectors),
 				},
-			})
+			}
+			haltSchema.Bind(ev)
+			evs = append(evs, ev)
 			continue
 		}
 		tick := (rng.Float64()*2 - 1 - cfg.DownBias) * cfg.MaxTick
@@ -80,7 +82,7 @@ func Stock(cfg StockConfig) []*event.Event {
 		if rng.Intn(2) == 0 {
 			side = "buy"
 		}
-		evs = append(evs, &event.Event{
+		ev := &event.Event{
 			ID:   uint64(i + 1),
 			Type: "Stock",
 			Time: event.Time(i / cfg.Rate),
@@ -93,16 +95,30 @@ func Stock(cfg StockConfig) []*event.Event {
 				"sector":  fmt.Sprintf("sec%d", c%cfg.Sectors),
 				"side":    side,
 			},
-		})
+		}
+		stockSchema.Bind(ev)
+		evs = append(evs, ev)
 	}
 	return evs
 }
 
-// StockSchemas describes the generated event types.
-func StockSchemas() []event.Schema {
-	return []event.Schema{{
+// stockSchema / haltSchema are the ingest schemas: generated events are
+// bound to them so the runtime reads attributes by dense slot.
+var (
+	stockSchema = &event.Schema{
 		Type:    "Stock",
 		Numeric: []string{"price", "volume"},
 		Strings: []string{"company", "sector", "side"},
-	}}
+	}
+	haltSchema = &event.Schema{
+		Type:    "Halt",
+		Strings: []string{"company", "sector"},
+	}
+)
+
+// StockSchemas describes the generated event types. The pointers are
+// stable package-level schemas (the same ones Bind attaches), so they
+// feed greta.BindSchemas directly and keep accessor slot caches warm.
+func StockSchemas() []*event.Schema {
+	return []*event.Schema{stockSchema, haltSchema}
 }

@@ -46,11 +46,20 @@ type Range struct {
 	rhs  Expr // expression over the later event only
 }
 
+// RHS returns the right-hand-side expression over the later event,
+// for callers that precompile it (see Compiled).
+func (r *Range) RHS() Expr { return r.rhs }
+
 // Bounds returns the half-open/closed interval [lo, hi] of predecessor
 // Attr values compatible with next. Unbounded sides are ±Inf. ok is
 // false when the right-hand side does not evaluate to a number.
 func (r *Range) Bounds(next *event.Event) (lo, hi float64, loIncl, hiIncl, ok bool) {
-	v := Eval(r.rhs, Binding{Next: next})
+	return r.BoundsOf(Eval(r.rhs, Binding{Next: next}))
+}
+
+// BoundsOf is Bounds with the right-hand side already evaluated,
+// letting the runtime reuse a compiled rhs evaluator.
+func (r *Range) BoundsOf(v Value) (lo, hi float64, loIncl, hiIncl, ok bool) {
 	if v.Str || math.IsNaN(v.F) {
 		return 0, 0, false, false, false
 	}

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Runs the paper-figure benchmarks (Fig. 14-17 + parallel partitions)
+# with -benchmem and emits a machine-readable snapshot so future changes
+# have a perf trajectory to compare against.
+#
+# Usage: scripts/bench.sh [out.json] [benchtime]
+#   out.json   output file (default BENCH_1.json)
+#   benchtime  go test -benchtime value (default 1x; use e.g. 2s for
+#              lower-variance numbers)
+set -eu
+
+out="${1:-BENCH_1.json}"
+benchtime="${2:-1x}"
+pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""; evs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "events/s") evs = $i
+    }
+    if (ns == "") next
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (evs != "") line = line sprintf(", \"events_per_sec\": %s", evs)
+    if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    lines[n++] = line "}"
+}
+END {
+    printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out"
