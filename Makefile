@@ -2,6 +2,12 @@
 
 GO ?= go
 
+# PR selects the perf-snapshot file benchmarks write: `make bench PR=3`
+# emits BENCH_3.json next to the earlier snapshots, preserving the
+# trajectory. Override BENCH_OUT for an arbitrary path.
+PR ?= 2
+BENCH_OUT ?= BENCH_$(PR).json
+
 .PHONY: build test race bench bench-quick alloc-guard
 
 build:
@@ -14,14 +20,14 @@ race:
 	$(GO) test -race ./...
 
 # bench regenerates the paper-figure benchmarks (Fig. 14-17 + parallel
-# partitions) with allocation stats and writes BENCH_1.json, the perf
+# partitions) with allocation stats and writes $(BENCH_OUT), the perf
 # snapshot future changes are compared against.
 bench:
-	scripts/bench.sh BENCH_1.json 2s
+	scripts/bench.sh $(BENCH_OUT) 2s
 
 # bench-quick is the fast variant for local iteration (1 run per bench).
 bench-quick:
-	scripts/bench.sh BENCH_1.json 1x
+	scripts/bench.sh $(BENCH_OUT) 1x
 
 # alloc-guard runs the zero-allocation hot-path guard and the routing /
 # pool micro-benchmarks.

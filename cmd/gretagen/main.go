@@ -16,7 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 	"strconv"
 
 	"github.com/greta-cep/greta"
@@ -62,7 +62,7 @@ func main() {
 		for k := range e.Attrs {
 			nkeys = append(nkeys, k)
 		}
-		sort.Strings(nkeys)
+		slices.Sort(nkeys)
 		for _, k := range nkeys {
 			fmt.Fprintf(w, ",%s=%s", k, strconv.FormatFloat(e.Attrs[k], 'g', -1, 64))
 		}
@@ -70,7 +70,7 @@ func main() {
 		for k := range e.Str {
 			skeys = append(skeys, k)
 		}
-		sort.Strings(skeys)
+		slices.Sort(skeys)
 		for _, k := range skeys {
 			fmt.Fprintf(w, ",%s=%s", k, e.Str[k])
 		}

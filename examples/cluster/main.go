@@ -11,7 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"github.com/greta-cep/greta"
 )
@@ -42,7 +42,7 @@ func main() {
 	for k := range perMapper {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	fmt.Println("total CPU cycles over increasing-load trends, per (job, mapper) group:")
 	for _, k := range keys {
 		fmt.Printf("  %-16s %14.0f\n", k, perMapper[k])

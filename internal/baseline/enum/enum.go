@@ -8,7 +8,7 @@ package enum
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/greta-cep/greta/internal/event"
@@ -135,7 +135,7 @@ func Trends(q *query.Query, evs []*event.Event) ([]Trend, error) {
 	for k := range seen {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		out = append(out, seen[k])
 	}
@@ -177,7 +177,7 @@ func widsOf(w window.Spec, part []*event.Event) []int64 {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,221 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testSum is a toy subtree summary: item count, value sum, key span.
+type testSum struct {
+	n        int
+	total    int
+	min, max float64
+}
+
+// testAug implements Summarizer[int, *testSum] and counts allocations
+// so tests can verify recycling.
+type testAug struct {
+	free  []*testSum
+	alloc int
+}
+
+func (a *testAug) get() *testSum {
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		a.free = a.free[:n-1]
+		return s
+	}
+	a.alloc++
+	return &testSum{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (a *testAug) Add(s *testSum, it Item[int]) *testSum {
+	if s == nil {
+		s = a.get()
+	}
+	s.n++
+	s.total += it.Val
+	if it.Key < s.min {
+		s.min = it.Key
+	}
+	if it.Key > s.max {
+		s.max = it.Key
+	}
+	return s
+}
+
+func (a *testAug) Merge(dst, src *testSum) *testSum {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		dst = a.get()
+	}
+	dst.n += src.n
+	dst.total += src.total
+	if src.min < dst.min {
+		dst.min = src.min
+	}
+	if src.max > dst.max {
+		dst.max = src.max
+	}
+	return dst
+}
+
+func (a *testAug) Clear(s *testSum) *testSum {
+	if s == nil {
+		return nil
+	}
+	s.n, s.total = 0, 0
+	s.min, s.max = math.Inf(1), math.Inf(-1)
+	return s
+}
+
+// checkSums verifies the summary invariant at every node: sum equals
+// the fold of the node's items plus its children's sums.
+func checkSums(t *testing.T, tr *Tree[int, *testSum], n *node[int, *testSum]) (cnt, total int) {
+	t.Helper()
+	if n == nil {
+		return 0, 0
+	}
+	for _, it := range n.items {
+		cnt++
+		total += it.Val
+	}
+	for _, c := range n.children {
+		cc, ct := checkSums(t, tr, c)
+		cnt += cc
+		total += ct
+	}
+	if n.sum == nil {
+		t.Fatalf("node with %d items has nil summary", len(n.items))
+	}
+	if n.sum.n != cnt || n.sum.total != total {
+		t.Fatalf("subtree summary (n=%d, total=%d) != recomputed (n=%d, total=%d)",
+			n.sum.n, n.sum.total, cnt, total)
+	}
+	return cnt, total
+}
+
+// TestAugmentedMaintenance drives random inserts and deletes through an
+// augmented tree and revalidates every node's summary after each
+// batch: splits, borrows, merges, and root shrinks must all maintain
+// the fold.
+func TestAugmentedMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	aug := &testAug{}
+	fl := NewFreeList[int, *testSum]()
+	tr := NewAugmented(fl, aug)
+	type kv struct {
+		key float64
+		id  uint64
+	}
+	var live []kv
+	id := uint64(0)
+	for round := 0; round < 60; round++ {
+		for i := 0; i < 40; i++ {
+			id++
+			k := kv{float64(rng.Intn(50)), id}
+			tr.Insert(k.key, k.id, int(k.id))
+			live = append(live, k)
+		}
+		dels := rng.Intn(30)
+		for i := 0; i < dels && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			k := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if !tr.Delete(k.key, k.id) {
+				t.Fatalf("round %d: delete (%v, %d) missing", round, k.key, k.id)
+			}
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("round %d: len %d, want %d", round, tr.Len(), len(live))
+		}
+		if tr.root != nil {
+			checkSums(t, tr, tr.root)
+		}
+	}
+}
+
+// TestFoldRangeEquivalence checks that any accept/decline policy of the
+// fold callback yields exactly the per-item range semantics: folded
+// subtree summaries plus individually visited items must together
+// cover the AscendRange result set, with nothing double counted.
+func TestFoldRangeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	aug := &testAug{}
+	tr := NewAugmented(NewFreeList[int, *testSum](), aug)
+	for i := 0; i < 500; i++ {
+		tr.Insert(float64(rng.Intn(100)), uint64(i+1), 1)
+	}
+	bounds := []struct {
+		lo, hi         float64
+		loIncl, hiIncl bool
+	}{
+		{math.Inf(-1), math.Inf(1), true, true},
+		{20, 70, true, false},
+		{20, 70, false, true},
+		{33, 33, true, true},
+		{math.Inf(-1), 55, true, false},
+		{80, math.Inf(1), false, true},
+	}
+	for _, b := range bounds {
+		want := 0
+		tr.AscendRange(b.lo, b.hi, b.loIncl, b.hiIncl, func(Item[int]) bool {
+			want++
+			return true
+		})
+		// Policy: accept a subtree iff its key span is inside the range
+		// (the runtime's containment rule) — randomly declining some
+		// accepts must not change the total either.
+		for _, flaky := range []bool{false, true} {
+			got := 0
+			tr.FoldRange(b.lo, b.hi, b.loIncl, b.hiIncl, func(s *testSum) bool {
+				if s == nil || s.n == 0 {
+					return true
+				}
+				okLo := s.min > b.lo || (b.loIncl && s.min == b.lo)
+				okHi := s.max < b.hi || (b.hiIncl && s.max == b.hi)
+				if !okLo || !okHi || (flaky && rng.Intn(2) == 0) {
+					return false
+				}
+				got += s.n
+				return true
+			}, func(Item[int]) bool {
+				got++
+				return true
+			})
+			if got != want {
+				t.Fatalf("bounds %+v flaky=%v: fold total %d, want %d", b, flaky, got, want)
+			}
+		}
+	}
+}
+
+// TestAugmentedRecycling verifies that released nodes carry their
+// cleared summaries back through the free list, so a steady
+// release/rebuild cycle stops allocating summaries.
+func TestAugmentedRecycling(t *testing.T) {
+	aug := &testAug{}
+	fl := NewFreeList[int, *testSum]()
+	build := func() *Tree[int, *testSum] {
+		tr := NewAugmented(fl, aug)
+		for i := 0; i < 300; i++ {
+			tr.Insert(float64(i%37), uint64(i+1), i)
+		}
+		checkSums(t, tr, tr.root)
+		return tr
+	}
+	tr := build()
+	tr.Release()
+	allocAfterFirst := aug.alloc
+	for i := 0; i < 5; i++ {
+		tr = build()
+		tr.Release()
+	}
+	if aug.alloc != allocAfterFirst {
+		t.Fatalf("rebuild cycles allocated %d new summaries (had %d)", aug.alloc-allocAfterFirst, allocAfterFirst)
+	}
+}

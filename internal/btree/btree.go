@@ -5,6 +5,14 @@
 // deletion and ascending range scans, which the runtime uses to find
 // predecessor events satisfying a compiled edge-predicate range in
 // O(log_b m + m') time.
+//
+// Trees can additionally be augmented with per-subtree summaries
+// (NewAugmented): every node carries a Summarizer-maintained fold of
+// its whole subtree, kept incrementally through insert, delete, split,
+// merge, and node recycling. FoldRange then aggregates a key range by
+// merging O(log_b m) subtree summaries instead of visiting each item,
+// which the runtime uses to fold all predecessor payloads of a range
+// in logarithmic — and for a fully covered tree, constant — time.
 package btree
 
 // degree is the minimum number of children of an internal node. Nodes
@@ -20,6 +28,18 @@ type Item[V any] struct {
 	Val V
 }
 
+// Summarizer maintains per-subtree summaries of type S for an
+// augmented tree. S is typically a pointer type whose zero value means
+// "empty"; Add and Merge take and return the summary so an
+// implementation can allocate (or recycle) one lazily on first use.
+// Merge must not mutate src. Clear empties a summary for reuse,
+// releasing any pooled resources it holds.
+type Summarizer[V, S any] interface {
+	Add(s S, it Item[V]) S
+	Merge(dst, src S) S
+	Clear(s S) S
+}
+
 func lessKey(k1 float64, id1 uint64, k2 float64, id2 uint64) bool {
 	if k1 != k2 {
 		return k1 < k2
@@ -27,38 +47,55 @@ func lessKey(k1 float64, id1 uint64, k2 float64, id2 uint64) bool {
 	return id1 < id2
 }
 
-type node[V any] struct {
+type node[V, S any] struct {
 	items    []Item[V]
-	children []*node[V] // nil for leaves
+	children []*node[V, S] // nil for leaves
+	// sum is the Summarizer fold over the whole subtree rooted here;
+	// only maintained when the owning tree is augmented.
+	sum S
 }
 
-func (n *node[V]) leaf() bool { return len(n.children) == 0 }
+func (n *node[V, S]) leaf() bool { return len(n.children) == 0 }
 
-// Tree is a B-tree. The zero value is an empty tree ready to use.
-type Tree[V any] struct {
-	root *node[V]
+// Tree is a B-tree. The zero value is an empty tree ready to use. The
+// second type parameter is the subtree-summary type of augmented trees;
+// plain trees instantiate it with struct{} (see New).
+type Tree[V, S any] struct {
+	root *node[V, S]
 	size int
-	free *FreeList[V]
+	free *FreeList[V, S]
+	aug  Summarizer[V, S]
 }
 
-// New returns an empty tree.
-func New[V any]() *Tree[V] { return &Tree[V]{} }
+// New returns an empty, unaugmented tree.
+func New[V any]() *Tree[V, struct{}] { return &Tree[V, struct{}]{} }
 
 // FreeList recycles tree nodes. All Vertex Trees of one graph share a
 // free list, so nodes released when a pane expires are reused by later
 // insertions instead of allocated. Single-owner state: not safe for
-// concurrent use.
-type FreeList[V any] struct {
-	nodes []*node[V]
+// concurrent use. Augmented and plain trees may share a free list as
+// long as they agree on S; recycled nodes keep their (cleared) summary
+// so its backing storage is reused too.
+type FreeList[V, S any] struct {
+	nodes []*node[V, S]
 }
 
 // NewFreeList returns an empty free list.
-func NewFreeList[V any]() *FreeList[V] { return &FreeList[V]{} }
+func NewFreeList[V, S any]() *FreeList[V, S] { return &FreeList[V, S]{} }
 
 // NewWithFreeList returns an empty tree drawing nodes from f.
-func NewWithFreeList[V any](f *FreeList[V]) *Tree[V] { return &Tree[V]{free: f} }
+func NewWithFreeList[V, S any](f *FreeList[V, S]) *Tree[V, S] { return &Tree[V, S]{free: f} }
 
-func (t *Tree[V]) newNode() *node[V] {
+// NewAugmented returns an empty tree drawing nodes from f that
+// maintains per-subtree summaries through aug.
+func NewAugmented[V, S any](f *FreeList[V, S], aug Summarizer[V, S]) *Tree[V, S] {
+	return &Tree[V, S]{free: f, aug: aug}
+}
+
+// Augmented reports whether the tree maintains subtree summaries.
+func (t *Tree[V, S]) Augmented() bool { return t.aug != nil }
+
+func (t *Tree[V, S]) newNode() *node[V, S] {
 	if t.free != nil {
 		if n := len(t.free.nodes); n > 0 {
 			nd := t.free.nodes[n-1]
@@ -67,10 +104,15 @@ func (t *Tree[V]) newNode() *node[V] {
 			return nd
 		}
 	}
-	return &node[V]{}
+	return &node[V, S]{}
 }
 
-func (t *Tree[V]) putNode(n *node[V]) {
+func (t *Tree[V, S]) putNode(n *node[V, S]) {
+	if t.aug != nil {
+		// Release pooled summary resources even when the node itself is
+		// not recycled; the emptied summary stays attached for reuse.
+		n.sum = t.aug.Clear(n.sum)
+	}
 	if t.free == nil {
 		return
 	}
@@ -79,8 +121,20 @@ func (t *Tree[V]) putNode(n *node[V]) {
 	t.free.nodes = append(t.free.nodes, n)
 }
 
+// recompute rebuilds n's subtree summary from its items and its
+// children's (already correct) summaries.
+func (t *Tree[V, S]) recompute(n *node[V, S]) {
+	n.sum = t.aug.Clear(n.sum)
+	for _, it := range n.items {
+		n.sum = t.aug.Add(n.sum, it)
+	}
+	for _, c := range n.children {
+		n.sum = t.aug.Merge(n.sum, c.sum)
+	}
+}
+
 // Release empties the tree, returning every node to the free list.
-func (t *Tree[V]) Release() {
+func (t *Tree[V, S]) Release() {
 	if t.root != nil {
 		t.releaseNode(t.root)
 	}
@@ -88,7 +142,7 @@ func (t *Tree[V]) Release() {
 	t.size = 0
 }
 
-func (t *Tree[V]) releaseNode(n *node[V]) {
+func (t *Tree[V, S]) releaseNode(n *node[V, S]) {
 	for _, c := range n.children {
 		t.releaseNode(c)
 	}
@@ -96,17 +150,20 @@ func (t *Tree[V]) releaseNode(n *node[V]) {
 }
 
 // Len returns the number of items.
-func (t *Tree[V]) Len() int { return t.size }
+func (t *Tree[V, S]) Len() int { return t.size }
 
 // Insert adds an item. Duplicate (Key, ID) pairs are allowed and kept
 // adjacent; the runtime never produces them because event ids are
 // unique per graph.
-func (t *Tree[V]) Insert(key float64, id uint64, val V) {
+func (t *Tree[V, S]) Insert(key float64, id uint64, val V) {
 	it := Item[V]{key, id, val}
 	if t.root == nil {
 		t.root = t.newNode()
 		t.root.items = append(t.root.items, it)
 		t.size = 1
+		if t.aug != nil {
+			t.root.sum = t.aug.Add(t.root.sum, it)
+		}
 		return
 	}
 	if len(t.root.items) == maxItems {
@@ -114,6 +171,11 @@ func (t *Tree[V]) Insert(key float64, id uint64, val V) {
 		t.root = t.newNode()
 		t.root.children = append(t.root.children, old)
 		t.splitChild(t.root, 0)
+		if t.aug != nil {
+			// The fresh root starts with an empty summary; rebuild it from
+			// the median item and the two (just recomputed) halves.
+			t.recompute(t.root)
+		}
 	}
 	t.insertInto(t.root, it)
 	t.size++
@@ -121,7 +183,7 @@ func (t *Tree[V]) Insert(key float64, id uint64, val V) {
 
 // findSlot returns the index of the first item in n not less than
 // (key, id).
-func (n *node[V]) findSlot(key float64, id uint64) int {
+func (n *node[V, S]) findSlot(key float64, id uint64) int {
 	lo, hi := 0, len(n.items)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -135,8 +197,9 @@ func (n *node[V]) findSlot(key float64, id uint64) int {
 }
 
 // splitChild splits the full child at index i, lifting the median item
-// into n.
-func (t *Tree[V]) splitChild(n *node[V], i int) {
+// into n. n's own summary is unchanged (its subtree keeps the same
+// contents); the two halves are recomputed.
+func (t *Tree[V, S]) splitChild(n *node[V, S], i int) {
 	child := n.children[i]
 	mid := degree - 1
 	median := child.items[mid]
@@ -153,9 +216,17 @@ func (t *Tree[V]) splitChild(n *node[V], i int) {
 	n.children = append(n.children, nil)
 	copy(n.children[i+2:], n.children[i+1:])
 	n.children[i+1] = right
+	if t.aug != nil {
+		t.recompute(child)
+		t.recompute(right)
+	}
 }
 
-func (t *Tree[V]) insertInto(n *node[V], it Item[V]) {
+func (t *Tree[V, S]) insertInto(n *node[V, S], it Item[V]) {
+	if t.aug != nil {
+		// Every node on the descent path gains the item in its subtree.
+		n.sum = t.aug.Add(n.sum, it)
+	}
 	i := n.findSlot(it.Key, it.ID)
 	if n.leaf() {
 		n.items = append(n.items, Item[V]{})
@@ -176,14 +247,14 @@ func (t *Tree[V]) insertInto(n *node[V], it Item[V]) {
 // in ascending (Key, ID) order. Inclusive bounds are controlled by
 // loIncl/hiIncl; use math.Inf for unbounded sides. The visit function
 // returns false to stop early.
-func (t *Tree[V]) AscendRange(lo, hi float64, loIncl, hiIncl bool, visit func(Item[V]) bool) {
+func (t *Tree[V, S]) AscendRange(lo, hi float64, loIncl, hiIncl bool, visit func(Item[V]) bool) {
 	if t.root == nil {
 		return
 	}
 	t.root.ascend(lo, hi, loIncl, hiIncl, visit)
 }
 
-func (n *node[V]) ascend(lo, hi float64, loIncl, hiIncl bool, visit func(Item[V]) bool) bool {
+func (n *node[V, S]) ascend(lo, hi float64, loIncl, hiIncl bool, visit func(Item[V]) bool) bool {
 	i := 0
 	if lo > negInf {
 		// Skip children that hold only keys below the lower bound.
@@ -217,9 +288,73 @@ func (n *node[V]) ascend(lo, hi float64, loIncl, hiIncl bool, visit func(Item[V]
 	return true
 }
 
+// FoldRange aggregates the key range over an augmented tree. Walking
+// top-down, every subtree's summary is first offered to fold; fold
+// returns true to consume the whole subtree in O(1) and false to
+// decline (typically because the summary's key span is not fully
+// inside the caller's range, or the subtree needs per-item checks) —
+// the subtree is then descended, deeper summaries are offered again,
+// and items of nodes that are never consumed wholesale go through
+// visit with exactly AscendRange's in-range filtering. visit returns
+// false to stop the whole fold early.
+//
+// The containment decision lives entirely in the Summarizer's data
+// (e.g. a tracked min/max key), which keeps FoldRange agnostic to the
+// caller's range semantics. On an unaugmented tree FoldRange degrades
+// to AscendRange.
+func (t *Tree[V, S]) FoldRange(lo, hi float64, loIncl, hiIncl bool, fold func(S) bool, visit func(Item[V]) bool) {
+	if t.root == nil {
+		return
+	}
+	if t.aug == nil {
+		t.root.ascend(lo, hi, loIncl, hiIncl, visit)
+		return
+	}
+	t.foldNode(t.root, lo, hi, loIncl, hiIncl, fold, visit)
+}
+
+// foldNode recursively folds n's subtree: wholesale when the caller
+// accepts its summary, per child/item otherwise.
+func (t *Tree[V, S]) foldNode(n *node[V, S], lo, hi float64, loIncl, hiIncl bool, fold func(S) bool, visit func(Item[V]) bool) bool {
+	if fold(n.sum) {
+		return true
+	}
+	i := 0
+	if lo > negInf {
+		// Skip children that hold only keys below the lower bound.
+		if loIncl {
+			i = n.findSlot(lo, 0)
+		} else {
+			i = n.findSlotAfterKey(lo)
+		}
+	}
+	for ; i <= len(n.items); i++ {
+		if !n.leaf() {
+			if !t.foldNode(n.children[i], lo, hi, loIncl, hiIncl, fold, visit) {
+				return false
+			}
+		}
+		if i == len(n.items) {
+			break
+		}
+		it := n.items[i]
+		if inLo(it.Key, lo, loIncl) {
+			if !inHi(it.Key, hi, hiIncl) {
+				return false
+			}
+			if !visit(it) {
+				return false
+			}
+		} else if it.Key > hi {
+			return false
+		}
+	}
+	return true
+}
+
 // findSlotAfterKey returns the index of the first item with Key
 // strictly greater than key.
-func (n *node[V]) findSlotAfterKey(key float64) int {
+func (n *node[V, S]) findSlotAfterKey(key float64) int {
 	lo, hi := 0, len(n.items)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -249,14 +384,14 @@ func inHi(k, hi float64, incl bool) bool {
 }
 
 // Ascend visits all items in ascending order.
-func (t *Tree[V]) Ascend(visit func(Item[V]) bool) {
+func (t *Tree[V, S]) Ascend(visit func(Item[V]) bool) {
 	if t.root == nil {
 		return
 	}
 	t.root.ascendAll(visit)
 }
 
-func (n *node[V]) ascendAll(visit func(Item[V]) bool) bool {
+func (n *node[V, S]) ascendAll(visit func(Item[V]) bool) bool {
 	for i := 0; i <= len(n.items); i++ {
 		if !n.leaf() {
 			if !n.children[i].ascendAll(visit) {
@@ -274,7 +409,7 @@ func (n *node[V]) ascendAll(visit func(Item[V]) bool) bool {
 }
 
 // Get returns the value stored under (key, id).
-func (t *Tree[V]) Get(key float64, id uint64) (V, bool) {
+func (t *Tree[V, S]) Get(key float64, id uint64) (V, bool) {
 	var zero V
 	n := t.root
 	for n != nil {
@@ -292,7 +427,7 @@ func (t *Tree[V]) Get(key float64, id uint64) (V, bool) {
 
 // Delete removes the item with exactly (key, id) and reports whether it
 // was present.
-func (t *Tree[V]) Delete(key float64, id uint64) bool {
+func (t *Tree[V, S]) Delete(key float64, id uint64) bool {
 	if t.root == nil {
 		return false
 	}
@@ -304,6 +439,7 @@ func (t *Tree[V]) Delete(key float64, id uint64) bool {
 		} else {
 			t.root = t.root.children[0]
 		}
+		old.children = old.children[:0]
 		t.putNode(old)
 	}
 	if ok {
@@ -312,7 +448,7 @@ func (t *Tree[V]) Delete(key float64, id uint64) bool {
 	return ok
 }
 
-func (t *Tree[V]) deleteFrom(n *node[V], key float64, id uint64) bool {
+func (t *Tree[V, S]) deleteFrom(n *node[V, S], key float64, id uint64) bool {
 	i := n.findSlot(key, id)
 	found := i < len(n.items) && n.items[i].Key == key && n.items[i].ID == id
 	if n.leaf() {
@@ -320,8 +456,12 @@ func (t *Tree[V]) deleteFrom(n *node[V], key float64, id uint64) bool {
 			return false
 		}
 		n.items = append(n.items[:i], n.items[i+1:]...)
+		if t.aug != nil {
+			t.recompute(n)
+		}
 		return true
 	}
+	ok := false
 	if found {
 		// Replace with predecessor (max of left subtree), then delete it
 		// from the left subtree.
@@ -329,38 +469,42 @@ func (t *Tree[V]) deleteFrom(n *node[V], key float64, id uint64) bool {
 		if len(left.items) >= degree {
 			pred := left.max()
 			n.items[i] = pred
-			return t.deleteFrom(left, pred.Key, pred.ID)
-		}
-		right := n.children[i+1]
-		if len(right.items) >= degree {
+			ok = t.deleteFrom(left, pred.Key, pred.ID)
+		} else if right := n.children[i+1]; len(right.items) >= degree {
 			succ := right.min()
 			n.items[i] = succ
-			return t.deleteFrom(right, succ.Key, succ.ID)
+			ok = t.deleteFrom(right, succ.Key, succ.ID)
+		} else {
+			// Merge left, median, right into left and recurse.
+			t.mergeAt(n, i)
+			ok = t.deleteFrom(n.children[i], key, id)
 		}
-		// Merge left, median, right into left and recurse.
-		t.mergeAt(n, i)
-		return t.deleteFrom(n.children[i], key, id)
-	}
-	// Descend into children[i], topping it up first if minimal. fill may
-	// merge the last child into its left sibling, shifting the target
-	// child index down by one.
-	if len(n.children[i].items) < degree {
-		t.fill(n, i)
-		if i > len(n.children)-1 {
-			i = len(n.children) - 1
+	} else {
+		// Descend into children[i], topping it up first if minimal. fill
+		// may merge the last child into its left sibling, shifting the
+		// target child index down by one.
+		if len(n.children[i].items) < degree {
+			t.fill(n, i)
+			if i > len(n.children)-1 {
+				i = len(n.children) - 1
+			}
 		}
+		ok = t.deleteFrom(n.children[i], key, id)
 	}
-	return t.deleteFrom(n.children[i], key, id)
+	if ok && t.aug != nil {
+		t.recompute(n)
+	}
+	return ok
 }
 
-func (n *node[V]) min() Item[V] {
+func (n *node[V, S]) min() Item[V] {
 	for !n.leaf() {
 		n = n.children[0]
 	}
 	return n.items[0]
 }
 
-func (n *node[V]) max() Item[V] {
+func (n *node[V, S]) max() Item[V] {
 	for !n.leaf() {
 		n = n.children[len(n.children)-1]
 	}
@@ -368,19 +512,23 @@ func (n *node[V]) max() Item[V] {
 }
 
 // mergeAt folds children[i], items[i], children[i+1] into children[i].
-func (t *Tree[V]) mergeAt(n *node[V], i int) {
+func (t *Tree[V, S]) mergeAt(n *node[V, S], i int) {
 	left, right := n.children[i], n.children[i+1]
 	left.items = append(left.items, n.items[i])
 	left.items = append(left.items, right.items...)
 	left.children = append(left.children, right.children...)
 	n.items = append(n.items[:i], n.items[i+1:]...)
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	right.children = right.children[:0]
 	t.putNode(right)
+	if t.aug != nil {
+		t.recompute(left)
+	}
 }
 
 // fill ensures children[i] has at least degree items by borrowing from
 // a sibling or merging.
-func (t *Tree[V]) fill(n *node[V], i int) {
+func (t *Tree[V, S]) fill(n *node[V, S], i int) {
 	if i > 0 && len(n.children[i-1].items) >= degree {
 		// Borrow from left sibling through the separator.
 		child, left := n.children[i], n.children[i-1]
@@ -395,6 +543,10 @@ func (t *Tree[V]) fill(n *node[V], i int) {
 			child.children[0] = left.children[len(left.children)-1]
 			left.children = left.children[:len(left.children)-1]
 		}
+		if t.aug != nil {
+			t.recompute(left)
+			t.recompute(child)
+		}
 		return
 	}
 	if i < len(n.children)-1 && len(n.children[i+1].items) >= degree {
@@ -407,6 +559,10 @@ func (t *Tree[V]) fill(n *node[V], i int) {
 			child.children = append(child.children, right.children[0])
 			copy(right.children, right.children[1:])
 			right.children = right.children[:len(right.children)-1]
+		}
+		if t.aug != nil {
+			t.recompute(right)
+			t.recompute(child)
 		}
 		return
 	}

@@ -33,37 +33,49 @@ func allocStockEvent(id uint64, t event.Time, company string, price float64) *ev
 // TestNoHotPathAllocs locks in the zero-allocation steady state of the
 // simple-plan Process path: schema-compiled events into an existing
 // partition, with the recycling pools pre-warmed by expired panes,
-// must not allocate at all.
+// must not allocate at all. Both scan disciplines are guarded: the
+// summary fast path (subtree folds + augmented-tree maintenance) and
+// the forced per-vertex scan.
 func TestNoHotPathAllocs(t *testing.T) {
+	t.Run("summary-fold", func(t *testing.T) { testNoHotPathAllocs(t, false) })
+	t.Run("vertex-scan", func(t *testing.T) { testNoHotPathAllocs(t, true) })
+}
+
+func testNoHotPathAllocs(t *testing.T, forceScan bool) {
+	// A long window so the measured loop can advance time (keeping
+	// summary folds eligible: adjacency needs predecessor time strictly
+	// below the event's) without closing a window mid-measurement.
 	q := query.MustParse("RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ " +
-		"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 10 SLIDE 10")
+		"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000")
 	plan, err := NewPlan(q, aggregate.ModeNative)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := NewEngine(plan)
+	eng.SetForceVertexScan(forceScan)
 
 	// Warmup: stream enough events through enough windows that panes
-	// expire and charge the vertex/payload/node pools, and the partition
+	// expire and charge the vertex/payload/node pools (recycled nodes
+	// carry their emptied subtree summaries), and the partition
 	// (company c0) exists.
 	id := uint64(0)
 	price := func(i uint64) float64 { return float64(1000 - i%7) }
-	for i := 0; i < 20000; i++ {
+	for i := 0; i < 21000; i++ {
 		id++
-		eng.Process(allocStockEvent(id, event.Time(i/100), "c0", price(id)))
+		eng.Process(allocStockEvent(id, event.Time(i/10), "c0", price(id)))
 	}
 
-	// Steady state: events at one fixed timestamp inside the current
-	// window — every Process matches the vertex state, scans
-	// predecessors, folds payloads, and stores a pooled vertex.
-	last := event.Time(20000 / 100)
+	// Steady state: advancing timestamps inside the current window —
+	// every Process matches the vertex state, aggregates predecessors
+	// (folding pane/subtree summaries unless forced to scan), and
+	// stores a pooled vertex into the augmented tree.
 	const runs = 300
 	evs := make([]*event.Event, runs)
 	for i := range evs {
 		id++
-		evs[i] = allocStockEvent(id, last, "c0", price(id))
+		evs[i] = allocStockEvent(id, event.Time(2100+i), "c0", price(id))
 	}
-	insertedBefore := eng.Stats().Inserted
+	before := eng.Stats()
 	i := 0
 	avg := testing.AllocsPerRun(runs-1, func() {
 		eng.Process(evs[i])
@@ -74,9 +86,20 @@ func TestNoHotPathAllocs(t *testing.T) {
 	}
 	// Guard against the guard: the measured events must actually have
 	// exercised the insertion path (vertex + payload + tree insert), not
-	// a filtered no-op.
-	if got := eng.Stats().Inserted - insertedBefore; got < runs {
+	// a filtered no-op — and the intended scan discipline.
+	after := eng.Stats()
+	if got := after.Inserted - before.Inserted; got < runs {
 		t.Fatalf("measured loop inserted %d vertices, want >= %d (test no longer exercises the hot path)", got, runs)
+	}
+	folds := after.SummaryFolds - before.SummaryFolds
+	if forceScan && folds != 0 {
+		t.Fatalf("forced vertex scan still took %d summary folds", folds)
+	}
+	if !forceScan && folds < runs {
+		t.Fatalf("measured loop took %d summary folds, want >= %d (fast path no longer exercised)", folds, runs)
+	}
+	if after.Edges == before.Edges {
+		t.Fatal("measured loop traversed no edges")
 	}
 }
 

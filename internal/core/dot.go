@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/greta-cep/greta/internal/aggregate"
@@ -28,7 +29,7 @@ func (e *Engine) DOT() string {
 		return b.String()
 	}
 	parts := append([]*partition{}, e.partList...)
-	sort.Slice(parts, func(i, j int) bool { return parts[i].key < parts[j].key })
+	slices.SortFunc(parts, func(a, b *partition) int { return cmp.Compare(a.key, b.key) })
 	for pi, part := range parts {
 		for gi, g := range part.graphs {
 			name := "positive"
@@ -98,7 +99,7 @@ func (g *Graph) forEachVertex(visit func(*Vertex)) {
 		for s := range pn.trees {
 			states = append(states, s)
 		}
-		sort.Ints(states)
+		slices.Sort(states)
 		for _, s := range states {
 			pn.trees[s].Ascend(func(it btree.Item[*Vertex]) bool {
 				visit(it.Val)
@@ -120,7 +121,7 @@ type GraphSnapshot struct {
 func (e *Engine) Snapshot() []GraphSnapshot {
 	var out []GraphSnapshot
 	parts := append([]*partition{}, e.partList...)
-	sort.Slice(parts, func(i, j int) bool { return parts[i].key < parts[j].key })
+	slices.SortFunc(parts, func(a, b *partition) int { return cmp.Compare(a.key, b.key) })
 	for _, part := range parts {
 		for _, g := range part.graphs {
 			n := 0

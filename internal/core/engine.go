@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -43,10 +44,15 @@ type Result struct {
 // the workers' sampled peaks — an upper bound, since workers run
 // concurrently but peak at different instants.
 type Stats struct {
-	Events       uint64
-	OutOfOrder   uint64 // events dropped for violating time order
-	Inserted     uint64
-	Edges        uint64
+	Events     uint64
+	OutOfOrder uint64 // events dropped for violating time order
+	Inserted   uint64
+	Edges      uint64 // logical edges, however aggregated
+	// ScanVisits / SummaryFolds split the cost of traversing Edges into
+	// materialized per-vertex visits and O(1) summary folds (each fold
+	// covers any number of logical edges); see GraphStats.
+	ScanVisits   uint64
+	SummaryFolds uint64
 	PeakVertices uint64
 	PeakPayloads uint64
 	Partitions   int
@@ -121,6 +127,10 @@ type Engine struct {
 	batch         []*event.Event
 	batchTime     event.Time
 
+	// forceScan disables the summary fast path in all graphs (see
+	// SetForceVertexScan).
+	forceScan bool
+
 	onResult func(Result)
 	results  []Result
 
@@ -154,9 +164,24 @@ func NewEngine(plan *Plan) *Engine {
 	// Compile each sub-spec once per engine; partitions share the result.
 	e.cspecs = make([]*compiledSpec, len(plan.Subs))
 	for i, spec := range plan.Subs {
-		e.cspecs[i] = newCompiledSpec(spec, plan.Subs)
+		e.cspecs[i] = newCompiledSpec(spec, plan.Subs, plan.Sem)
 	}
 	return e
+}
+
+// SetForceVertexScan disables the pane-summary/subtree-fold fast path:
+// every candidate predecessor is visited per vertex, as if the trees
+// were unaugmented. Results are identical either way (the differential
+// tests lock this in); the knob exists for those tests and for
+// debugging. Call before the first Process.
+func (e *Engine) SetForceVertexScan(on bool) {
+	e.forceScan = on
+	for _, be := range e.branchEngines {
+		be.SetForceVertexScan(on)
+	}
+	for _, pe := range e.productEngines {
+		pe.SetForceVertexScan(on)
+	}
 }
 
 // OnResult registers a callback invoked for every emitted result (as
@@ -210,6 +235,7 @@ func (e *Engine) newPartition(ev *event.Event) *partition {
 	}
 	for i, spec := range e.plan.Subs {
 		p.graphs[i] = newGraph(spec, e.cspecs[i], e.plan.Window, e.plan.Sem)
+		p.graphs[i].forceScan = e.forceScan
 	}
 	for i, spec := range e.plan.Subs {
 		for _, dep := range spec.Deps {
@@ -498,7 +524,7 @@ func (e *Engine) closeWindow(wid int64) {
 	for g := range merged {
 		groups = append(groups, g)
 	}
-	sort.Strings(groups)
+	slices.Sort(groups)
 	for _, g := range groups {
 		e.emit(g, wid, merged[g])
 	}
@@ -553,6 +579,7 @@ func (e *Engine) RunParallel(s event.Stream, workers int) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		subEngines[w] = NewEngine(e.plan)
+		subEngines[w].SetForceVertexScan(e.forceScan)
 		chans[w] = make(chan routed, 1024)
 		wg.Add(1)
 		go func(w int) {
@@ -628,7 +655,7 @@ func (e *Engine) Flush() {
 	for wid := range widSet {
 		wids = append(wids, wid)
 	}
-	sort.Slice(wids, func(i, j int) bool { return wids[i] < wids[j] })
+	slices.Sort(wids)
 	for _, wid := range wids {
 		e.closeWindow(wid)
 	}
@@ -641,11 +668,11 @@ func (e *Engine) Results() []Result {
 }
 
 func sortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Group != rs[j].Group {
-			return rs[i].Group < rs[j].Group
+	slices.SortFunc(rs, func(a, b Result) int {
+		if c := cmp.Compare(a.Group, b.Group); c != 0 {
+			return c
 		}
-		return rs[i].Wid < rs[j].Wid
+		return cmp.Compare(a.Wid, b.Wid)
 	})
 }
 
@@ -657,6 +684,8 @@ func (e *Engine) Stats() Stats {
 			bs := be.Stats()
 			s.Inserted += bs.Inserted
 			s.Edges += bs.Edges
+			s.ScanVisits += bs.ScanVisits
+			s.SummaryFolds += bs.SummaryFolds
 			s.PeakVertices += bs.PeakVertices
 			s.PeakPayloads += bs.PeakPayloads
 			s.Partitions += bs.Partitions
@@ -665,6 +694,8 @@ func (e *Engine) Stats() Stats {
 			ps := pe.Stats()
 			s.Inserted += ps.Inserted
 			s.Edges += ps.Edges
+			s.ScanVisits += ps.ScanVisits
+			s.SummaryFolds += ps.SummaryFolds
 			s.PeakVertices += ps.PeakVertices
 			s.PeakPayloads += ps.PeakPayloads
 		}
@@ -681,6 +712,8 @@ func (e *Engine) Stats() Stats {
 			gs := g.Stats()
 			s.Inserted += gs.Inserted
 			s.Edges += gs.Edges
+			s.ScanVisits += gs.ScanVisits
+			s.SummaryFolds += gs.SummaryFolds
 			verts += gs.Vertices
 			pays += gs.Payloads
 		}
@@ -705,6 +738,8 @@ func (e *Engine) mergeStats(se *Engine) {
 	ss := se.Stats()
 	e.stats.Inserted += ss.Inserted
 	e.stats.Edges += ss.Edges
+	e.stats.ScanVisits += ss.ScanVisits
+	e.stats.SummaryFolds += ss.SummaryFolds
 	e.stats.PeakVertices += ss.PeakVertices
 	e.stats.PeakPayloads += ss.PeakPayloads
 	e.stats.Partitions += ss.Partitions

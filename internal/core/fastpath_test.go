@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// diffSchema mirrors the stock generator for schema-bound events; the
+// workload mixes bound and schemaless events to exercise both access
+// paths under the summary fold.
+var diffSchema = &event.Schema{
+	Type:    "Stock",
+	Numeric: []string{"price"},
+	Strings: []string{"company"},
+}
+
+// diffStream generates a randomized stock-like stream: mostly Stock
+// events with small-integer prices (keeping float64 sums exact so the
+// two scan disciplines must agree bit-for-bit), occasional Halt events
+// (negation), same-timestamp bursts (adjacency boundaries), missing
+// and NaN prices (sort-key fallbacks), and a mix of schema-bound and
+// schemaless events.
+func diffStream(rng *rand.Rand, n int, allowNaN bool) []*event.Event {
+	evs := make([]*event.Event, 0, n)
+	t := event.Time(1)
+	for i := 0; i < n; i++ {
+		// ~40% same-timestamp follow-ups.
+		if rng.Intn(5) >= 2 {
+			t += event.Time(1 + rng.Intn(2))
+		}
+		typ := event.Type("Stock")
+		if rng.Intn(40) == 0 {
+			typ = "Halt"
+		}
+		ev := &event.Event{
+			ID:    uint64(i + 1),
+			Type:  typ,
+			Time:  t,
+			Attrs: map[string]float64{},
+			Str:   map[string]string{"company": fmt.Sprintf("c%d", rng.Intn(3))},
+		}
+		switch rng.Intn(20) {
+		case 0: // missing price
+		case 1:
+			if allowNaN {
+				// NaN price: predicates reject, sort keys degenerate.
+				ev.Attrs["price"] = math.NaN()
+			} else {
+				ev.Attrs["price"] = float64(1 + rng.Intn(8))
+			}
+		default:
+			ev.Attrs["price"] = float64(1 + rng.Intn(8))
+		}
+		if typ == "Stock" && rng.Intn(2) == 0 {
+			diffSchema.Bind(ev)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestFastPathDifferential runs randomized workloads through the
+// summary fast path and a forced per-vertex scan and asserts identical
+// results — values, groups, windows — and identical logical edge and
+// insertion counts. Queries cover all three event selection semantics,
+// negation, exact and inexact compiled ranges, multi-window sliding,
+// equivalence partitioning, and schemaless events.
+func TestFastPathDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		q    string
+		mode aggregate.Mode
+		// fast reports whether the summary path must actually engage
+		// (guards against the fast path silently dying).
+		fast bool
+	}{
+		{"stam-range-windowed",
+			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, true},
+		{"stam-range-unbounded",
+			"RETURN COUNT(*) PATTERN Stock S+ WHERE S.price >= NEXT(S).price",
+			aggregate.ModeNative, true},
+		{"stam-no-predicate",
+			"RETURN COUNT(*), MIN(S.price), MAX(S.price), AVG(S.price) PATTERN Stock S+ WITHIN 16 SLIDE 4",
+			aggregate.ModeNative, true},
+		{"stam-seq",
+			"RETURN COUNT(*) PATTERN SEQ(Halt H, Stock S+) WHERE [company] AND S.price < NEXT(S).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, true},
+		{"stam-inexact-range", // 2*price is not an exact key: per-vertex
+			"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND 2 * S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, false},
+		{"skip-till-next-match",
+			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price SEMANTICS skip-till-next-match WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, false},
+		{"contiguous",
+			"RETURN COUNT(*) PATTERN Stock S+ WHERE S.price > NEXT(S).price SEMANTICS contiguous WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, false},
+		{"negation",
+			"RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+) WHERE [company] AND S.price > NEXT(S).price WITHIN 30 SLIDE 10",
+			aggregate.ModeNative, false},
+		{"exact-mode",
+			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+			aggregate.ModeExact, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := query.MustParse(tc.q)
+			for seed := int64(1); seed <= 4; seed++ {
+				// Exact mode cannot aggregate NaN attributes (big.Float has
+				// no NaN); keep them to the native-mode workloads.
+				evs := diffStream(rand.New(rand.NewSource(seed)), 300, tc.mode != aggregate.ModeExact)
+				fastEng := runDiffEngine(t, q, tc.mode, evs, false)
+				scanEng := runDiffEngine(t, q, tc.mode, evs, true)
+				compareResults(t, seed, fastEng.Results(), scanEng.Results())
+				fs, ss := fastEng.Stats(), scanEng.Stats()
+				if fs.Inserted != ss.Inserted {
+					t.Fatalf("seed %d: inserted %d (fast) vs %d (scan)", seed, fs.Inserted, ss.Inserted)
+				}
+				if fs.Edges != ss.Edges {
+					t.Fatalf("seed %d: logical edges %d (fast) vs %d (scan)", seed, fs.Edges, ss.Edges)
+				}
+				if ss.SummaryFolds != 0 {
+					t.Fatalf("seed %d: forced scan took %d summary folds", seed, ss.SummaryFolds)
+				}
+				if tc.fast && fs.SummaryFolds == 0 {
+					t.Fatalf("seed %d: summary fast path never engaged", seed)
+				}
+				if !tc.fast && fs.SummaryFolds != 0 {
+					t.Fatalf("seed %d: ineligible query took %d summary folds", seed, fs.SummaryFolds)
+				}
+			}
+		})
+	}
+}
+
+func runDiffEngine(t *testing.T, q *query.Query, mode aggregate.Mode, evs []*event.Event, forceScan bool) *core.Engine {
+	t.Helper()
+	plan, err := core.NewPlan(q, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(plan)
+	eng.SetForceVertexScan(forceScan)
+	eng.Run(event.NewSliceStream(evs))
+	return eng
+}
+
+func compareResults(t *testing.T, seed int64, a, b []core.Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("seed %d: %d results (fast) vs %d (scan)", seed, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Group != b[i].Group || a[i].Wid != b[i].Wid {
+			t.Fatalf("seed %d: result %d keyed (%q, %d) vs (%q, %d)",
+				seed, i, a[i].Group, a[i].Wid, b[i].Group, b[i].Wid)
+		}
+		for j := range a[i].Values {
+			av, bv := a[i].Values[j], b[i].Values[j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatalf("seed %d: result %d (%q, wid %d) value %d: %v (fast) vs %v (scan)",
+					seed, i, a[i].Group, a[i].Wid, j, av, bv)
+			}
+		}
+	}
+}

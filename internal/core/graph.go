@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 
 	"github.com/greta-cep/greta/internal/aggregate"
 	"github.com/greta-cep/greta/internal/btree"
@@ -28,11 +29,14 @@ type Vertex struct {
 }
 
 // pane is one Time Pane (paper §7): all vertices of a fixed time
-// interval, indexed per state by a Vertex Tree.
+// interval, indexed per state by a Vertex Tree. On the summary fast
+// path the trees are augmented (see vertexAug): each tree's root
+// summary is the pane's per-(state, window) payload summary, and its
+// interior nodes support range-bounded subtree folds.
 type pane struct {
 	idx        int64
 	start, end event.Time
-	trees      map[int]*btree.Tree[*Vertex]
+	trees      map[int]*vtree
 	vertices   int
 }
 
@@ -86,8 +90,14 @@ type GraphStats struct {
 	Events   uint64 // events offered to the graph
 	Vertices uint64 // vertices currently stored
 	Inserted uint64 // vertices ever inserted
-	Edges    uint64 // edges traversed (each exactly once, §7)
+	Edges    uint64 // logical edges (each exactly once, §7), however aggregated
 	Payloads uint64 // window payloads currently held
+	// The two counters below split the cost of traversing Edges:
+	// ScanVisits counts materialized per-vertex candidate visits, while
+	// SummaryFolds counts pane/subtree summary folds that each cover any
+	// number of logical edges in O(1).
+	ScanVisits   uint64
+	SummaryFolds uint64
 }
 
 // Graph is a runtime GRETA graph for one sub-pattern in one stream
@@ -125,12 +135,18 @@ type Graph struct {
 	// one engine — see compiledSpec for why that sharing is race-free.
 	cs *compiledSpec
 
-	// ins is the insertion scratch state read by scanFn; scanFn and
-	// expireFn are created once so per-event tree scans allocate no
-	// closures.
+	// ins is the insertion scratch state read by scanFn; scanFn,
+	// expireFn, and foldFn are created once so per-event tree scans
+	// allocate no closures.
 	ins      insertState
-	scanFn   func(btree.Item[*Vertex]) bool
-	expireFn func(btree.Item[*Vertex]) bool
+	scanFn   func(vitem) bool
+	expireFn func(vitem) bool
+	foldFn   func(*vertexSum) bool
+
+	// forceScan disables the summary fast path for this graph
+	// (Engine.SetForceVertexScan): every candidate is visited per
+	// vertex, for differential testing against the fold path.
+	forceScan bool
 
 	stats GraphStats
 }
@@ -163,15 +179,29 @@ type compiledSpec struct {
 	hasSucc  []bool                  // state has outgoing transitions
 	links    map[int]*linkProto      // dependency-link template per child spec index
 
+	// fastScan[toState][fromState] reports that scanCandidates for the
+	// transition may fold subtree summaries instead of visiting each
+	// candidate: skip-till-any-match semantics, no dependency links on
+	// the spec, and every edge predicate of the transition bit-exactly
+	// captured by the Vertex Tree key range (predicate.Range.ExactKey on
+	// the tree's sort attribute). Strict time adjacency and degenerate
+	// keys are re-checked per fold through vertexSum (maxTime/fallback).
+	fastScan [][]bool
+	// augs[state] maintains subtree summaries for the state's Vertex
+	// Trees; nil when no transition out of the state can fast-fold.
+	augs []*vertexAug
+
 	// Recycling pools, shared by the spec's graphs across partitions of
 	// one engine (sequential access, same argument as above): expired
-	// panes return payloads, vertices, panes, and tree nodes here so the
-	// steady-state per-event path allocates nothing — and a partition
-	// warms up from state another partition expired.
+	// panes return payloads, vertices, panes, and tree nodes here so
+	// the steady-state per-event path allocates nothing — and a
+	// partition warms up from state another partition expired. Subtree
+	// summaries recycle implicitly: they stay attached (emptied) to
+	// free-listed tree nodes, their payloads returning to pool.
 	pool     aggregate.Pool
 	vfree    []*Vertex
 	pfree    []*pane
-	nodeFree btree.FreeList[*Vertex]
+	nodeFree vtreeFree
 }
 
 // linkProto is the immutable part of a depLink, computed once per
@@ -184,7 +214,7 @@ type linkProto struct {
 }
 
 // newCompiledSpec compiles spec against the schema-slot fast path.
-func newCompiledSpec(spec *GraphSpec, subs []*GraphSpec) *compiledSpec {
+func newCompiledSpec(spec *GraphSpec, subs []*GraphSpec, sem query.Semantics) *compiledSpec {
 	cs := &compiledSpec{}
 	cs.pool.Init(spec.Def)
 	n := len(spec.Tmpl.States)
@@ -233,6 +263,38 @@ func newCompiledSpec(spec *GraphSpec, subs []*GraphSpec) *compiledSpec {
 	cs.links = map[int]*linkProto{}
 	for _, dep := range spec.Deps {
 		cs.links[dep] = buildLinkProto(spec, subs[dep])
+	}
+	// Summary fast-path eligibility. Skip-till-next-match mutates
+	// predecessors during the scan (closed marking) and contiguous
+	// semantics checks per-vertex event ids; dependency links require
+	// per-vertex invalidation checks — all three force per-vertex scans.
+	augOK := sem == query.SkipTillAnyMatch && len(spec.Deps) == 0
+	cs.fastScan = make([][]bool, n)
+	for to := range cs.fastScan {
+		cs.fastScan[to] = make([]bool, n)
+		for from := range cs.fastScan[to] {
+			if !augOK {
+				continue
+			}
+			fast := true
+			for _, pe := range cs.epsBySrc[to][from] {
+				if pe.rng == nil || !pe.rng.ExactKey() || pe.rng.Attr != spec.SortAttr[from] {
+					fast = false
+					break
+				}
+			}
+			cs.fastScan[to][from] = fast
+		}
+	}
+	// Augment the Vertex Trees of states that at least one transition
+	// can fast-fold from; other states skip the maintenance cost.
+	cs.augs = make([]*vertexAug, n)
+	for _, st := range spec.Tmpl.States {
+		for _, from := range st.Preds {
+			if cs.fastScan[st.Idx][from] && cs.augs[from] == nil {
+				cs.augs[from] = &vertexAug{cs: cs, def: spec.Def, sIdx: from}
+			}
+		}
 	}
 	return cs
 }
@@ -285,6 +347,10 @@ type insertState struct {
 	payloads []*aggregate.Payload // aliases the vertex's Aggs
 	eps      []*edgePred          // edge predicates of the current transition
 	gotPred  bool
+	// rlo/rhi mirror the current scan's compiled key-range bounds for
+	// the fast path's fold containment check (foldVisit).
+	rlo, rhi         float64
+	rloIncl, rhiIncl bool
 }
 
 // newGraph builds the runtime graph for spec using the engine's
@@ -301,6 +367,7 @@ func newGraph(spec *GraphSpec, cs *compiledSpec, win window.Spec, sem query.Sema
 	}
 	g.scanFn = g.scanVisit
 	g.expireFn = g.expireVisit
+	g.foldFn = g.foldVisit
 	return g
 }
 
@@ -621,11 +688,16 @@ func countPayloads(v *Vertex) int {
 	return n
 }
 
-// scanCandidates scans stored vertices of state psIdx that may precede
-// the event being inserted (g.ins) at state sIdx, using the Vertex Tree
-// range for the compiled edge predicate when available (paper §7). It
-// is the zero-allocation runtime twin of forEachCandidate: candidate
-// work happens in the preallocated scanVisit closure reading g.ins.
+// scanCandidates aggregates stored vertices of state psIdx that may
+// precede the event being inserted (g.ins) at state sIdx. On the
+// summary fast path (fastScan) it folds subtree summaries — O(1) for a
+// fully covered pane tree, O(log n) for a range-bounded one — and only
+// descends to per-vertex visits around range boundaries, degenerate
+// keys, and same-timestamp stragglers. Otherwise it scans per vertex,
+// using the Vertex Tree range for the compiled edge predicate when
+// available (paper §7). Both paths are zero-allocation: candidate work
+// happens in the preallocated scanVisit/foldVisit closures reading
+// g.ins, and forEachCandidate is the debug-rendering twin.
 func (g *Graph) scanCandidates(psIdx, sIdx int) {
 	ins := &g.ins
 	e := ins.e
@@ -635,6 +707,8 @@ func (g *Graph) scanCandidates(psIdx, sIdx int) {
 	if !ok {
 		return
 	}
+	ins.rlo, ins.rhi, ins.rloIncl, ins.rhiIncl = rlo, rhi, rloIncl, rhiIncl
+	fast := !g.forceScan && g.cs.fastScan[sIdx][psIdx]
 	oldest := g.win.Start(ins.lo)
 	for _, pn := range g.panes {
 		if pn.end <= oldest || pn.start > e.Time {
@@ -644,9 +718,12 @@ func (g *Graph) scanCandidates(psIdx, sIdx int) {
 		if tree == nil {
 			continue
 		}
-		if useRange {
+		switch {
+		case fast && tree.Augmented():
+			tree.FoldRange(rlo, rhi, rloIncl, rhiIncl, g.foldFn, g.scanFn)
+		case useRange:
 			tree.AscendRange(rlo, rhi, rloIncl, rhiIncl, g.scanFn)
-		} else {
+		default:
 			tree.Ascend(g.scanFn)
 		}
 	}
@@ -707,10 +784,11 @@ func (g *Graph) candidateOK(p *Vertex, e *event.Event, eps []*edgePred) bool {
 
 // scanVisit processes one candidate predecessor during scanCandidates
 // (installed once as g.scanFn so per-event scans allocate no closure).
-func (g *Graph) scanVisit(it btree.Item[*Vertex]) bool {
+func (g *Graph) scanVisit(it vitem) bool {
 	ins := &g.ins
 	p := it.Val
 	e := ins.e
+	g.stats.ScanVisits++
 	if !g.candidateOK(p, e, ins.eps) {
 		return true
 	}
@@ -780,11 +858,18 @@ func (g *Graph) forEachCandidate(e *event.Event, psIdx, sIdx int, loWid int64, v
 }
 
 // store places a vertex into the Vertex Tree of the current pane.
+// Trees of fast-path states are augmented so summary maintenance
+// happens inside the insert (and forceScan graphs opt out entirely,
+// behaving exactly like the per-vertex engine).
 func (g *Graph) store(v *Vertex) {
 	pn := g.paneFor(v.Ev.Time)
 	tree := pn.trees[v.State]
 	if tree == nil {
-		tree = btree.NewWithFreeList(&g.cs.nodeFree)
+		if aug := g.cs.augs[v.State]; aug != nil && !g.forceScan {
+			tree = btree.NewAugmented(&g.cs.nodeFree, aug)
+		} else {
+			tree = btree.NewWithFreeList(&g.cs.nodeFree)
+		}
 		pn.trees[v.State] = tree
 	}
 	tree.Insert(g.sortKey(v.State, v.Ev), v.Ev.ID, v)
@@ -827,7 +912,7 @@ func (g *Graph) paneFor(t event.Time) *pane {
 			idx:   idx,
 			start: idx * g.paneSize,
 			end:   (idx + 1) * g.paneSize,
-			trees: map[int]*btree.Tree[*Vertex]{},
+			trees: map[int]*vtree{},
 		}
 	}
 	g.panes = append(g.panes, pn)
@@ -864,7 +949,7 @@ func (g *Graph) expire(t event.Time) {
 
 // expireVisit recycles one vertex of an expiring pane (installed once
 // as g.expireFn).
-func (g *Graph) expireVisit(it btree.Item[*Vertex]) bool {
+func (g *Graph) expireVisit(it vitem) bool {
 	v := it.Val
 	g.stats.Payloads -= uint64(countPayloads(v))
 	g.putVertex(v)
@@ -899,7 +984,7 @@ func (g *Graph) OpenWids() []int64 {
 	for wid := range g.endWids {
 		wids = append(wids, wid)
 	}
-	sortInt64s(wids)
+	slices.Sort(wids)
 	return wids
 }
 
@@ -962,14 +1047,6 @@ func (g *Graph) lazyResult(wid int64) *aggregate.Payload {
 // stream before collecting remaining windows.
 func (g *Graph) FoldAll() {
 	g.foldPending(1<<62 - 1)
-}
-
-func sortInt64s(xs []int64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // Stats returns runtime statistics.

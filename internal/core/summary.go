@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/btree"
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// vtree / vtreeFree are the Vertex Tree instantiation used by the
+// runtime: *Vertex items summarized by *vertexSum subtree payloads.
+type (
+	vtree     = btree.Tree[*Vertex, *vertexSum]
+	vtreeFree = btree.FreeList[*Vertex, *vertexSum]
+	vitem     = btree.Item[*Vertex]
+)
+
+// minTime is the maxTime of an empty summary (no event time reaches it).
+const minTime = event.Time(math.MinInt64)
+
+// vertexSum is the subtree summary of an augmented Vertex Tree: the
+// pane-summary payload fold of the paper's Time Pane structure (§7),
+// generalized to every subtree so range-bounded scans fold in
+// O(log n) and fully covered panes in O(1).
+type vertexSum struct {
+	// agg folds the subtree's per-window payloads (and exact logical
+	// edge accounting; see aggregate.Summary).
+	agg aggregate.Summary
+	// minKey/maxKey span the subtree's sort keys; a fold is taken only
+	// when the span lies fully inside the scan's compiled key range, so
+	// the range predicate provably holds for every folded vertex.
+	minKey, maxKey float64
+	// maxTime is the newest vertex time in the subtree. A fold is only
+	// taken when maxTime < the inserted event's time, because trend
+	// adjacency requires strictly increasing timestamps (Definition 1);
+	// subtrees holding same-timestamp stragglers fall back to per-item
+	// visits.
+	maxTime event.Time
+	// fallback counts vertices whose tree key is not the genuine sort
+	// attribute value (missing / non-numeric / NaN): for them
+	// key-in-range is not equivalent to the edge predicate (and a NaN
+	// key breaks both ordering and span tracking), so any subtree
+	// containing one is scanned per vertex.
+	fallback uint32
+	// bad marks a window-range mismatch (never expected; folds reject).
+	bad bool
+}
+
+// vertexAug maintains vertexSum summaries for the Vertex Trees of one
+// state of one spec. Like the pools it lives on the compiledSpec and is
+// shared by that spec's graphs across partitions of one engine — safe
+// for the same reason the pools are (sequential access; see
+// compiledSpec).
+type vertexAug struct {
+	cs   *compiledSpec
+	def  *aggregate.Def
+	sIdx int
+}
+
+var _ btree.Summarizer[*Vertex, *vertexSum] = (*vertexAug)(nil)
+
+// newSum returns an empty summary. Allocation happens only for nodes
+// that were never augmented: Clear leaves emptied summaries attached
+// to recycled nodes, so the steady state reuses them in place.
+func (a *vertexAug) newSum() *vertexSum {
+	return &vertexSum{minKey: math.Inf(1), maxKey: math.Inf(-1), maxTime: minTime}
+}
+
+// Add folds one stored vertex into s (s may be nil: first use).
+func (a *vertexAug) Add(s *vertexSum, it vitem) *vertexSum {
+	if s == nil {
+		s = a.newSum()
+	}
+	v := it.Val
+	if it.Key < s.minKey {
+		s.minKey = it.Key
+	}
+	if it.Key > s.maxKey {
+		s.maxKey = it.Key
+	}
+	if v.Ev.Time > s.maxTime {
+		s.maxTime = v.Ev.Time
+	}
+	if acc := &a.cs.sortAcc[a.sIdx]; acc.Attr() != "" {
+		if f, ok := acc.Float(v.Ev); !ok || math.IsNaN(f) {
+			s.fallback++
+		}
+	}
+	if !a.def.SummaryAdd(&a.cs.pool, &s.agg, v.FirstWid, v.Aggs) {
+		s.bad = true
+	}
+	return s
+}
+
+// Merge folds src into dst (dst may be nil; src is not modified).
+func (a *vertexAug) Merge(dst, src *vertexSum) *vertexSum {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		dst = a.newSum()
+	}
+	if src.minKey < dst.minKey {
+		dst.minKey = src.minKey
+	}
+	if src.maxKey > dst.maxKey {
+		dst.maxKey = src.maxKey
+	}
+	if src.maxTime > dst.maxTime {
+		dst.maxTime = src.maxTime
+	}
+	dst.fallback += src.fallback
+	if src.bad {
+		dst.bad = true
+	}
+	if !a.def.SummaryMerge(&a.cs.pool, &dst.agg, &src.agg) {
+		dst.bad = true
+	}
+	return dst
+}
+
+// Clear empties s for reuse, returning its payloads to the spec pool.
+func (a *vertexAug) Clear(s *vertexSum) *vertexSum {
+	if s == nil {
+		return nil
+	}
+	s.minKey, s.maxKey = math.Inf(1), math.Inf(-1)
+	s.maxTime = minTime
+	s.fallback = 0
+	s.bad = false
+	a.def.SummaryClear(&a.cs.pool, &s.agg)
+	return s
+}
+
+// foldVisit consumes one subtree summary during a fast-path
+// scanCandidates fold (installed once as g.foldFn). Returning false
+// rejects the wholesale fold; the tree then descends and routes the
+// subtree's items through g.scanFn (the per-vertex slow path), so
+// rejection is always safe.
+func (g *Graph) foldVisit(s *vertexSum) bool {
+	if s == nil || s.agg.Empty() {
+		return true // empty subtree: nothing to fold
+	}
+	ins := &g.ins
+	if s.bad || s.fallback != 0 || s.maxTime >= ins.e.Time {
+		return false
+	}
+	// The subtree's key span must lie fully inside the compiled range:
+	// then the edge predicates (bit-exact with the range; see fastScan)
+	// hold for every vertex in it.
+	if !(s.minKey > ins.rlo || (ins.rloIncl && s.minKey == ins.rlo)) {
+		return false
+	}
+	if !(s.maxKey < ins.rhi || (ins.rhiIncl && s.maxKey == ins.rhi)) {
+		return false
+	}
+	first := s.agg.FirstWid
+	last := first + int64(len(s.agg.Sums)) - 1
+	if first > ins.lo || last > ins.hi {
+		// A stored predecessor's window range always starts at or before
+		// and ends at or before the new event's (times are in order);
+		// anything else is unexpected — scan per vertex.
+		return false
+	}
+	if last < ins.lo {
+		return true // no shared window: nothing can connect
+	}
+	// Fast-path eligibility (fastScan) guarantees no dependency links,
+	// so validWid and invalidPred checks are vacuous here.
+	for wid := ins.lo; wid <= last; wid++ {
+		sp := s.agg.Sums[wid-first]
+		if sp == nil {
+			continue
+		}
+		i := int(wid - ins.lo)
+		if ins.payloads[i] == nil {
+			ins.payloads[i] = g.cs.pool.Get()
+		}
+		g.def.AddPred(ins.payloads[i], sp)
+	}
+	if edges := s.agg.EdgesFrom(ins.lo); edges > 0 {
+		g.stats.Edges += edges
+		ins.gotPred = true
+	}
+	g.stats.SummaryFolds++
+	return true
+}

@@ -10,9 +10,10 @@
 package event
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -214,11 +215,11 @@ func Collect(s Stream) []*Event {
 // Sorted reports whether evs is in non-decreasing time order with
 // strictly increasing IDs among equal timestamps.
 func Sorted(evs []*Event) bool {
-	return sort.SliceIsSorted(evs, func(i, j int) bool {
-		if evs[i].Time != evs[j].Time {
-			return evs[i].Time < evs[j].Time
+	return slices.IsSortedFunc(evs, func(a, b *Event) int {
+		if c := cmp.Compare(a.Time, b.Time); c != 0 {
+			return c
 		}
-		return evs[i].ID < evs[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 

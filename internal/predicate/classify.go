@@ -50,6 +50,14 @@ type Range struct {
 // for callers that precompile it (see Compiled).
 func (r *Range) RHS() Expr { return r.rhs }
 
+// ExactKey reports whether the compiled bounds are bit-exact with the
+// original predicate: the left side is the bare attribute (a == 1,
+// b == 0), so solving for it introduces no floating-point rounding.
+// Only exact ranges may replace per-candidate re-evaluation (the
+// summary fast path); inexact ones merely narrow a scan that still
+// re-checks the predicate on every candidate.
+func (r *Range) ExactKey() bool { return r.a == 1 && r.b == 0 }
+
 // Bounds returns the half-open/closed interval [lo, hi] of predecessor
 // Attr values compatible with next. Unbounded sides are ±Inf. ok is
 // false when the right-hand side does not evaluate to a number.

@@ -11,7 +11,7 @@ package template
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/greta-cep/greta/internal/event"
@@ -95,7 +95,7 @@ func Build(p *pattern.Node) (*Template, error) {
 		t.States[tr.To].Preds = append(t.States[tr.To].Preds, tr.From)
 	}
 	for _, s := range t.States {
-		sort.Ints(s.Preds)
+		slices.Sort(s.Preds)
 		s.Preds = dedupInts(s.Preds)
 	}
 	return t, nil
@@ -270,7 +270,7 @@ func Product(t1, t2 *Template) *Template {
 		t.States[tr.To].Preds = append(t.States[tr.To].Preds, tr.From)
 	}
 	for _, s := range t.States {
-		sort.Ints(s.Preds)
+		slices.Sort(s.Preds)
 		s.Preds = dedupInts(s.Preds)
 	}
 	// StartIdx/EndIdx are not unique in a product; mark -1 and rely on

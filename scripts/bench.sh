@@ -4,12 +4,13 @@
 # have a perf trajectory to compare against.
 #
 # Usage: scripts/bench.sh [out.json] [benchtime]
-#   out.json   output file (default BENCH_1.json)
+#   out.json   output file (default BENCH.json; the Makefile passes
+#              BENCH_$(PR).json so each PR leaves its own snapshot)
 #   benchtime  go test -benchtime value (default 1x; use e.g. 2s for
 #              lower-variance numbers)
 set -eu
 
-out="${1:-BENCH_1.json}"
+out="${1:-BENCH.json}"
 benchtime="${2:-1x}"
 pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions'
 
