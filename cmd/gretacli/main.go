@@ -32,6 +32,7 @@ func main() {
 	exact := flag.Bool("exact", false, "use exact (math/big) aggregate arithmetic")
 	workers := flag.Int("workers", 1, "parallel partition workers")
 	statsFlag := flag.Bool("stats", false, "print runtime statistics")
+	haltProb := flag.Float64("haltprob", 0, "stock workload: per-event trading-halt probability (drives negation queries)")
 	dotFlag := flag.Bool("dot", false, "print the GRETA graph in Graphviz DOT format (small streams)")
 	flag.Parse()
 
@@ -59,7 +60,9 @@ func main() {
 			os.Exit(1)
 		}
 	case *workload == "stock":
-		evs = greta.StockStream(greta.DefaultStock(*events))
+		cfg := greta.DefaultStock(*events)
+		cfg.HaltProb = *haltProb
+		evs = greta.StockStream(cfg)
 	case *workload == "linearroad":
 		evs = greta.LinearRoadStream(greta.DefaultLinearRoad(*events))
 	case *workload == "cluster":
@@ -97,8 +100,13 @@ func main() {
 	}
 	if *statsFlag {
 		st := eng.Stats()
-		fmt.Printf("\nevents=%d inserted=%d edges=%d partitions=%d peakVertices=%d results=%d\n",
-			st.Events, st.Inserted, st.Edges, st.Partitions, st.PeakVertices, st.Results)
+		fmt.Printf("\nevents=%d inserted=%d edges=%d partitions=%d peakVertices=%d peakPayloads=%d results=%d\n",
+			st.Events, st.Inserted, st.Edges, st.Partitions, st.PeakVertices, st.PeakPayloads, st.Results)
+		// Edge-traversal cost split: per-vertex candidate visits vs O(1)
+		// summary folds (each covering any number of edges) vs lazy
+		// watermark-driven summary rebuilds.
+		fmt.Printf("scanVisits=%d summaryFolds=%d summaryRebuilds=%d\n",
+			st.ScanVisits, st.SummaryFolds, st.SummaryRebuilds)
 	}
 }
 

@@ -38,4 +38,10 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("stored %d vertices, traversed %d edges — no trend was ever materialized\n",
 		st.Inserted, st.Edges)
+	// The edge traversal cost splits into per-vertex candidate visits
+	// (ScanVisits), O(1) pane/subtree summary folds that each cover any
+	// number of edges (SummaryFolds), and lazy in-place summary rebuilds
+	// after negation watermark advances (SummaryRebuilds).
+	fmt.Printf("cost split: %d per-vertex visits, %d summary folds, %d summary rebuilds\n",
+		st.ScanVisits, st.SummaryFolds, st.SummaryRebuilds)
 }

@@ -42,4 +42,6 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("\nprocessed %d events across %d partitions; %d vertices stored, %d edges traversed\n",
 		st.Events, st.Partitions, st.Inserted, st.Edges)
+	fmt.Printf("traversal split: %d per-vertex visits vs %d summary folds (%d watermark rebuilds)\n",
+		st.ScanVisits, st.SummaryFolds, st.SummaryRebuilds)
 }

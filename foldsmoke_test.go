@@ -1,0 +1,67 @@
+// Fold-path engagement smoke tests: cheap guards (run in CI next to
+// the short-iteration Fig. 14/15 benchmarks) that the summary fast
+// path actually carries the paper workloads — including the negation
+// query, whose watermark-versioned pane summaries are easy to
+// accidentally disqualify — and that it agrees with the forced
+// per-vertex scan on them.
+package greta_test
+
+import (
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/bench"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// runSmoke executes q over evs with the given scan discipline and
+// returns the engine for inspection.
+func runSmoke(t *testing.T, qsrc string, evs []*event.Event, forceScan bool) *core.Engine {
+	t.Helper()
+	plan, err := core.NewPlan(query.MustParse(qsrc), aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(plan)
+	eng.SetForceVertexScan(forceScan)
+	eng.Run(event.NewSliceStream(evs))
+	return eng
+}
+
+func testFoldEngagement(t *testing.T, qsrc string, evs []*event.Event) {
+	t.Helper()
+	fast := runSmoke(t, qsrc, evs, false)
+	scan := runSmoke(t, qsrc, evs, true)
+	fs, ss := fast.Stats(), scan.Stats()
+	if fs.SummaryFolds == 0 {
+		t.Fatal("summary fast path never engaged (SummaryFolds == 0)")
+	}
+	if fs.Edges != ss.Edges || fs.Inserted != ss.Inserted {
+		t.Fatalf("fold path diverges from per-vertex scan: edges %d vs %d, inserted %d vs %d",
+			fs.Edges, ss.Edges, fs.Inserted, ss.Inserted)
+	}
+	fr, sr := fast.Results(), scan.Results()
+	if len(fr) != len(sr) {
+		t.Fatalf("%d results (fold) vs %d (scan)", len(fr), len(sr))
+	}
+	for i := range fr {
+		if fr[i].Group != sr[i].Group || fr[i].Wid != sr[i].Wid || fr[i].Values[0] != sr[i].Values[0] {
+			t.Fatalf("result %d: (%q, %d, %v) fold vs (%q, %d, %v) scan",
+				i, fr[i].Group, fr[i].Wid, fr[i].Values[0], sr[i].Group, sr[i].Wid, sr[i].Values[0])
+		}
+	}
+}
+
+// TestFig14FoldEngagement guards the positive-pattern fast path on the
+// Figure 14 stock workload.
+func TestFig14FoldEngagement(t *testing.T) {
+	testFoldEngagement(t, bench.Q1Positive, stockStream(2000, 0))
+}
+
+// TestFig15FoldEngagement guards the negation fast path on the Figure
+// 15 workload: dependency links must no longer force per-vertex scans.
+func TestFig15FoldEngagement(t *testing.T) {
+	testFoldEngagement(t, bench.Q1Negation, stockStream(2000, 0.002))
+}

@@ -72,8 +72,13 @@ func NewSliceStream(evs []*Event) Stream { return event.NewSliceStream(evs) }
 // Result is one final aggregate for one group and one window.
 type Result = core.Result
 
-// Stats summarizes runtime costs (events, stored vertices, traversed
-// edges, partitions, results).
+// Stats summarizes runtime costs: events, stored vertices, logical
+// edges, partitions, results, memory peaks (PeakVertices/PeakPayloads,
+// with summary payloads included), and the edge-traversal cost split —
+// ScanVisits (per-vertex candidate visits) vs SummaryFolds (O(1)
+// pane/subtree summary folds, each covering any number of logical
+// edges) vs SummaryRebuilds (lazy in-place pane-summary rebuilds after
+// negation watermark advances).
 type Stats = core.Stats
 
 // Option configures compilation.

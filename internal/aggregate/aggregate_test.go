@@ -326,3 +326,80 @@ func TestQuickNativeMatchesExact(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSummaryFilteredFolds covers the watermark-filtered summary path:
+// a validity mask skips invalidated windows, Last/N account only valid
+// contributions (keeping EdgesFrom exact), and the created/released
+// counts balance so callers can track summary storage.
+func TestSummaryFilteredFolds(t *testing.T) {
+	d := &Def{Mode: ModeNative}
+	slot := d.AddSlot(Slot{SlotSum, "A", "v"})
+	pool := NewPool(d)
+	mk := func(count uint64, sum float64) *Payload {
+		p := pool.Get()
+		p.Count = count
+		p.Slots[slot].F = sum
+		return p
+	}
+
+	var s Summary
+	created := 0
+	// Vertex 1 contributes to windows 0 and 1; window 1 filtered out.
+	c, ok := d.SummaryAdd(pool, &s, 0, []*Payload{mk(2, 10), mk(3, 30)}, []bool{true, false})
+	if !ok {
+		t.Fatal("SummaryAdd rejected matching shape")
+	}
+	created += c
+	// Vertex 2 contributes to both windows unfiltered.
+	c, ok = d.SummaryAdd(pool, &s, 0, []*Payload{mk(1, 1), mk(5, 50)}, nil)
+	if !ok {
+		t.Fatal("SummaryAdd rejected matching shape")
+	}
+	created += c
+	// Vertex 3 is fully filtered: it must not count toward Last/N.
+	c, ok = d.SummaryAdd(pool, &s, 0, []*Payload{mk(7, 70), nil}, []bool{false, true})
+	if !ok {
+		t.Fatal("SummaryAdd rejected matching shape")
+	}
+	created += c
+
+	if s.N != 2 {
+		t.Fatalf("N = %d, want 2 (fully filtered vertex counted)", s.N)
+	}
+	if s.Last[0] != 1 || s.Last[1] != 1 {
+		t.Fatalf("Last = %v, want [1 1]", s.Last)
+	}
+	if got := s.EdgesFrom(1); got != 1 {
+		t.Fatalf("EdgesFrom(1) = %d, want 1", got)
+	}
+	if s.Sums[0].Count != 3 || s.Sums[0].Slots[slot].F != 11 {
+		t.Fatalf("window 0 fold = (%d, %g), want (3, 11)", s.Sums[0].Count, s.Sums[0].Slots[slot].F)
+	}
+	if s.Sums[1].Count != 5 || s.Sums[1].Slots[slot].F != 50 {
+		t.Fatalf("window 1 fold = (%d, %g), want (5, 50)", s.Sums[1].Count, s.Sums[1].Slots[slot].F)
+	}
+	if created != 2 {
+		t.Fatalf("created = %d, want 2 (one payload per window)", created)
+	}
+
+	// Merge into a fresh summary and verify counts flow through.
+	var dst Summary
+	c, ok = d.SummaryMerge(pool, &dst, &s)
+	if !ok || c != 2 {
+		t.Fatalf("SummaryMerge = (%d, %v), want (2, true)", c, ok)
+	}
+	if dst.N != s.N || dst.Sums[0].Count != 3 {
+		t.Fatalf("merged summary diverges: N=%d Sums[0].Count=%d", dst.N, dst.Sums[0].Count)
+	}
+
+	// Shape mismatch is rejected, releases balance creations.
+	if _, ok := d.SummaryAdd(pool, &s, 1, []*Payload{mk(1, 1)}, nil); ok {
+		t.Fatal("SummaryAdd accepted mismatched window range")
+	}
+	if rel := d.SummaryClear(pool, &s); rel != 2 {
+		t.Fatalf("SummaryClear released %d, want 2", rel)
+	}
+	if rel := d.SummaryClear(pool, &dst); rel != 2 {
+		t.Fatalf("SummaryClear released %d, want 2", rel)
+	}
+}

@@ -16,7 +16,15 @@ package aggregate
 // Summaries are mergeable but not subtractable: Min/Max slots (and
 // MaxStart) are monotone folds with no inverse. Callers that need
 // signed composition of additive fields use Def.AddSigned instead;
-// summary maintenance therefore only ever adds, merges, or rebuilds.
+// summary maintenance therefore only ever adds, merges, or rebuilds —
+// when invalidation watermarks (paper Definition 5) retract stored
+// contributions, the runtime rebuilds the affected summaries in place
+// instead of subtracting (see core's watermark-versioned fold path).
+//
+// SummaryAdd optionally takes a per-window validity mask so a rebuild
+// under invalidation watermarks folds only the payloads that are still
+// valid; Last/N then count last *valid* contributing windows, keeping
+// EdgesFrom exact for the filtered contents.
 type Summary struct {
 	FirstWid int64
 	// Sums[i] is the AddPred-fold of all contributing payloads of
@@ -58,22 +66,28 @@ func (s *Summary) shape(firstWid int64, k int) bool {
 }
 
 // SummaryAdd folds one vertex's per-window payloads into s, drawing
-// payload storage from pool. It reports false when the vertex's window
-// range does not match the summary's (the caller must then treat the
-// summary as unusable).
-func (d *Def) SummaryAdd(pool *Pool, s *Summary, firstWid int64, aggs []*Payload) bool {
+// payload storage from pool. valid, when non-nil, masks the vertex's
+// windows: payloads of windows with valid[i] == false are skipped (the
+// vertex is invalidated there by a watermark), and Last/N account only
+// the windows that were folded. It reports ok == false when the
+// vertex's window range does not match the summary's (the caller must
+// then treat the summary as unusable); created is the number of
+// payloads newly drawn from pool, so callers can account summary
+// storage.
+func (d *Def) SummaryAdd(pool *Pool, s *Summary, firstWid int64, aggs []*Payload, valid []bool) (created int, ok bool) {
 	if !s.shape(firstWid, len(aggs)) {
-		return false
+		return 0, false
 	}
 	last := -1
 	for i, p := range aggs {
-		if p == nil {
+		if p == nil || (valid != nil && !valid[i]) {
 			continue
 		}
 		sp := s.Sums[i]
 		if sp == nil {
 			sp = pool.Get()
 			s.Sums[i] = sp
+			created++
 		}
 		d.AddPred(sp, p)
 		last = i
@@ -82,17 +96,18 @@ func (d *Def) SummaryAdd(pool *Pool, s *Summary, firstWid int64, aggs []*Payload
 		s.Last[last]++
 		s.N++
 	}
-	return true
+	return created, true
 }
 
 // SummaryMerge folds src into dst (dst takes storage from pool; src is
-// not modified). It reports false on a window-range mismatch.
-func (d *Def) SummaryMerge(pool *Pool, dst, src *Summary) bool {
+// not modified). It reports ok == false on a window-range mismatch;
+// created counts payloads newly drawn from pool.
+func (d *Def) SummaryMerge(pool *Pool, dst, src *Summary) (created int, ok bool) {
 	if src.Empty() {
-		return true
+		return 0, true
 	}
 	if !dst.shape(src.FirstWid, len(src.Sums)) {
-		return false
+		return 0, false
 	}
 	for i, sp := range src.Sums {
 		if sp == nil {
@@ -102,6 +117,7 @@ func (d *Def) SummaryMerge(pool *Pool, dst, src *Summary) bool {
 		if dp == nil {
 			dp = pool.Get()
 			dst.Sums[i] = dp
+			created++
 		}
 		d.AddPred(dp, sp)
 	}
@@ -109,21 +125,24 @@ func (d *Def) SummaryMerge(pool *Pool, dst, src *Summary) bool {
 		dst.Last[i] += c
 	}
 	dst.N += src.N
-	return true
+	return created, true
 }
 
 // SummaryClear empties s, returning its payloads to pool and keeping
-// the backing arrays for reuse.
-func (d *Def) SummaryClear(pool *Pool, s *Summary) {
+// the backing arrays for reuse. It returns the number of payloads
+// released, mirroring SummaryAdd/SummaryMerge's created counts.
+func (d *Def) SummaryClear(pool *Pool, s *Summary) (released int) {
 	for i, sp := range s.Sums {
 		if sp != nil {
 			pool.Put(sp)
 			s.Sums[i] = nil
+			released++
 		}
 	}
 	s.Sums = s.Sums[:0]
 	s.Last = s.Last[:0]
 	s.N = 0
+	return released
 }
 
 // EdgesFrom returns the number of folded vertices that contribute at

@@ -219,3 +219,46 @@ func TestAugmentedRecycling(t *testing.T) {
 		t.Fatalf("rebuild cycles allocated %d new summaries (had %d)", aug.alloc-allocAfterFirst, allocAfterFirst)
 	}
 }
+
+// TestRebuildSummaries drives the in-place rebuild the runtime uses
+// after an invalidation watermark advance: corrupt every node's
+// summary, rebuild, and the invariant must hold again at every node —
+// with the summaries recycled in place (no fresh allocations).
+func TestRebuildSummaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	aug := &testAug{}
+	tr := NewAugmented(NewFreeList[int, *testSum](), aug)
+	for i := 0; i < 800; i++ {
+		tr.Insert(float64(rng.Intn(100)), uint64(i+1), 1+rng.Intn(5))
+	}
+	if rs := tr.RootSummary(); rs == nil || rs.n != tr.Len() {
+		t.Fatalf("root summary n = %v, want %d", rs, tr.Len())
+	}
+	var corrupt func(n *node[int, *testSum])
+	corrupt = func(n *node[int, *testSum]) {
+		n.sum.n += 1000
+		n.sum.total = -1
+		for _, c := range n.children {
+			corrupt(c)
+		}
+	}
+	corrupt(tr.root)
+	allocsBefore := aug.alloc
+	tr.RebuildSummaries()
+	if aug.alloc != allocsBefore {
+		t.Fatalf("rebuild allocated %d summaries, want 0 (in-place reuse)", aug.alloc-allocsBefore)
+	}
+	checkSums(t, tr, tr.root)
+	if rs := tr.RootSummary(); rs.n != tr.Len() {
+		t.Fatalf("rebuilt root summary n = %d, want %d", rs.n, tr.Len())
+	}
+	// Unaugmented and empty trees are no-ops.
+	plain := New[int]()
+	plain.Insert(1, 1, 1)
+	plain.RebuildSummaries()
+	empty := NewAugmented(NewFreeList[int, *testSum](), aug)
+	empty.RebuildSummaries()
+	if s := empty.RootSummary(); s != nil {
+		t.Fatalf("empty tree root summary = %v, want nil", s)
+	}
+}

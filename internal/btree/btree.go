@@ -133,6 +133,42 @@ func (t *Tree[V, S]) recompute(n *node[V, S]) {
 	}
 }
 
+// RootSummary returns the summary covering the whole tree — the §7
+// pane summary when the tree holds one Time Pane's vertices — or the
+// zero S when the tree is empty or unaugmented. Callers use it to
+// inspect staleness before a FoldRange (e.g. watermark-version checks)
+// without descending.
+func (t *Tree[V, S]) RootSummary() S {
+	var zero S
+	if t.root == nil || t.aug == nil {
+		return zero
+	}
+	return t.root.sum
+}
+
+// RebuildSummaries recomputes every node's subtree summary from the
+// stored items, bottom-up and in place (summaries and their pooled
+// resources are recycled through the Summarizer's Clear, not
+// reallocated). The runtime calls it when an external condition the
+// Summarizer folds over has changed for already-stored items — e.g.
+// when an invalidation watermark advance retracts stored payload
+// contributions — making the incremental summaries stale wholesale.
+// O(m) in the number of stored items, amortized against the event
+// batches between such changes.
+func (t *Tree[V, S]) RebuildSummaries() {
+	if t.aug == nil || t.root == nil {
+		return
+	}
+	t.rebuildNode(t.root)
+}
+
+func (t *Tree[V, S]) rebuildNode(n *node[V, S]) {
+	for _, c := range n.children {
+		t.rebuildNode(c)
+	}
+	t.recompute(n)
+}
+
 // Release empties the tree, returning every node to the free list.
 func (t *Tree[V, S]) Release() {
 	if t.root != nil {

@@ -33,12 +33,101 @@ func allocStockEvent(id uint64, t event.Time, company string, price float64) *ev
 // TestNoHotPathAllocs locks in the zero-allocation steady state of the
 // simple-plan Process path: schema-compiled events into an existing
 // partition, with the recycling pools pre-warmed by expired panes,
-// must not allocate at all. Both scan disciplines are guarded: the
-// summary fast path (subtree folds + augmented-tree maintenance) and
-// the forced per-vertex scan.
+// must not allocate at all. Three disciplines are guarded: the summary
+// fast path (subtree folds + augmented-tree maintenance), the forced
+// per-vertex scan, and the negation fold path (watermark-versioned
+// summaries whose in-place rebuilds after invalidation advances draw
+// from the per-spec pools).
 func TestNoHotPathAllocs(t *testing.T) {
 	t.Run("summary-fold", func(t *testing.T) { testNoHotPathAllocs(t, false) })
 	t.Run("vertex-scan", func(t *testing.T) { testNoHotPathAllocs(t, true) })
+	t.Run("negation-fold", testNoHotPathAllocsNegation)
+}
+
+// allocHaltEvent builds one schemaless halt event (the negative
+// sub-pattern's type in the negation alloc guard).
+func allocHaltEvent(id uint64, t event.Time, company string) *event.Event {
+	return &event.Event{
+		ID:    id,
+		Type:  "Halt",
+		Time:  t,
+		Attrs: map[string]float64{},
+		Str:   map[string]string{"company": company},
+	}
+}
+
+// testNoHotPathAllocsNegation guards the negation fold path: a Case-2
+// dependency (SEQ(Pi, NOT N)) whose maxStart watermark keeps advancing
+// during the measured loop, so summary folds, watermark revalidation,
+// AND in-place summary rebuilds all run at steady state — with zero
+// allocations, because rebuild payloads, invalidation records, and
+// vertices all come from the per-spec pools.
+func testNoHotPathAllocsNegation(t *testing.T) {
+	// A long window (as in the fold/scan subtests) so the measured loop
+	// advances time without closing a window, while the warmup still
+	// expires panes to charge the pools.
+	q := query.MustParse("RETURN COUNT(*), SUM(S.price) PATTERN SEQ(Stock S+, NOT Halt H) " +
+		"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000")
+	plan, err := NewPlan(q, aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(plan)
+
+	// Warmup: expire panes to charge the pools, and run several halts so
+	// the invalidation machinery (records, watermark maps, rebuild
+	// scratch) reaches its steady footprint.
+	id := uint64(0)
+	price := func(i uint64) float64 { return float64(1000 - i%7) }
+	tick := event.Time(0)
+	for i := 0; i < 21000; i++ {
+		id++
+		tick = event.Time(i / 10)
+		eng.Process(allocStockEvent(id, tick, "c0", price(id)))
+		if i%500 == 499 {
+			id++
+			eng.Process(allocHaltEvent(id, tick, "c0"))
+		}
+	}
+
+	// Steady state: advancing timestamps, one halt every 50 events so
+	// watermarks advance (wmVer bumps) and dirty panes rebuild inside
+	// the measured loop.
+	const runs = 300
+	evs := make([]*event.Event, runs)
+	base := tick + 1
+	for i := range evs {
+		id++
+		if i%50 == 25 {
+			evs[i] = allocHaltEvent(id, base+event.Time(i), "c0")
+		} else {
+			evs[i] = allocStockEvent(id, base+event.Time(i), "c0", price(id))
+		}
+	}
+	before := eng.Stats()
+	i := 0
+	avg := testing.AllocsPerRun(runs-1, func() {
+		eng.Process(evs[i])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state negation Process allocates %.2f objects/op, want 0", avg)
+	}
+	// Guard against the guard: the loop must have exercised insertion,
+	// summary folds, AND watermark-driven rebuilds.
+	after := eng.Stats()
+	if got := after.Inserted - before.Inserted; got < runs/2 {
+		t.Fatalf("measured loop inserted %d vertices, want >= %d", got, runs/2)
+	}
+	if folds := after.SummaryFolds - before.SummaryFolds; folds < runs/2 {
+		t.Fatalf("measured loop took %d summary folds, want >= %d (negation fold path not exercised)", folds, runs/2)
+	}
+	if after.SummaryRebuilds == before.SummaryRebuilds {
+		t.Fatal("measured loop triggered no summary rebuilds (watermark advances not exercised)")
+	}
+	if after.Edges == before.Edges {
+		t.Fatal("measured loop traversed no edges")
+	}
 }
 
 func testNoHotPathAllocs(t *testing.T, forceScan bool) {

@@ -48,15 +48,18 @@ type Stats struct {
 	OutOfOrder uint64 // events dropped for violating time order
 	Inserted   uint64
 	Edges      uint64 // logical edges, however aggregated
-	// ScanVisits / SummaryFolds split the cost of traversing Edges into
-	// materialized per-vertex visits and O(1) summary folds (each fold
-	// covers any number of logical edges); see GraphStats.
-	ScanVisits   uint64
-	SummaryFolds uint64
-	PeakVertices uint64
-	PeakPayloads uint64
-	Partitions   int
-	Results      int
+	// ScanVisits / SummaryFolds / SummaryRebuilds split the cost of
+	// maintaining Edges into materialized per-vertex visits, O(1)
+	// summary folds (each fold covers any number of logical edges), and
+	// lazy in-place pane-summary rebuilds after invalidation watermark
+	// advances; see GraphStats.
+	ScanVisits      uint64
+	SummaryFolds    uint64
+	SummaryRebuilds uint64
+	PeakVertices    uint64
+	PeakPayloads    uint64
+	Partitions      int
+	Results         int
 }
 
 // partition holds the dependent GRETA graphs of one stream partition
@@ -686,6 +689,7 @@ func (e *Engine) Stats() Stats {
 			s.Edges += bs.Edges
 			s.ScanVisits += bs.ScanVisits
 			s.SummaryFolds += bs.SummaryFolds
+			s.SummaryRebuilds += bs.SummaryRebuilds
 			s.PeakVertices += bs.PeakVertices
 			s.PeakPayloads += bs.PeakPayloads
 			s.Partitions += bs.Partitions
@@ -696,6 +700,7 @@ func (e *Engine) Stats() Stats {
 			s.Edges += ps.Edges
 			s.ScanVisits += ps.ScanVisits
 			s.SummaryFolds += ps.SummaryFolds
+			s.SummaryRebuilds += ps.SummaryRebuilds
 			s.PeakVertices += ps.PeakVertices
 			s.PeakPayloads += ps.PeakPayloads
 		}
@@ -714,6 +719,7 @@ func (e *Engine) Stats() Stats {
 			s.Edges += gs.Edges
 			s.ScanVisits += gs.ScanVisits
 			s.SummaryFolds += gs.SummaryFolds
+			s.SummaryRebuilds += gs.SummaryRebuilds
 			verts += gs.Vertices
 			pays += gs.Payloads
 		}
@@ -740,6 +746,7 @@ func (e *Engine) mergeStats(se *Engine) {
 	e.stats.Edges += ss.Edges
 	e.stats.ScanVisits += ss.ScanVisits
 	e.stats.SummaryFolds += ss.SummaryFolds
+	e.stats.SummaryRebuilds += ss.SummaryRebuilds
 	e.stats.PeakVertices += ss.PeakVertices
 	e.stats.PeakPayloads += ss.PeakPayloads
 	e.stats.Partitions += ss.Partitions

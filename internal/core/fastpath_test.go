@@ -28,6 +28,15 @@ var diffSchema = &event.Schema{
 // and NaN prices (sort-key fallbacks), and a mix of schema-bound and
 // schemaless events.
 func diffStream(rng *rand.Rand, n int, allowNaN bool) []*event.Event {
+	return diffStreamHalts(rng, n, allowNaN, 40, 0)
+}
+
+// diffStreamHalts is diffStream with the Halt frequency (1 in haltDiv
+// events) and an optional News frequency (1 in newsDiv; 0 disables)
+// exposed: dense halts drive watermark advances mid-pane and
+// same-timestamp invalidation bursts, News events feed nested
+// negation's innermost sub-pattern.
+func diffStreamHalts(rng *rand.Rand, n int, allowNaN bool, haltDiv, newsDiv int) []*event.Event {
 	evs := make([]*event.Event, 0, n)
 	t := event.Time(1)
 	for i := 0; i < n; i++ {
@@ -36,8 +45,10 @@ func diffStream(rng *rand.Rand, n int, allowNaN bool) []*event.Event {
 			t += event.Time(1 + rng.Intn(2))
 		}
 		typ := event.Type("Stock")
-		if rng.Intn(40) == 0 {
+		if rng.Intn(haltDiv) == 0 {
 			typ = "Halt"
+		} else if newsDiv > 0 && rng.Intn(newsDiv) == 0 {
+			typ = "News"
 		}
 		ev := &event.Event{
 			ID:    uint64(i + 1),
@@ -80,42 +91,88 @@ func TestFastPathDifferential(t *testing.T) {
 		// fast reports whether the summary path must actually engage
 		// (guards against the fast path silently dying).
 		fast bool
+		// haltDiv/newsDiv override the stream's Halt and News frequencies
+		// (0 = defaults: 1-in-40 halts, no News).
+		haltDiv, newsDiv int
 	}{
 		{"stam-range-windowed",
 			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
-			aggregate.ModeNative, true},
+			aggregate.ModeNative, true, 0, 0},
 		{"stam-range-unbounded",
 			"RETURN COUNT(*) PATTERN Stock S+ WHERE S.price >= NEXT(S).price",
-			aggregate.ModeNative, true},
+			aggregate.ModeNative, true, 0, 0},
 		{"stam-no-predicate",
 			"RETURN COUNT(*), MIN(S.price), MAX(S.price), AVG(S.price) PATTERN Stock S+ WITHIN 16 SLIDE 4",
-			aggregate.ModeNative, true},
+			aggregate.ModeNative, true, 0, 0},
 		{"stam-seq",
 			"RETURN COUNT(*) PATTERN SEQ(Halt H, Stock S+) WHERE [company] AND S.price < NEXT(S).price WITHIN 24 SLIDE 8",
-			aggregate.ModeNative, true},
-		{"stam-inexact-range", // 2*price is not an exact key: per-vertex
+			aggregate.ModeNative, true, 0, 0},
+		{"stam-inexact-range", // 2*price folds via interval-arithmetic inner bounds
 			"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND 2 * S.price > NEXT(S).price WITHIN 20 SLIDE 5",
-			aggregate.ModeNative, false},
+			aggregate.ModeNative, true, 0, 0},
 		{"skip-till-next-match",
 			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price SEMANTICS skip-till-next-match WITHIN 20 SLIDE 5",
-			aggregate.ModeNative, false},
+			aggregate.ModeNative, false, 0, 0},
 		{"contiguous",
 			"RETURN COUNT(*) PATTERN Stock S+ WHERE S.price > NEXT(S).price SEMANTICS contiguous WITHIN 20 SLIDE 5",
-			aggregate.ModeNative, false},
-		{"negation",
+			aggregate.ModeNative, false, 0, 0},
+		{"negation-case3", // SEQ(NOT N, Pj): per-insert window-validity suffix
 			"RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+) WHERE [company] AND S.price > NEXT(S).price WITHIN 30 SLIDE 10",
-			aggregate.ModeNative, false},
+			aggregate.ModeNative, true, 0, 0},
+		{"negation-case2", // SEQ(Pi, NOT N): maxStart watermark-versioned summaries
+			"RETURN COUNT(*), SUM(S.price) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] AND S.price > NEXT(S).price WITHIN 30 SLIDE 10",
+			aggregate.ModeNative, true, 0, 0},
+		{"negation-case2-unwindowed",
+			"RETURN COUNT(*) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] AND S.price >= NEXT(S).price",
+			aggregate.ModeNative, true, 0, 0},
+		{"negation-case3-unwindowed",
+			"RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+) WHERE [company] AND S.price > NEXT(S).price",
+			aggregate.ModeNative, true, 0, 0},
+		// Dense halts: watermark advances land mid-pane and in
+		// same-timestamp bursts, exercising lazy revalidation and
+		// in-place rebuilds between folds.
+		{"negation-case2-burst",
+			"RETURN COUNT(*), SUM(S.price) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] AND S.price > NEXT(S).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, true, 8, 0},
+		{"negation-case3-burst",
+			"RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+) WHERE [company] AND S.price > NEXT(S).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, true, 8, 0},
+		// Case 1 with a Kleene previous state: A→A is ungated while A→B
+		// is maxStart-gated, so state A's trees opt out (inconsistent
+		// gating) and only B→B folds — the differential still covers the
+		// mixed discipline.
+		{"negation-case1-mixed",
+			"RETURN COUNT(*) PATTERN SEQ(Stock A+, NOT Halt H, Stock B+) WHERE [company] AND A.price > NEXT(A).price AND B.price > NEXT(B).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, true, 12, 0},
+		// Case 1 with a single previous event: every fast transition out
+		// of A is gated by the same link, so A's trees stay augmented,
+		// fold under watermark versions, and prune invalid events
+		// (Theorem 5.1 — the link is prunable).
+		{"negation-case1-prunable",
+			"RETURN COUNT(*), SUM(B.price) PATTERN SEQ(Stock A, NOT Halt H, Stock B+) WHERE [company] AND B.price > NEXT(B).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, true, 12, 0},
+		// Nested negation: the root's Case-3 guard is itself guarded by a
+		// Case-1 link inside the negative graph (News invalidates the
+		// halt pair).
+		{"negation-nested",
+			"RETURN COUNT(*) PATTERN SEQ(NOT SEQ(Halt X, NOT News N, Halt Y), Stock S+) WHERE [company] AND S.price > NEXT(S).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, true, 8, 20},
 		{"exact-mode",
 			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
-			aggregate.ModeExact, true},
+			aggregate.ModeExact, true, 0, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			q := query.MustParse(tc.q)
+			haltDiv := tc.haltDiv
+			if haltDiv == 0 {
+				haltDiv = 40
+			}
 			for seed := int64(1); seed <= 4; seed++ {
 				// Exact mode cannot aggregate NaN attributes (big.Float has
 				// no NaN); keep them to the native-mode workloads.
-				evs := diffStream(rand.New(rand.NewSource(seed)), 300, tc.mode != aggregate.ModeExact)
+				evs := diffStreamHalts(rand.New(rand.NewSource(seed)), 300,
+					tc.mode != aggregate.ModeExact, haltDiv, tc.newsDiv)
 				fastEng := runDiffEngine(t, q, tc.mode, evs, false)
 				scanEng := runDiffEngine(t, q, tc.mode, evs, true)
 				compareResults(t, seed, fastEng.Results(), scanEng.Results())
@@ -170,4 +227,41 @@ func compareResults(t *testing.T, seed int64, a, b []core.Result) {
 			}
 		}
 	}
+}
+
+// negFuzzQueries are the negation shapes the fuzzer drives: one per
+// dependency case of paper §5.1 plus a nested split.
+var negFuzzQueries = []string{
+	"RETURN COUNT(*), SUM(S.price) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] AND S.price > NEXT(S).price WITHIN 24 SLIDE 8",
+	"RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+) WHERE [company] AND S.price > NEXT(S).price WITHIN 24 SLIDE 8",
+	"RETURN COUNT(*), SUM(B.price) PATTERN SEQ(Stock A, NOT Halt H, Stock B+) WHERE [company] AND B.price > NEXT(B).price WITHIN 24 SLIDE 8",
+	"RETURN COUNT(*) PATTERN SEQ(NOT SEQ(Halt X, NOT News N, Halt Y), Stock S+) WHERE [company] AND S.price > NEXT(S).price WITHIN 24 SLIDE 8",
+}
+
+// FuzzNegationWatermarks drives randomized streams — the fuzzer picks
+// the seed, the halt density (watermark advance cadence, down to every
+// other event), and the query shape — through the watermark-versioned
+// fold path and the forced per-vertex scan, asserting identical
+// results and identical logical edge and insertion counts. Seeds cover
+// each query at sparse and dense halt rates.
+func FuzzNegationWatermarks(f *testing.F) {
+	for qIdx := range negFuzzQueries {
+		f.Add(int64(1), uint8(8), uint8(qIdx))
+		f.Add(int64(2), uint8(2), uint8(qIdx))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, haltDiv, qIdx uint8) {
+		q := query.MustParse(negFuzzQueries[int(qIdx)%len(negFuzzQueries)])
+		hd := 2 + int(haltDiv)%24
+		evs := diffStreamHalts(rand.New(rand.NewSource(seed)), 200, true, hd, 16)
+		fastEng := runDiffEngine(t, q, aggregate.ModeNative, evs, false)
+		scanEng := runDiffEngine(t, q, aggregate.ModeNative, evs, true)
+		compareResults(t, seed, fastEng.Results(), scanEng.Results())
+		fs, ss := fastEng.Stats(), scanEng.Stats()
+		if fs.Inserted != ss.Inserted {
+			t.Fatalf("seed %d: inserted %d (fast) vs %d (scan)", seed, fs.Inserted, ss.Inserted)
+		}
+		if fs.Edges != ss.Edges {
+			t.Fatalf("seed %d: logical edges %d (fast) vs %d (scan)", seed, fs.Edges, ss.Edges)
+		}
+	})
 }

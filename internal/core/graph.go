@@ -80,6 +80,28 @@ type depLink struct {
 	// are invalid (Case 3).
 	maxStart map[int64]int64
 	minEnd   map[int64]event.Time
+	// startsFree recycles invalRecord.starts slices between the negative
+	// graph's END vertices and foldPending, so steady-state invalidation
+	// bursts allocate nothing.
+	startsFree [][]int64
+}
+
+// getStarts returns a recycled (or new) starts slice of length k.
+func (d *depLink) getStarts(k int) []int64 {
+	if n := len(d.startsFree); n > 0 {
+		s := d.startsFree[n-1]
+		d.startsFree[n-1] = nil
+		d.startsFree = d.startsFree[:n-1]
+		if cap(s) >= k {
+			return s[:k]
+		}
+	}
+	return make([]int64, k)
+}
+
+// putStarts recycles a consumed starts slice.
+func (d *depLink) putStarts(s []int64) {
+	d.startsFree = append(d.startsFree, s)
 }
 
 // GraphStats tracks runtime costs for the evaluation harness. Peaks
@@ -91,13 +113,23 @@ type GraphStats struct {
 	Vertices uint64 // vertices currently stored
 	Inserted uint64 // vertices ever inserted
 	Edges    uint64 // logical edges (each exactly once, §7), however aggregated
-	Payloads uint64 // window payloads currently held
-	// The two counters below split the cost of traversing Edges:
-	// ScanVisits counts materialized per-vertex candidate visits, while
-	// SummaryFolds counts pane/subtree summary folds that each cover any
-	// number of logical edges in O(1).
-	ScanVisits   uint64
-	SummaryFolds uint64
+	// Payloads counts window payloads currently held: one per
+	// (vertex, window) the vertex carries trends in, plus the payloads
+	// inside the augmented Vertex Trees' subtree summaries — the
+	// structural memory of the graph, which the bench harness samples
+	// for its footprint estimate.
+	Payloads uint64
+	// The three counters below split the cost of maintaining Edges:
+	//   - ScanVisits counts materialized per-vertex candidate visits
+	//     (the per-vertex scan and fold-path boundary descents).
+	//   - SummaryFolds counts pane/subtree summary folds that each cover
+	//     any number of logical edges in O(1).
+	//   - SummaryRebuilds counts in-place pane-summary rebuilds after an
+	//     invalidation watermark advance retracted stored contributions
+	//     (lazy: paid once per affected pane per advance, not per event).
+	ScanVisits      uint64
+	SummaryFolds    uint64
+	SummaryRebuilds uint64
 }
 
 // Graph is a runtime GRETA graph for one sub-pattern in one stream
@@ -127,8 +159,20 @@ type Graph struct {
 	deps       []*depLink // dependencies where this graph is the parent
 	parentLink *depLink   // for negative graphs: the parent's depLink
 
+	// wmVer is the graph's invalidation watermark version: bumped by
+	// foldPending whenever a maxStart watermark advances. Subtree
+	// summaries record the version their filtering is current under
+	// (vertexSum.wmVer); a mismatch at fold time triggers lazy
+	// revalidation or an in-place rebuild (refreshSummaries) instead of
+	// an eager re-summarization on every foldPending.
+	wmVer uint64
+
 	prevTime    event.Time // last processed event time
 	lastEventID uint64     // previous stream event id (contiguous semantics)
+
+	// doomed is the reusable scratch for pruneInvalid's deferred
+	// deletions (collecting during Ascend, deleting after).
+	doomed []*Vertex
 
 	// cs is the engine-level compiled form of spec (predicates and
 	// accessors), shared by this spec's graphs across all partitions of
@@ -181,15 +225,44 @@ type compiledSpec struct {
 
 	// fastScan[toState][fromState] reports that scanCandidates for the
 	// transition may fold subtree summaries instead of visiting each
-	// candidate: skip-till-any-match semantics, no dependency links on
-	// the spec, and every edge predicate of the transition bit-exactly
-	// captured by the Vertex Tree key range (predicate.Range.ExactKey on
-	// the tree's sort attribute). Strict time adjacency and degenerate
-	// keys are re-checked per fold through vertexSum (maxTime/fallback).
+	// candidate: skip-till-any-match semantics and every edge predicate
+	// of the transition range-compiled on the Vertex Tree's sort
+	// attribute (bit-exact ranges fold directly; inexact linear ranges
+	// fold interior subtrees via interval-arithmetic inner bounds and
+	// re-check only the boundary band per vertex). Strict time adjacency
+	// and degenerate keys are re-checked per fold through vertexSum
+	// (maxTime/fallback). Dependency links no longer force per-vertex
+	// scans: Case-3 invalidation is handled per insertion (window
+	// validity suffix), and Case-1/2 maxStart invalidation through
+	// watermark-versioned summaries — but all fast transitions out of
+	// one state must agree on the gating dependency set (augDeps), since
+	// the state's trees carry one filtered summary; disagreeing states
+	// fall back to the per-vertex scan entirely.
 	fastScan [][]bool
+	// augDeps[fromState] lists the indices (into GraphSpec.Deps order,
+	// which matches Graph.deps) of the dependency links whose maxStart
+	// watermarks invalidate predecessors on the state's fast
+	// transitions: Case-2 links always, Case-1 links when the state is a
+	// previous state and the destination a following state. The state's
+	// subtree summaries are filtered under exactly this set (see
+	// vertexAug.validWindows); empty for dependency-free specs and
+	// Case-3-only dependencies.
+	augDeps [][]int
+	// anyCase3 reports a Case-3 dependency (SEQ(NOT N, Pj)) on the spec:
+	// insertions then precompute the new event's per-window validity
+	// (Graph.widValidity) before scanning.
+	anyCase3 bool
 	// augs[state] maintains subtree summaries for the state's Vertex
 	// Trees; nil when no transition out of the state can fast-fold.
 	augs []*vertexAug
+
+	// cur is the graph currently operating on this spec's trees and
+	// pools, published by the graph entry points (Process, Advance,
+	// FoldAll, CollectWindow) so the shared vertexAug can read the
+	// graph's invalidation watermarks and charge its payload stats.
+	// Single-owner like the pools: within one engine, graphs of one spec
+	// run sequentially (see the sharing argument above).
+	cur *Graph
 
 	// Recycling pools, shared by the spec's graphs across partitions of
 	// one engine (sequential access, same argument as above): expired
@@ -266,9 +339,10 @@ func newCompiledSpec(spec *GraphSpec, subs []*GraphSpec, sem query.Semantics) *c
 	}
 	// Summary fast-path eligibility. Skip-till-next-match mutates
 	// predecessors during the scan (closed marking) and contiguous
-	// semantics checks per-vertex event ids; dependency links require
-	// per-vertex invalidation checks — all three force per-vertex scans.
-	augOK := sem == query.SkipTillAnyMatch && len(spec.Deps) == 0
+	// semantics checks per-vertex event ids — both force per-vertex
+	// scans. Dependency links are handled by the watermark machinery
+	// below instead of disqualifying the spec wholesale.
+	augOK := sem == query.SkipTillAnyMatch
 	cs.fastScan = make([][]bool, n)
 	for to := range cs.fastScan {
 		cs.fastScan[to] = make([]bool, n)
@@ -278,13 +352,63 @@ func newCompiledSpec(spec *GraphSpec, subs []*GraphSpec, sem query.Semantics) *c
 			}
 			fast := true
 			for _, pe := range cs.epsBySrc[to][from] {
-				if pe.rng == nil || !pe.rng.ExactKey() || pe.rng.Attr != spec.SortAttr[from] {
+				if pe.rng == nil || pe.rng.Attr != spec.SortAttr[from] {
 					fast = false
 					break
 				}
 			}
 			cs.fastScan[to][from] = fast
 		}
+	}
+	// Dependency gating: per transition, the set of links whose maxStart
+	// watermarks invalidate predecessors (Definition 5: Case 2 always,
+	// Case 1 from a previous state into a following state; Case 3
+	// invalidates the new event per window, not predecessors, and is
+	// handled per insertion). A state's trees carry ONE filtered
+	// summary, so all its fast transitions must agree on the set;
+	// otherwise the state's scans stay per vertex.
+	for _, depIdx := range spec.Deps {
+		if cs.links[depIdx].kind == depCase3 {
+			cs.anyCase3 = true
+		}
+	}
+	gatingDeps := func(to, from int) []int {
+		var deps []int
+		for j, depIdx := range spec.Deps {
+			lp := cs.links[depIdx]
+			switch lp.kind {
+			case depCase2:
+				deps = append(deps, j)
+			case depCase1:
+				if lp.prevStates[from] && lp.follStates[to] {
+					deps = append(deps, j)
+				}
+			}
+		}
+		return deps
+	}
+	cs.augDeps = make([][]int, n)
+	for from := 0; from < n; from++ {
+		var common []int
+		have, consistent := false, true
+		for to := 0; to < n; to++ {
+			if !cs.fastScan[to][from] {
+				continue
+			}
+			deps := gatingDeps(to, from)
+			if !have {
+				common, have = deps, true
+			} else if !slices.Equal(common, deps) {
+				consistent = false
+			}
+		}
+		if !consistent {
+			for to := 0; to < n; to++ {
+				cs.fastScan[to][from] = false
+			}
+			common = nil
+		}
+		cs.augDeps[from] = common
 	}
 	// Augment the Vertex Trees of states that at least one transition
 	// can fast-fold from; other states skip the maintenance cost.
@@ -347,10 +471,35 @@ type insertState struct {
 	payloads []*aggregate.Payload // aliases the vertex's Aggs
 	eps      []*edgePred          // edge predicates of the current transition
 	gotPred  bool
-	// rlo/rhi mirror the current scan's compiled key-range bounds for
-	// the fast path's fold containment check (foldVisit).
+	// rlo/rhi are the current scan's outer key-range bounds (tree range;
+	// outward-rounded for inexact linear predicates so no true match is
+	// missed). useRange reports whether any compiled range narrowed
+	// them.
 	rlo, rhi         float64
 	rloIncl, rhiIncl bool
+	useRange         bool
+	// flo/fhi are the inner (fold) bounds: subtree key spans inside them
+	// provably satisfy every edge predicate of the transition, so the
+	// summary may be folded without per-vertex re-checks. Equal to the
+	// outer bounds for bit-exact ranges; inward-rounded for inexact
+	// ones. foldable is false when some range cannot certify an inner
+	// interval (inexact equality) — the scan then stays per vertex.
+	flo, fhi         float64
+	floIncl, fhiIncl bool
+	foldable         bool
+	// augDeps is the current transition's maxStart-gating dependency set
+	// (compiledSpec.augDeps of the predecessor state; nil when the scan
+	// is not fold-eligible or nothing gates it).
+	augDeps []int
+	// validFrom/suffixOK describe the new event's per-window Case-3
+	// validity over [lo, hi], computed once per insertion
+	// (Graph.widValidity): windows below validFrom are invalid for the
+	// event, windows from it on are valid. suffixOK is false when the
+	// validity pattern is not an invalid-prefix/valid-suffix — the fast
+	// path is then disabled for the whole insertion, since the Last
+	// histogram can account edges exactly only against a window suffix.
+	validFrom int64
+	suffixOK  bool
 }
 
 // newGraph builds the runtime graph for spec using the engine's
@@ -433,6 +582,7 @@ func (g *Graph) addDep(child *Graph, childIdx int) {
 // non-decreasing time order. Window results are collected by the
 // engine through CollectWindow; the graph only maintains state.
 func (g *Graph) Process(e *event.Event) {
+	g.cs.cur = g
 	g.stats.Events++
 	g.foldPending(e.Time)
 	g.expire(e.Time)
@@ -466,6 +616,7 @@ func (g *Graph) insertAt(e *event.Event, sIdx int, lo, hi int64) {
 	ins.e, ins.sIdx, ins.lo, ins.hi = e, sIdx, lo, hi
 	ins.payloads = v.Aggs
 	ins.gotPred = false
+	ins.validFrom, ins.suffixOK = g.widValidity(e.Time, lo, hi)
 	for _, psIdx := range st.Preds {
 		g.scanCandidates(psIdx, sIdx)
 	}
@@ -531,6 +682,47 @@ func (g *Graph) validWid(wid int64, t event.Time) bool {
 	return true
 }
 
+// widValidity computes, once per insertion, the Case-3 validity shape
+// of the new event's window range [lo, hi]: validFrom is the first
+// window of the trailing valid run (hi+1 when every window is invalid),
+// and suffixOK reports that every window below validFrom is invalid —
+// i.e. the pattern is an invalid prefix followed by a valid suffix.
+// Only then can the summary fast path both skip the invalid windows'
+// folds and count edges exactly via the Last histogram (EdgesFrom of
+// the suffix start); other shapes fall back to the per-vertex scan for
+// this insertion. Specs without Case-3 dependencies are always fully
+// valid.
+func (g *Graph) widValidity(t event.Time, lo, hi int64) (validFrom int64, suffixOK bool) {
+	if !g.cs.anyCase3 {
+		return lo, true
+	}
+	from := hi + 1
+	for wid := hi; wid >= lo && g.validWid(wid, t); wid-- {
+		from = wid
+	}
+	for wid := from - 1; wid >= lo; wid-- {
+		if g.validWid(wid, t) {
+			return from, false
+		}
+	}
+	return from, true
+}
+
+// invalThreshold returns the maxStart invalidation watermark of window
+// wid under the dependency set deps (indices into g.deps):
+// predecessors whose event time lies strictly below it are invalid in
+// that window (aggregate.NoStart when no watermark applies, which no
+// stored time is below).
+func (g *Graph) invalThreshold(deps []int, wid int64) int64 {
+	thr := int64(aggregate.NoStart)
+	for _, j := range deps {
+		if ws, ok := g.deps[j].maxStart[wid]; ok && ws > thr {
+			thr = ws
+		}
+	}
+	return thr
+}
+
 // onEndVertex folds an END vertex into final aggregates (positive
 // graphs, Theorem 4.3(2)) or pushes an invalidation record to the
 // parent (negative graphs, Definition 5).
@@ -539,7 +731,7 @@ func (g *Graph) onEndVertex(v *Vertex, lo, hi int64) {
 		if g.parentLink == nil {
 			return
 		}
-		rec := invalRecord{end: v.Ev.Time, firstWid: lo, starts: make([]int64, len(v.Aggs))}
+		rec := invalRecord{end: v.Ev.Time, firstWid: lo, starts: g.parentLink.getStarts(len(v.Aggs))}
 		any := false
 		for i, p := range v.Aggs {
 			if p == nil || p.Zero() {
@@ -551,6 +743,8 @@ func (g *Graph) onEndVertex(v *Vertex, lo, hi int64) {
 		}
 		if any {
 			g.parentLink.pending = append(g.parentLink.pending, rec)
+		} else {
+			g.parentLink.putStarts(rec.starts)
 		}
 		return
 	}
@@ -604,7 +798,10 @@ func (g *Graph) invalidPred(p *Vertex, sIdx int, wid int64, t event.Time) bool {
 
 // foldPending applies invalidation records of finished negative trends
 // whose end time lies strictly before t ("events of the following event
-// type that will arrive after en.time", Definition 5).
+// type that will arrive after en.time", Definition 5). A maxStart
+// advance bumps the graph's watermark version: stored pane summaries
+// become stale lazily and are revalidated or rebuilt on the next
+// eligible scan (refreshSummaries), never eagerly here.
 func (g *Graph) foldPending(t event.Time) {
 	for _, d := range g.deps {
 		n := 0
@@ -628,10 +825,17 @@ func (g *Graph) foldPending(t event.Time) {
 					d.minEnd[wid] = rec.end
 				}
 			}
+			d.putStarts(rec.starts)
 		}
 		d.pending = d.pending[:n]
-		if advanced && d.kind == depCase1 && d.prunable {
-			g.pruneInvalid(d)
+		if advanced {
+			// Bump before pruning: the prune's tree deletions recompute
+			// summaries filtered under the just-advanced maps, and the
+			// recomputes stamp the version they read here.
+			g.wmVer++
+			if d.kind == depCase1 && d.prunable {
+				g.pruneInvalid(d)
+			}
 		}
 	}
 }
@@ -646,7 +850,7 @@ func (g *Graph) pruneInvalid(d *depLink) {
 			if tree == nil {
 				continue
 			}
-			var doomed []*Vertex
+			doomed := g.doomed[:0]
 			tree.Ascend(func(it btree.Item[*Vertex]) bool {
 				v := it.Val
 				dead := true
@@ -666,14 +870,16 @@ func (g *Graph) pruneInvalid(d *depLink) {
 				}
 				return true
 			})
-			for _, v := range doomed {
+			for i, v := range doomed {
 				if tree.Delete(g.sortKey(v.State, v.Ev), v.Ev.ID) {
 					pn.vertices--
 					g.stats.Vertices--
 					g.stats.Payloads -= uint64(countPayloads(v))
 					g.putVertex(v)
 				}
+				doomed[i] = nil
 			}
+			g.doomed = doomed[:0]
 		}
 	}
 }
@@ -693,22 +899,26 @@ func countPayloads(v *Vertex) int {
 // summary fast path (fastScan) it folds subtree summaries — O(1) for a
 // fully covered pane tree, O(log n) for a range-bounded one — and only
 // descends to per-vertex visits around range boundaries, degenerate
-// keys, and same-timestamp stragglers. Otherwise it scans per vertex,
-// using the Vertex Tree range for the compiled edge predicate when
-// available (paper §7). Both paths are zero-allocation: candidate work
-// happens in the preallocated scanVisit/foldVisit closures reading
-// g.ins, and forEachCandidate is the debug-rendering twin.
+// keys, same-timestamp stragglers, and watermark-mixed subtrees.
+// Otherwise it scans per vertex, using the Vertex Tree range for the
+// compiled edge predicate when available (paper §7). Both paths are
+// zero-allocation: candidate work happens in the preallocated
+// scanVisit/foldVisit closures reading g.ins, and forEachCandidate is
+// the debug-rendering twin.
 func (g *Graph) scanCandidates(psIdx, sIdx int) {
 	ins := &g.ins
 	e := ins.e
 	eps := g.cs.epsBySrc[sIdx][psIdx]
 	ins.eps = eps
-	rlo, rhi, rloIncl, rhiIncl, useRange, ok := g.scanBounds(psIdx, eps, e)
-	if !ok {
+	fast := !g.forceScan && g.cs.fastScan[sIdx][psIdx] && ins.suffixOK
+	if !g.scanBounds(psIdx, eps, e, fast) {
 		return
 	}
-	ins.rlo, ins.rhi, ins.rloIncl, ins.rhiIncl = rlo, rhi, rloIncl, rhiIncl
-	fast := !g.forceScan && g.cs.fastScan[sIdx][psIdx]
+	fast = fast && ins.foldable
+	ins.augDeps = nil
+	if fast {
+		ins.augDeps = g.cs.augDeps[psIdx]
+	}
 	oldest := g.win.Start(ins.lo)
 	for _, pn := range g.panes {
 		if pn.end <= oldest || pn.start > e.Time {
@@ -720,9 +930,12 @@ func (g *Graph) scanCandidates(psIdx, sIdx int) {
 		}
 		switch {
 		case fast && tree.Augmented():
-			tree.FoldRange(rlo, rhi, rloIncl, rhiIncl, g.foldFn, g.scanFn)
-		case useRange:
-			tree.AscendRange(rlo, rhi, rloIncl, rhiIncl, g.scanFn)
+			if len(ins.augDeps) > 0 {
+				g.refreshSummaries(tree)
+			}
+			tree.FoldRange(ins.rlo, ins.rhi, ins.rloIncl, ins.rhiIncl, g.foldFn, g.scanFn)
+		case ins.useRange:
+			tree.AscendRange(ins.rlo, ins.rhi, ins.rloIncl, ins.rhiIncl, g.scanFn)
 		default:
 			tree.Ascend(g.scanFn)
 		}
@@ -730,34 +943,65 @@ func (g *Graph) scanCandidates(psIdx, sIdx int) {
 }
 
 // scanBounds computes the Vertex Tree range bounds on the predecessor
-// sort attribute for an insertion of e. ok is false when a compiled
-// range proves no predecessor can match.
-func (g *Graph) scanBounds(psIdx int, eps []*edgePred, e *event.Event) (rlo, rhi float64, rloIncl, rhiIncl, useRange, ok bool) {
-	rlo, rhi = math.Inf(-1), math.Inf(1)
-	rloIncl, rhiIncl = true, true
+// sort attribute for an insertion of e, writing them into g.ins: the
+// outer scan range (rlo/rhi, outward-rounded for inexact linear
+// predicates so the narrowed scan misses no true match) and — when
+// fold is set — the inner fold range (flo/fhi, inward-rounded so
+// subtree spans inside it provably satisfy every edge predicate; see
+// predicate.Range.FoldBoundsOf). It reports false when a compiled
+// range proves no predecessor can match; ins.foldable reports whether
+// every range certified an inner interval.
+func (g *Graph) scanBounds(psIdx int, eps []*edgePred, e *event.Event, fold bool) bool {
+	ins := &g.ins
+	ins.rlo, ins.rhi = math.Inf(-1), math.Inf(1)
+	ins.rloIncl, ins.rhiIncl = true, true
+	ins.useRange = false
+	ins.foldable = fold
 	if g.cs.sortAcc[psIdx].Attr() == "" {
 		// Trees without an edge-predicate attribute sort by time; bound
-		// the scan by strict adjacency p.time < e.time.
-		return rlo, float64(e.Time), true, false, true, true
+		// the scan by strict adjacency p.time < e.time. The bound is
+		// bit-exact, so the fold range coincides.
+		ins.rhi, ins.rhiIncl = float64(e.Time), false
+		ins.useRange = true
+		ins.flo, ins.fhi = ins.rlo, ins.rhi
+		ins.floIncl, ins.fhiIncl = ins.rloIncl, ins.rhiIncl
+		return true
 	}
+	ins.flo, ins.fhi = math.Inf(-1), math.Inf(1)
+	ins.floIncl, ins.fhiIncl = true, true
 	sortAttr := g.spec.SortAttr[psIdx]
 	for _, pe := range eps {
 		if pe.rng == nil || pe.rng.Attr != sortAttr {
 			continue
 		}
-		lo2, hi2, loI, hiI, bok := pe.rng.BoundsOf(pe.rhs.EvalNext(e))
+		rv := pe.rhs.EvalNext(e)
+		lo2, hi2, loI, hiI, bok := pe.rng.BoundsOf(rv)
 		if !bok {
-			return 0, 0, false, false, false, false
+			return false
 		}
-		if lo2 > rlo || (lo2 == rlo && !loI) {
-			rlo, rloIncl = lo2, loI
+		if lo2 > ins.rlo || (lo2 == ins.rlo && !loI) {
+			ins.rlo, ins.rloIncl = lo2, loI
 		}
-		if hi2 < rhi || (hi2 == rhi && !hiI) {
-			rhi, rhiIncl = hi2, hiI
+		if hi2 < ins.rhi || (hi2 == ins.rhi && !hiI) {
+			ins.rhi, ins.rhiIncl = hi2, hiI
 		}
-		useRange = true
+		ins.useRange = true
+		if !fold {
+			continue
+		}
+		flo2, fhi2, floI, fhiI, fok := pe.rng.FoldBoundsOf(rv)
+		if !fok {
+			ins.foldable = false
+			continue
+		}
+		if flo2 > ins.flo || (flo2 == ins.flo && !floI) {
+			ins.flo, ins.floIncl = flo2, floI
+		}
+		if fhi2 < ins.fhi || (fhi2 == ins.fhi && !fhiI) {
+			ins.fhi, ins.fhiIncl = fhi2, fhiI
+		}
 	}
-	return rlo, rhi, rloIncl, rhiIncl, useRange, true
+	return true
 }
 
 // candidateOK applies the per-candidate adjacency filter shared by the
@@ -830,10 +1074,12 @@ func (g *Graph) scanVisit(it vitem) bool {
 // and the lack of payload folding differ.
 func (g *Graph) forEachCandidate(e *event.Event, psIdx, sIdx int, loWid int64, visit func(*Vertex)) {
 	eps := g.cs.epsBySrc[sIdx][psIdx]
-	rlo, rhi, rloIncl, rhiIncl, useRange, ok := g.scanBounds(psIdx, eps, e)
-	if !ok {
+	// Shares the insertion scratch's bound fields; only runs between
+	// insertions (debug rendering), never mid-scan.
+	if !g.scanBounds(psIdx, eps, e, false) {
 		return
 	}
+	ins := &g.ins
 	oldest := g.win.Start(loWid)
 	scan := func(it btree.Item[*Vertex]) bool {
 		if g.candidateOK(it.Val, e, eps) {
@@ -849,8 +1095,8 @@ func (g *Graph) forEachCandidate(e *event.Event, psIdx, sIdx int, loWid int64, v
 		if tree == nil {
 			continue
 		}
-		if useRange {
-			tree.AscendRange(rlo, rhi, rloIncl, rhiIncl, scan)
+		if ins.useRange {
+			tree.AscendRange(ins.rlo, ins.rhi, ins.rloIncl, ins.rhiIncl, scan)
 		} else {
 			tree.Ascend(scan)
 		}
@@ -961,6 +1207,7 @@ func (g *Graph) expireVisit(it vitem) bool {
 // engine calls it once per window when the stream time passes the
 // window's end (or at flush).
 func (g *Graph) CollectWindow(wid int64) *aggregate.Payload {
+	g.cs.cur = g
 	if g.spec.Negative || !g.endWids[wid] {
 		return nil
 	}
@@ -992,6 +1239,7 @@ func (g *Graph) OpenWids() []int64 {
 // at time t had been observed, letting the engine reclaim memory in
 // partitions that stop receiving events.
 func (g *Graph) Advance(t event.Time) {
+	g.cs.cur = g
 	g.foldPending(t)
 	g.expire(t)
 }
@@ -1046,6 +1294,7 @@ func (g *Graph) lazyResult(wid int64) *aggregate.Payload {
 // FoldAll applies every pending invalidation record; call at end of
 // stream before collecting remaining windows.
 func (g *Graph) FoldAll() {
+	g.cs.cur = g
 	g.foldPending(1<<62 - 1)
 }
 

@@ -53,10 +53,30 @@ func (r *Range) RHS() Expr { return r.rhs }
 // ExactKey reports whether the compiled bounds are bit-exact with the
 // original predicate: the left side is the bare attribute (a == 1,
 // b == 0), so solving for it introduces no floating-point rounding.
-// Only exact ranges may replace per-candidate re-evaluation (the
-// summary fast path); inexact ones merely narrow a scan that still
-// re-checks the predicate on every candidate.
+// Exact ranges replace per-candidate re-evaluation outright (the
+// summary fast path folds any subtree inside them). Inexact ranges are
+// handled by interval arithmetic: Bounds widens them outward so a scan
+// never misses a true match, and FoldBounds shrinks them inward so
+// interior subtrees may still be folded wholesale, leaving only the
+// boundary band to per-candidate re-checks.
 func (r *Range) ExactKey() bool { return r.a == 1 && r.b == 0 }
+
+// slackOf bounds the divergence between the compiled linear model
+// a*x + b and the predicate's own floating-point evaluation around the
+// solved boundary x for right-hand value v. The relative factor 2^-40
+// leaves ~8000 ulps of headroom over the handful of roundings the
+// linearizer and the expression evaluator can each introduce; the
+// absolute term keeps the band non-degenerate around zero (products
+// can underflow to zero and flip a strict comparison). The band is a
+// perf trade only — events inside it are re-checked per vertex — so
+// generous is safe and still folds virtually everything.
+func (r *Range) slackOf(x, v float64) float64 {
+	s := math.Abs(x)
+	if t := (math.Abs(v) + math.Abs(r.b)) / math.Abs(r.a); t > s {
+		s = t
+	}
+	return s*0x1p-40 + 0x1p-1000
+}
 
 // Bounds returns the half-open/closed interval [lo, hi] of predecessor
 // Attr values compatible with next. Unbounded sides are ±Inf. ok is
@@ -66,7 +86,11 @@ func (r *Range) Bounds(next *event.Event) (lo, hi float64, loIncl, hiIncl, ok bo
 }
 
 // BoundsOf is Bounds with the right-hand side already evaluated,
-// letting the runtime reuse a compiled rhs evaluator.
+// letting the runtime reuse a compiled rhs evaluator. For inexact
+// ranges (a != 1 or b != 0) the bounds are rounded outward by slackOf,
+// so the narrowed scan provably contains every event the original
+// predicate accepts; candidates are re-checked against the predicate,
+// so outward rounding never admits a wrong match.
 func (r *Range) BoundsOf(v Value) (lo, hi float64, loIncl, hiIncl, ok bool) {
 	if v.Str || math.IsNaN(v.F) {
 		return 0, 0, false, false, false
@@ -77,18 +101,59 @@ func (r *Range) BoundsOf(v Value) (lo, hi float64, loIncl, hiIncl, ok bool) {
 	if r.a < 0 {
 		op = flip(op)
 	}
+	slack := 0.0
+	if !r.ExactKey() {
+		slack = r.slackOf(x, v.F)
+	}
 	lo, hi = math.Inf(-1), math.Inf(1)
 	switch op {
 	case OpEq:
-		return x, x, true, true, true
+		return x - slack, x + slack, true, true, true
 	case OpGt:
-		return x, hi, false, false, true
+		return x - slack, hi, false, false, true
 	case OpGe:
-		return x, hi, true, false, true
+		return x - slack, hi, true, false, true
 	case OpLt:
-		return lo, x, false, false, true
+		return lo, x + slack, false, false, true
 	case OpLe:
-		return lo, x, false, true, true
+		return lo, x + slack, false, true, true
+	}
+	return lo, hi, false, false, false
+}
+
+// FoldBoundsOf returns the inner (conservative) interval of predecessor
+// Attr values for which the original predicate provably holds given the
+// evaluated right-hand side: subtree summaries whose key span lies
+// inside it may be folded without re-evaluating the predicate per
+// vertex. For exact keys it equals BoundsOf (no slack). For inexact
+// ranges the solved boundary is rounded inward by slackOf; equality
+// predicates have no inner interval then (ok == false — equality
+// within rounding error cannot be certified), and the caller falls
+// back to a per-vertex scan over the outward-rounded Bounds.
+func (r *Range) FoldBoundsOf(v Value) (lo, hi float64, loIncl, hiIncl, ok bool) {
+	if v.Str || math.IsNaN(v.F) {
+		return 0, 0, false, false, false
+	}
+	x := (v.F - r.b) / r.a
+	op := r.op
+	if r.a < 0 {
+		op = flip(op)
+	}
+	if r.ExactKey() {
+		return r.BoundsOf(v)
+	}
+	if op == OpEq {
+		return 0, 0, false, false, false
+	}
+	slack := r.slackOf(x, v.F)
+	lo, hi = math.Inf(-1), math.Inf(1)
+	switch op {
+	case OpGt, OpGe:
+		// Strict beyond the band: any key past x + slack satisfies the
+		// predicate under either >= or >.
+		return x + slack, hi, false, false, true
+	case OpLt, OpLe:
+		return lo, x - slack, false, false, true
 	}
 	return lo, hi, false, false, false
 }

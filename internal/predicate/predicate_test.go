@@ -114,19 +114,22 @@ func TestRangeBounds(t *testing.T) {
 		src            string
 		lo, hi         float64
 		loIncl, hiIncl bool
+		exact          bool
 	}{
-		{"S.price > NEXT(S).price", 10, math.Inf(1), false, false},
-		{"S.price >= NEXT(S).price", 10, math.Inf(1), true, false},
-		{"S.price < NEXT(S).price", math.Inf(-1), 10, false, false},
-		{"S.price <= NEXT(S).price", math.Inf(-1), 10, false, true},
-		{"S.price = NEXT(S).price", 10, 10, true, true},
+		{"S.price > NEXT(S).price", 10, math.Inf(1), false, false, true},
+		{"S.price >= NEXT(S).price", 10, math.Inf(1), true, false, true},
+		{"S.price < NEXT(S).price", math.Inf(-1), 10, false, false, true},
+		{"S.price <= NEXT(S).price", math.Inf(-1), 10, false, true, true},
+		{"S.price = NEXT(S).price", 10, 10, true, true, true},
 		// Linear transforms: S.price * 2 < NEXT(S).price  =>  price < 5.
-		{"S.price * 2 < NEXT(S).price", math.Inf(-1), 5, false, false},
+		// Inexact keys are rounded outward, so the bound may exceed the
+		// solved value by the interval-arithmetic slack.
+		{"S.price * 2 < NEXT(S).price", math.Inf(-1), 5, false, false, false},
 		// Reversed operand order: NEXT(S).price < S.price  =>  price > 10.
-		{"NEXT(S).price < S.price", 10, math.Inf(1), false, false},
+		{"NEXT(S).price < S.price", 10, math.Inf(1), false, false, true},
 		// Negative coefficient flips the comparison:
 		// -1 * S.price < NEXT(S).price  =>  price > -10.
-		{"0 - S.price < NEXT(S).price", -10, math.Inf(1), false, false},
+		{"0 - S.price < NEXT(S).price", -10, math.Inf(1), false, false, false},
 	}
 	for _, c := range cases {
 		cls, err := Classify(MustParse(c.src), aliases)
@@ -140,23 +143,63 @@ func TestRangeBounds(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s: Bounds not ok", c.src)
 		}
-		if lo != c.lo || hi != c.hi || loI != c.loIncl || hiI != c.hiIncl {
-			t.Errorf("%s: bounds (%v,%v,%v,%v), want (%v,%v,%v,%v)",
-				c.src, lo, hi, loI, hiI, c.lo, c.hi, c.loIncl, c.hiIncl)
+		if loI != c.loIncl || hiI != c.hiIncl {
+			t.Errorf("%s: inclusivity (%v,%v), want (%v,%v)", c.src, loI, hiI, c.loIncl, c.hiIncl)
+		}
+		if c.exact {
+			if lo != c.lo || hi != c.hi {
+				t.Errorf("%s: bounds (%v,%v), want exactly (%v,%v)", c.src, lo, hi, c.lo, c.hi)
+			}
+			continue
+		}
+		// Inexact: outward-rounded, so the interval must contain the
+		// solved bound and exceed it by at most a tiny slack. The
+		// tolerance derives from the finite bounds only (an infinite
+		// expected bound would make it vacuous).
+		tol := 1e-9
+		if !math.IsInf(c.lo, 0) {
+			tol += 1e-9 * math.Abs(c.lo)
+		}
+		if !math.IsInf(c.hi, 0) {
+			tol += 1e-9 * math.Abs(c.hi)
+		}
+		if math.IsInf(c.lo, -1) {
+			if lo != c.lo {
+				t.Errorf("%s: lo %v, want -Inf", c.src, lo)
+			}
+		} else if lo > c.lo || lo < c.lo-tol {
+			t.Errorf("%s: lo %v not in [%v-tol, %v]", c.src, lo, c.lo, c.lo)
+		}
+		if math.IsInf(c.hi, 1) {
+			if hi != c.hi {
+				t.Errorf("%s: hi %v, want +Inf", c.src, hi)
+			}
+		} else if hi < c.hi || hi > c.hi+tol {
+			t.Errorf("%s: hi %v not in [%v, %v+tol]", c.src, hi, c.hi, c.hi)
 		}
 	}
 }
 
-// TestQuickRangeMatchesEval: for random attribute values, membership in
-// the compiled range must agree with direct predicate evaluation.
+// TestQuickRangeMatchesEval: for random attribute values, the compiled
+// interval arithmetic must bracket direct predicate evaluation — every
+// true match lies inside the outward-rounded scan bounds
+// (completeness: a narrowed scan misses nothing), and every value
+// inside the inward-rounded fold bounds evaluates true (soundness: a
+// folded subtree needs no per-vertex re-check). For exact keys the two
+// intervals coincide and membership must agree with evaluation
+// bidirectionally.
 func TestQuickRangeMatchesEval(t *testing.T) {
 	exprs := []string{
 		"S.price > NEXT(S).price",
 		"S.price * 1.05 < NEXT(S).price",
 		"S.price * 2 - 3 >= NEXT(S).price + 1",
 		"NEXT(S).price <= S.price / 2",
+		"S.price * 3 = NEXT(S).price",
 	}
 	aliases := map[string]bool{"S": true}
+	inside := func(v, lo, hi float64, loI, hiI bool) bool {
+		return (v > lo || (loI && v == lo)) && (v < hi || (hiI && v == hi))
+	}
 	for _, src := range exprs {
 		cls, err := Classify(MustParse(src), aliases)
 		if err != nil {
@@ -166,19 +209,32 @@ func TestQuickRangeMatchesEval(t *testing.T) {
 		if edge.Range == nil {
 			t.Fatalf("%s: no range", src)
 		}
+		exact := edge.Range.ExactKey()
 		f := func(pRaw, nRaw int16) bool {
 			pv, nv := float64(pRaw)/8, float64(nRaw)/8
 			prev := ev(1, map[string]float64{"price": pv})
 			next := ev(2, map[string]float64{"price": nv})
 			want := edge.Eval(prev, next)
-			lo, hi, loI, hiI, ok := edge.Range.Bounds(next)
+			rhs := Eval(edge.Range.RHS(), Binding{Next: next})
+			lo, hi, loI, hiI, ok := edge.Range.BoundsOf(rhs)
 			if !ok {
 				return false
 			}
-			in := (pv > lo || (loI && pv == lo)) && (pv < hi || (hiI && pv == hi))
-			return in == want
+			in := inside(pv, lo, hi, loI, hiI)
+			if want && !in {
+				return false // a true match outside the scan bounds
+			}
+			if exact && in != want {
+				return false // exact keys: membership ⇔ evaluation
+			}
+			if flo, fhi, floI, fhiI, fok := edge.Range.FoldBoundsOf(rhs); fok {
+				if inside(pv, flo, fhi, floI, fhiI) && !want {
+					return false // a fold-certified value that evaluates false
+				}
+			}
+			return true
 		}
-		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 			t.Errorf("%s: %v", src, err)
 		}
 	}
