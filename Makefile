@@ -8,7 +8,7 @@ GO ?= go
 PR ?= 2
 BENCH_OUT ?= BENCH_$(PR).json
 
-.PHONY: build test race bench bench-quick alloc-guard
+.PHONY: build test race bench bench-quick alloc-guard api apicheck
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,11 @@ bench-quick:
 alloc-guard:
 	$(GO) test -run TestNoHotPathAllocs -count=1 ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkPartitionRouting|BenchmarkPayloadPool' -benchmem ./internal/core
+
+# api regenerates api.txt, the committed fingerprint of the public API
+# surface; apicheck fails if the code drifted from it (run in CI).
+api:
+	scripts/apicheck.sh update
+
+apicheck:
+	scripts/apicheck.sh check

@@ -1,10 +1,12 @@
-// Command gretacli runs an arbitrary GRETA query over a generated
+// Command gretacli runs one or more GRETA queries over a generated
 // workload or a CSV event file and prints the per-group, per-window
-// aggregates.
+// aggregates. Multiple -query flags share one Runtime: the stream is
+// ingested once and fanned out to every statement.
 //
 // Usage:
 //
 //	gretacli -query 'RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price' \
+//	         -query 'RETURN SUM(S.price) PATTERN Stock S+ WHERE [company]' \
 //	         -workload stock -events 10000
 //
 //	gretacli -query '...' -csv events.csv
@@ -15,17 +17,30 @@ package main
 
 import (
 	"bufio"
+	"cmp"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
 	"github.com/greta-cep/greta"
 )
 
+// queryList collects repeated -query flags.
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, "; ") }
+func (q *queryList) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
+
 func main() {
-	qsrc := flag.String("query", "", "GRETA query text (required)")
+	var queries queryList
+	flag.Var(&queries, "query", "GRETA query text (repeatable; all queries share one ingest)")
 	workload := flag.String("workload", "", "generate events: stock|linearroad|cluster")
 	events := flag.Int("events", 10000, "number of generated events")
 	csvPath := flag.String("csv", "", "read events from a CSV file instead")
@@ -33,10 +48,10 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel partition workers")
 	statsFlag := flag.Bool("stats", false, "print runtime statistics")
 	haltProb := flag.Float64("haltprob", 0, "stock workload: per-event trading-halt probability (drives negation queries)")
-	dotFlag := flag.Bool("dot", false, "print the GRETA graph in Graphviz DOT format (small streams)")
+	dotFlag := flag.Bool("dot", false, "print the GRETA graph in Graphviz DOT format (small streams, single query)")
 	flag.Parse()
 
-	if *qsrc == "" {
+	if len(queries) == 0 {
 		fmt.Fprintln(os.Stderr, "missing -query")
 		flag.Usage()
 		os.Exit(2)
@@ -45,13 +60,9 @@ func main() {
 	if *exact {
 		opts = append(opts, greta.WithExactArithmetic())
 	}
-	stmt, err := greta.Compile(*qsrc, opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 
 	var evs []*greta.Event
+	var err error
 	switch {
 	case *csvPath != "":
 		evs, err = readCSV(*csvPath)
@@ -72,41 +83,95 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng := stmt.NewEngine()
 	if *dotFlag {
+		if len(queries) != 1 {
+			fmt.Fprintln(os.Stderr, "-dot supports a single -query")
+			os.Exit(2)
+		}
+		stmt, err := greta.Compile(queries[0], opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng := stmt.NewEngine()
 		for _, ev := range evs {
 			eng.Process(ev)
 		}
 		fmt.Print(eng.DOT())
 		eng.Flush()
-	} else if *workers > 1 {
-		eng.RunParallel(greta.NewSliceStream(evs), *workers)
-	} else {
-		eng.Run(greta.NewSliceStream(evs))
+		return
 	}
 
-	fmt.Printf("query: %s\nevents: %d\n\n", stmt.Query(), len(evs))
-	fmt.Printf("%-20s%-10s%-14s%s\n", "group", "window", "interval", "aggregates")
-	for _, r := range eng.Results() {
-		group := r.Group
-		if group == "" {
-			group = "(all)"
+	rt := greta.NewRuntime()
+	handles := make([]*greta.Handle, 0, len(queries))
+	for _, src := range queries {
+		stmt, err := greta.Compile(src, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		vals := make([]string, len(r.Values))
-		for i, v := range r.Values {
-			vals[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		h, err := rt.Register(stmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		fmt.Printf("%-20s%-10d[%d,%d)      %s\n", group, r.Wid, r.WindowStart, r.WindowEnd, strings.Join(vals, ", "))
+		handles = append(handles, h)
 	}
-	if *statsFlag {
-		st := eng.Stats()
-		fmt.Printf("\nevents=%d inserted=%d edges=%d partitions=%d peakVertices=%d peakPayloads=%d results=%d\n",
-			st.Events, st.Inserted, st.Edges, st.Partitions, st.PeakVertices, st.PeakPayloads, st.Results)
-		// Edge-traversal cost split: per-vertex candidate visits vs O(1)
-		// summary folds (each covering any number of edges) vs lazy
-		// watermark-driven summary rebuilds.
-		fmt.Printf("scanVisits=%d summaryFolds=%d summaryRebuilds=%d\n",
-			st.ScanVisits, st.SummaryFolds, st.SummaryRebuilds)
+
+	ctx := context.Background()
+	if *workers > 1 {
+		err = rt.RunParallel(ctx, greta.NewSliceStream(evs), *workers)
+	} else {
+		if err = rt.Run(ctx, greta.NewSliceStream(evs)); err == nil {
+			err = rt.Close()
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("events: %d\n", len(evs))
+	for _, h := range handles {
+		tag := ""
+		if len(handles) > 1 {
+			tag = fmt.Sprintf("[%s] ", h.ID())
+		}
+		fmt.Printf("\n%squery: %s\n\n", tag, h.Query())
+		fmt.Printf("%-20s%-10s%-14s%s\n", "group", "window", "interval", "aggregates")
+		// Collect and sort by (group, window): batch output stays
+		// deterministic and diffable across engine versions.
+		var results []greta.Result
+		for r := range h.Results() {
+			results = append(results, r)
+		}
+		slices.SortFunc(results, func(a, b greta.Result) int {
+			if c := cmp.Compare(a.Group, b.Group); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.Wid, b.Wid)
+		})
+		for _, r := range results {
+			group := r.Group
+			if group == "" {
+				group = "(all)"
+			}
+			vals := make([]string, len(r.Values))
+			for i, v := range r.Values {
+				vals[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			fmt.Printf("%-20s%-10d[%d,%d)      %s\n", group, r.Wid, r.WindowStart, r.WindowEnd, strings.Join(vals, ", "))
+		}
+		if *statsFlag {
+			st := h.Stats()
+			fmt.Printf("\nevents=%d inserted=%d edges=%d partitions=%d peakVertices=%d peakPayloads=%d results=%d\n",
+				st.Events, st.Inserted, st.Edges, st.Partitions, st.PeakVertices, st.PeakPayloads, st.Results)
+			// Edge-traversal cost split: per-vertex candidate visits vs O(1)
+			// summary folds (each covering any number of edges) vs lazy
+			// watermark-driven summary rebuilds.
+			fmt.Printf("scanVisits=%d summaryFolds=%d summaryRebuilds=%d\n",
+				st.ScanVisits, st.SummaryFolds, st.SummaryRebuilds)
+		}
 	}
 }
 

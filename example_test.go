@@ -64,6 +64,77 @@ func ExampleEngine_OnResult() {
 	// window 1: 1 trends
 }
 
+// A Runtime hosts many statements over one shared ingest: both
+// queries see each event once, and results stream per statement.
+func ExampleRuntime() {
+	rt := greta.NewRuntime()
+	trends, _ := rt.Register(greta.MustCompile(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`))
+	pairs, _ := rt.Register(greta.MustCompile(`RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 SLIDE 10`))
+
+	var b greta.Builder
+	b.Add("A", 1, nil)
+	b.Add("A", 3, nil)
+	b.Add("B", 5, nil)
+	s := b.Stream()
+	for ev := s.Next(); ev != nil; ev = s.Next() {
+		if err := rt.Process(ev); err != nil {
+			panic(err)
+		}
+	}
+	rt.Close() // flush open windows
+
+	for r := range trends.Results() {
+		fmt.Printf("[%s] window %d: %g A-trends\n", trends.ID(), r.Wid, r.Values[0])
+	}
+	for r := range pairs.Results() {
+		fmt.Printf("[%s] window %d: %g (A,B) pairs\n", pairs.ID(), r.Wid, r.Values[0])
+	}
+	// Output:
+	// [q0] window 0: 3 A-trends
+	// [q1] window 0: 2 (A,B) pairs
+}
+
+// Statements register and close at any point mid-stream without
+// restarting the stream: a statement registered at watermark T sees
+// only events at or after T, so windows that closed earlier never
+// emit for it.
+func ExampleRuntime_register() {
+	rt := greta.NewRuntime()
+	early, _ := rt.Register(greta.MustCompile(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), greta.WithID("early"))
+
+	ev := func(id uint64, t greta.Time) *greta.Event {
+		return &greta.Event{ID: id, Type: "A", Time: t}
+	}
+	// Window 0 ([0,10)) closes while only "early" is registered.
+	rt.Process(ev(1, 2))
+	rt.Process(ev(2, 8))
+	rt.Process(ev(3, 12))
+
+	// Register a second statement mid-stream, at watermark 12.
+	late, _ := rt.Register(greta.MustCompile(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), greta.WithID("late"))
+	fmt.Printf("registered %q at watermark %d\n", late.ID(), rt.Watermark())
+
+	rt.Process(ev(4, 14))
+	rt.Process(ev(5, 23))
+	rt.Close()
+
+	for r := range early.Results() {
+		fmt.Printf("[early] window %d: %g trends\n", r.Wid, r.Values[0])
+	}
+	for r := range late.Results() {
+		// No window 0: it closed before "late" registered. Window 1 counts
+		// only the suffix event a14, not a12.
+		fmt.Printf("[late]  window %d: %g trends\n", r.Wid, r.Values[0])
+	}
+	// Output:
+	// registered "late" at watermark 12
+	// [early] window 0: 3 trends
+	// [early] window 1: 3 trends
+	// [early] window 2: 1 trends
+	// [late]  window 1: 1 trends
+	// [late]  window 2: 1 trends
+}
+
 // Exact arithmetic: the number of trends is Θ(2ⁿ); math/big keeps full
 // precision where uint64 would wrap.
 func ExampleWithExactArithmetic() {

@@ -5,10 +5,13 @@
 // strictly increasing load, and a job-end event, all carrying the same
 // job and mapper ids. The SUM(M.cpu) aggregate over these trends feeds
 // automatic cluster tuning. This example also demonstrates parallel
-// partition processing (paper §7).
+// partition processing (paper §7) with the Runtime's streaming
+// per-window merge: two statements share the same parallel workers and
+// one pass over the stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"slices"
@@ -17,25 +20,39 @@ import (
 )
 
 func main() {
-	stmt, err := greta.Compile(`
+	rt := greta.NewRuntime()
+	q2, err := rt.Register(greta.MustCompile(`
 		RETURN mapper, SUM(M.cpu)
 		PATTERN SEQ(Start S, Measurement M+, End E)
 		WHERE [job, mapper] AND M.load < NEXT(M).load
 		GROUP-BY mapper
-		WITHIN 60 seconds SLIDE 30 seconds`)
+		WITHIN 60 seconds SLIDE 30 seconds`), greta.WithID("q2"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A second statement rides the same ingest: measurement volume per
+	// job, a sanity signal for the tuner.
+	vol, err := rt.Register(greta.MustCompile(`
+		RETURN job, COUNT(M)
+		PATTERN Measurement M+
+		WHERE [job]
+		GROUP-BY job
+		WITHIN 60 seconds SLIDE 30 seconds`), greta.WithID("volume"))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	events := greta.ClusterStream(greta.DefaultCluster(100000))
 
-	eng := stmt.NewEngine()
-	// Grouped queries partition the stream; partitions run in parallel.
-	eng.RunParallel(greta.NewSliceStream(events), 4)
+	// Grouped queries partition the stream; partitions run in parallel
+	// and windows merge (and stream out) as they close.
+	if err := rt.RunParallel(context.Background(), greta.NewSliceStream(events), 4); err != nil {
+		log.Fatal(err)
+	}
 
 	// Aggregate total CPU per mapper across windows for a compact report.
 	perMapper := map[string]float64{}
-	for _, r := range eng.Results() {
+	for r := range q2.Results() {
 		perMapper[r.Group] += r.Values[0]
 	}
 	keys := make([]string, 0, len(perMapper))
@@ -47,6 +64,11 @@ func main() {
 	for _, k := range keys {
 		fmt.Printf("  %-16s %14.0f\n", k, perMapper[k])
 	}
-	st := eng.Stats()
-	fmt.Printf("\nprocessed %d events; %d results emitted\n", st.Events, st.Results)
+	var volWindows int
+	for range vol.Results() {
+		volWindows++
+	}
+	st := q2.Stats()
+	fmt.Printf("\nprocessed %d events; %d Q2 results, %d volume windows emitted\n",
+		st.Events, st.Results, volWindows)
 }

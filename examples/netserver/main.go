@@ -1,10 +1,14 @@
-// Netserver: stream events to a GRETA engine over TCP and receive
-// window aggregates as they close — the ingestion path a deployment
-// would use, with bounded out-of-order tolerance.
+// Netserver: stream events to a multi-query GRETA runtime over TCP
+// and receive window aggregates, tagged per statement, as they close —
+// the ingestion path a deployment would use, with bounded out-of-order
+// tolerance and mid-stream statement registration.
 //
-// The server compiles Q1 (down-trend counting) and serves sessions; the
-// in-process client streams a generated stock feed with artificial
-// disorder, which the server's reorder slack repairs.
+// The server starts each session with Q1 (down-trend counting per
+// sector); the in-process client streams a generated stock feed with
+// artificial disorder (repaired by the server's reorder slack) and,
+// halfway through, registers a second query — a per-sector volume
+// monitor — which sees the stream from its registration watermark
+// onward.
 package main
 
 import (
@@ -18,7 +22,7 @@ import (
 )
 
 func main() {
-	stmt, err := greta.Compile(`
+	q1, err := greta.Compile(`
 		RETURN sector, COUNT(*)
 		PATTERN Stock S+
 		WHERE [company, sector] AND S.price > NEXT(S).price
@@ -29,8 +33,9 @@ func main() {
 	}
 
 	srv := &netstream.Server{
-		NewEngine: func() *greta.Engine { return stmt.NewEngine() },
-		Slack:     5, // tolerate events up to 5 seconds late
+		Statements:    []*greta.Statement{q1}, // registered as "q0" per session
+		AllowRegister: true,                   // clients may add statements mid-stream
+		Slack:         5,                      // tolerate events up to 5 seconds late
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -51,10 +56,24 @@ func main() {
 	}
 	defer client.Close()
 
-	// Stream a stock feed with bounded disorder (±3 seconds of jitter).
+	// Stream a stock feed with bounded disorder (±3 seconds of jitter);
+	// halfway through, attach the volume monitor mid-stream.
 	rng := rand.New(rand.NewSource(7))
 	events := greta.StockStream(greta.DefaultStock(20000))
-	for _, ev := range events {
+	var volumeID string
+	for i, ev := range events {
+		if i == len(events)/2 {
+			volumeID, err = client.Register(`
+				RETURN sector, COUNT(S)
+				PATTERN Stock S+
+				WHERE [sector]
+				GROUP-BY sector
+				WITHIN 30 seconds SLIDE 10 seconds`)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("registered volume monitor mid-stream as %q\n", volumeID)
+		}
 		t := ev.Time
 		if jitter := rng.Intn(4); jitter > 0 && t >= int64(jitter) {
 			t -= int64(jitter)
@@ -68,10 +87,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("server processed %d events, emitted %d window results\n", processed, len(results))
+	perStmt := map[string]int{}
+	for _, r := range results {
+		perStmt[r.Stmt]++
+	}
+	fmt.Printf("server processed %d events; window results per statement: %v\n", processed, perStmt)
 	for i, r := range results {
-		fmt.Printf("  window %3d [%3d,%3d) sector=%-6s down-trends=%g\n",
-			r.Wid, r.Start, r.End, r.Group, r.Values[0])
+		fmt.Printf("  [%s] window %3d [%3d,%3d) sector=%-6s value=%g\n",
+			r.Stmt, r.Wid, r.Start, r.End, r.Group, r.Values[0])
 		if i >= 9 {
 			fmt.Printf("  ... (%d more)\n", len(results)-10)
 			break

@@ -3,7 +3,9 @@
 // The pattern (SEQ(A+, B))+ with the stream {a1, b2, a3, a4, b7}
 // matches 11 trends (paper Fig. 3 / Example 1) — GRETA computes the
 // count, together with COUNT(A), MIN, MAX, SUM, and AVG over the A
-// events, without constructing a single trend.
+// events, without constructing a single trend. The statement runs
+// inside a Runtime, the long-lived host that can serve many such
+// statements over one shared ingest path.
 package main
 
 import (
@@ -14,9 +16,10 @@ import (
 )
 
 func main() {
-	stmt, err := greta.Compile(`
+	rt := greta.NewRuntime()
+	h, err := rt.Register(greta.MustCompile(`
 		RETURN COUNT(*), COUNT(A), MIN(A.attr), MAX(A.attr), SUM(A.attr), AVG(A.attr)
-		PATTERN (SEQ(A+, B))+`)
+		PATTERN (SEQ(A+, B))+`))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,14 +31,21 @@ func main() {
 	b.Add("A", 4, map[string]float64{"attr": 4})
 	b.Add("B", 7, nil)
 
-	eng := stmt.NewEngine()
-	eng.Run(b.Stream())
+	s := b.Stream()
+	for ev := s.Next(); ev != nil; ev = s.Next() {
+		if err := rt.Process(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil { // flush open windows
+		log.Fatal(err)
+	}
 
-	for _, r := range eng.Results() {
+	for r := range h.Results() {
 		fmt.Printf("COUNT(*)=%v COUNT(A)=%v MIN=%v MAX=%v SUM=%v AVG=%v\n",
 			r.Values[0], r.Values[1], r.Values[2], r.Values[3], r.Values[4], r.Values[5])
 	}
-	st := eng.Stats()
+	st := h.Stats()
 	fmt.Printf("stored %d vertices, traversed %d edges — no trend was ever materialized\n",
 		st.Inserted, st.Edges)
 	// The edge traversal cost splits into per-vertex candidate visits

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,12 +18,13 @@ import (
 )
 
 func main() {
-	stmt, err := greta.Compile(`
+	rt := greta.NewRuntime()
+	h, err := rt.Register(greta.MustCompile(`
 		RETURN sector, COUNT(*)
 		PATTERN Stock S+
 		WHERE [company, sector] AND S.price > NEXT(S).price
 		GROUP-BY sector
-		WITHIN 60 seconds SLIDE 20 seconds`)
+		WITHIN 60 seconds SLIDE 20 seconds`))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,15 +33,19 @@ func main() {
 	cfg.DownBias = 0.15 // a bearish session
 	events := greta.StockStream(cfg)
 
-	eng := stmt.NewEngine()
-	eng.OnResult(func(r greta.Result) {
+	h.OnResult(func(r greta.Result) {
 		// Results stream out as windows close.
 		fmt.Printf("window %3d [%4d,%4d) sector=%-6s down-trends=%g\n",
 			r.Wid, r.WindowStart, r.WindowEnd, r.Group, r.Values[0])
 	})
-	eng.Run(greta.NewSliceStream(events))
+	if err := rt.Run(context.Background(), greta.NewSliceStream(events)); err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		log.Fatal(err)
+	}
 
-	st := eng.Stats()
+	st := h.Stats()
 	fmt.Printf("\nprocessed %d events across %d partitions; %d vertices stored, %d edges traversed\n",
 		st.Events, st.Partitions, st.Inserted, st.Edges)
 	fmt.Printf("traversal split: %d per-vertex visits vs %d summary folds (%d watermark rebuilds)\n",

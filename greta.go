@@ -9,19 +9,39 @@
 //
 // # Quick start
 //
-//	stmt, err := greta.Compile(`
+// A Runtime hosts any number of compiled statements over one shared
+// ingest path; events are routed once and fanned out to every
+// registered statement:
+//
+//	rt := greta.NewRuntime()
+//	h, err := rt.Register(greta.MustCompile(`
 //	    RETURN COUNT(*) PATTERN Stock S+
 //	    WHERE [company] AND S.price > NEXT(S).price
-//	    WITHIN 10 minutes SLIDE 10 seconds`)
+//	    WITHIN 10 minutes SLIDE 10 seconds`))
 //	if err != nil { ... }
-//	eng := stmt.NewEngine()
-//	eng.OnResult(func(r greta.Result) {
+//	h.OnResult(func(r greta.Result) {
 //	    fmt.Printf("window %d: %v down-trends\n", r.Wid, r.Values[0])
 //	})
 //	for _, ev := range events {
-//	    eng.Process(ev)
+//	    if err := rt.Process(ev); err != nil { ... }
 //	}
-//	eng.Flush()
+//	rt.Close() // flush open windows
+//
+// Statements can be registered and closed at any point mid-stream
+// (Register/Handle.Close); a statement registered at watermark T sees
+// only events from T onward. Results stream through the OnResult
+// callback or the Handle.Results iterator:
+//
+//	go func() {
+//	    for r := range h.Results() {
+//	        fmt.Printf("[%s] window %d: %v\n", h.ID(), r.Wid, r.Values[0])
+//	    }
+//	}()
+//
+// Runtime.Run consumes a whole Stream under a context;
+// Runtime.RunParallel partitions it across workers with a streaming
+// per-window merge. The single-statement Engine (Statement.NewEngine)
+// remains as a deprecated shim over a one-statement Runtime.
 //
 // The query language follows the paper's grammar (Fig. 2): RETURN with
 // COUNT/MIN/MAX/SUM/AVG, PATTERN with event types, SEQ, Kleene plus,
@@ -31,6 +51,8 @@
 package greta
 
 import (
+	"context"
+
 	"github.com/greta-cep/greta/internal/aggregate"
 	"github.com/greta-cep/greta/internal/core"
 	"github.com/greta-cep/greta/internal/event"
@@ -134,35 +156,65 @@ func MustCompile(src string, opts ...Option) *Statement {
 // Query returns the canonical text of the compiled query.
 func (s *Statement) Query() string { return s.query.String() }
 
-// NewEngine instantiates a fresh runtime for the statement. Engines are
-// single-use: create one per stream pass.
+// NewEngine instantiates a single-statement runtime for the statement.
+// Engines are single-use: create one per stream pass.
+//
+// Deprecated: Engine is a thin shim over a one-statement Runtime. New
+// code should use NewRuntime and Register, which share one ingest path
+// across many concurrent statements and support mid-stream lifecycle.
 func (s *Statement) NewEngine() *Engine {
-	return &Engine{inner: core.NewEngine(s.plan)}
+	rt := NewRuntime()
+	h, err := rt.Register(s)
+	if err != nil {
+		// A fresh runtime cannot be closed or running.
+		panic(err)
+	}
+	return &Engine{rt: rt, h: h, inner: h.st.Engine()}
 }
 
-// Engine is the GRETA runtime: it consumes an in-order event stream,
-// maintains the GRETA graph(s), and emits per-group, per-window
-// aggregates as windows close.
+// Engine is the single-statement GRETA runtime: it consumes an
+// in-order event stream, maintains the GRETA graph(s), and emits
+// per-group, per-window aggregates as windows close.
+//
+// Deprecated: Engine wraps a one-statement Runtime; use Runtime and
+// Handle directly for shared ingest across statements, mid-stream
+// registration, error-returning Process, and streaming results.
 type Engine struct {
+	rt    *Runtime
+	h     *Handle
 	inner *core.Engine
 }
+
+// Runtime exposes the Engine's underlying one-statement Runtime (a
+// migration bridge: netstream, for example, attaches further
+// statements to it).
+func (e *Engine) Runtime() *Runtime { return e.rt }
+
+// Handle exposes the Engine's statement handle (streaming results,
+// statement id).
+func (e *Engine) Handle() *Handle { return e.h }
 
 // OnResult registers a callback invoked when a window's final
 // aggregate is emitted (incrementally maintained, so emission is
 // immediate at window close).
-func (e *Engine) OnResult(f func(Result)) { e.inner.OnResult(f) }
+func (e *Engine) OnResult(f func(Result)) { e.h.OnResult(f) }
 
 // Process offers one event. Events must arrive in non-decreasing time
-// order.
-func (e *Engine) Process(ev *Event) { e.inner.Process(ev) }
+// order; a late event is counted and dropped (see Stats.OutOfOrder).
+func (e *Engine) Process(ev *Event) { _ = e.rt.Process(ev) }
 
 // Run consumes a whole stream and flushes.
-func (e *Engine) Run(s Stream) { e.inner.Run(s) }
+func (e *Engine) Run(s Stream) {
+	_ = e.rt.Run(context.Background(), s)
+	_ = e.rt.Close()
+}
 
 // RunParallel consumes the stream with parallel workers, partitioning
-// by grouping/equivalence attributes (paper §7). Falls back to Run for
-// ungrouped queries.
-func (e *Engine) RunParallel(s Stream, workers int) { e.inner.RunParallel(s, workers) }
+// by grouping/equivalence attributes (paper §7), merging results per
+// window as they close. Falls back to Run for ungrouped queries.
+func (e *Engine) RunParallel(s Stream, workers int) {
+	_ = e.rt.RunParallel(context.Background(), s, workers)
+}
 
 // SetTransactional switches to the paper's §7 stream-transaction
 // scheduler: events sharing a timestamp execute as one transaction per
@@ -171,8 +223,11 @@ func (e *Engine) RunParallel(s Stream, workers int) { e.inner.RunParallel(s, wor
 // the default sequential mode. Call before the first Process.
 func (e *Engine) SetTransactional(on bool) { e.inner.SetTransactional(on) }
 
-// Flush closes all open windows; call at end of stream.
-func (e *Engine) Flush() { e.inner.Flush() }
+// Flush closes all open windows; call at end of stream. Flush closes
+// the backing one-statement Runtime, so events offered afterwards are
+// rejected and dropped (engines were always documented single-use;
+// drive the Runtime directly if you need explicit end-of-life control).
+func (e *Engine) Flush() { _ = e.rt.Close() }
 
 // Results returns all emitted results sorted by (group, window).
 func (e *Engine) Results() []Result { return e.inner.Results() }

@@ -42,6 +42,83 @@ func TestNoHotPathAllocs(t *testing.T) {
 	t.Run("summary-fold", func(t *testing.T) { testNoHotPathAllocs(t, false) })
 	t.Run("vertex-scan", func(t *testing.T) { testNoHotPathAllocs(t, true) })
 	t.Run("negation-fold", testNoHotPathAllocsNegation)
+	t.Run("multi-statement", testNoHotPathAllocsMultiStatement)
+}
+
+// testNoHotPathAllocsMultiStatement guards the Runtime's shared ingest:
+// steady-state Process with three registered statements over the same
+// partition attributes must stay zero-alloc — the routing hash is
+// computed once for the shared signature and each statement's engine
+// runs its own 0-alloc path against untouched per-spec pools.
+func testNoHotPathAllocsMultiStatement(t *testing.T) {
+	srcs := []string{
+		"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ " +
+			"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000",
+		"RETURN COUNT(*), MIN(S.price) PATTERN Stock S+ " +
+			"WHERE [company] AND S.price < NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000",
+		"RETURN SUM(S.price) PATTERN Stock S+ " +
+			"WHERE [company] GROUP-BY company WITHIN 1000 SLIDE 1000",
+	}
+	rt := NewRuntime()
+	stmts := make([]*Stmt, len(srcs))
+	for i, src := range srcs {
+		plan, err := NewPlan(query.MustParse(src), aggregate.ModeNative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts[i], err = rt.Register(plan, StmtConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All three statements share one partition-attribute signature, so
+	// the ingest hashes each event exactly once.
+	if got := rt.RouteGroups(); got != 1 {
+		t.Fatalf("route groups = %d, want 1 (shared hash)", got)
+	}
+
+	// Warmup: expire panes so every statement's per-spec pools are
+	// charged and the c0 partitions exist.
+	id := uint64(0)
+	price := func(i uint64) float64 { return float64(1000 - i%7) }
+	for i := 0; i < 21000; i++ {
+		id++
+		if err := rt.Process(allocStockEvent(id, event.Time(i/10), "c0", price(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const runs = 300
+	evs := make([]*event.Event, runs)
+	for i := range evs {
+		id++
+		evs[i] = allocStockEvent(id, event.Time(2100+i), "c0", price(id))
+	}
+	before := make([]Stats, len(stmts))
+	for i, st := range stmts {
+		before[i] = st.Engine().Stats()
+	}
+	i := 0
+	avg := testing.AllocsPerRun(runs-1, func() {
+		if err := rt.Process(evs[i]); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state multi-statement Process allocates %.2f objects/op, want 0", avg)
+	}
+	// Guard against the guard: every statement must have inserted the
+	// measured events and traversed edges.
+	for i, st := range stmts {
+		after := st.Engine().Stats()
+		if got := after.Inserted - before[i].Inserted; got < runs {
+			t.Fatalf("statement %d inserted %d vertices in measured loop, want >= %d", i, got, runs)
+		}
+		if after.Edges == before[i].Edges {
+			t.Fatalf("statement %d traversed no edges", i)
+		}
+	}
 }
 
 // allocHaltEvent builds one schemaless halt event (the negative

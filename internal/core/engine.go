@@ -2,11 +2,11 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math"
 	"slices"
 	"strings"
-	"sync"
 	"time"
 
 	"github.com/greta-cep/greta/internal/aggregate"
@@ -133,6 +133,12 @@ type Engine struct {
 	// forceScan disables the summary fast path in all graphs (see
 	// SetForceVertexScan).
 	forceScan bool
+
+	// noRetain drops emitted results after the OnResult callback instead
+	// of collecting them in results — RunParallel workers stream their
+	// per-window partials to the merger and must not buffer the whole
+	// run (bounded worker buffers).
+	noRetain bool
 
 	onResult func(Result)
 	results  []Result
@@ -283,9 +289,16 @@ func groupPrefix(key string, n, total int) string {
 // degenerate keys no longer share a partition
 // (TestTypedPartitionIdentity locks this in).
 func (e *Engine) routeHash(ev *event.Event) uint64 {
+	return hashRoute(e.routeAcc, ev)
+}
+
+// hashRoute is routeHash over an explicit accessor set: the Runtime
+// computes it once per distinct partition-attribute signature and
+// forwards the hash to every engine sharing that signature.
+func hashRoute(acc []event.Accessor, ev *event.Event) uint64 {
 	h := uint64(14695981039346656037)
-	for i := range e.routeAcc {
-		a := &e.routeAcc[i]
+	for i := range acc {
+		a := &acc[i]
 		if s, ok := a.Str(ev); ok {
 			h = hashByte(h, pkStr)
 			for j := 0; j < len(s); j++ {
@@ -550,10 +563,58 @@ func (e *Engine) emit(group string, wid int64, payload *aggregate.Payload) {
 	for _, ss := range e.plan.Specs {
 		r.Values = append(r.Values, def.Value(payload, ss.Spec, ss.Slot, ss.Slot2))
 	}
-	e.results = append(e.results, r)
+	if !e.noRetain {
+		e.results = append(e.results, r)
+	}
 	if e.onResult != nil {
 		e.onResult(r)
 	}
+}
+
+// setRetainResults controls whether emitted results are collected for
+// Results() in addition to the OnResult callback. RunParallel workers
+// disable retention so their buffers stay bounded by the number of
+// open windows.
+func (e *Engine) setRetainResults(on bool) { e.noRetain = !on }
+
+// setWatermark seeds the engine's time cursor: events strictly older
+// than t are dropped as out-of-order, and windows that ended at or
+// before t are never emitted. The Runtime calls this when a statement
+// registers mid-stream, so the statement sees only events from its
+// registration watermark onward.
+func (e *Engine) setWatermark(t event.Time) {
+	e.prevTime = t
+	for _, be := range e.branchEngines {
+		be.setWatermark(t)
+	}
+	for _, pe := range e.productEngines {
+		pe.setWatermark(t)
+	}
+}
+
+// AdvanceTo advances the engine's clock to t without offering an
+// event: pending stream transactions older than t are executed and
+// windows that ended at or before t close and emit. RunParallel
+// workers run it on window barriers so partitions that received no
+// recent events still release their windows to the streaming merge.
+func (e *Engine) AdvanceTo(t event.Time) {
+	if t <= e.prevTime {
+		return
+	}
+	if !e.plan.Simple() {
+		for _, be := range e.branchEngines {
+			be.AdvanceTo(t)
+		}
+		for _, pe := range e.productEngines {
+			pe.AdvanceTo(t)
+		}
+		e.prevTime = t
+		return
+	}
+	if e.transactional && len(e.batch) > 0 && e.batchTime < t {
+		e.runBatch()
+	}
+	e.closeUpTo(t)
 }
 
 // Run consumes an entire stream and flushes.
@@ -567,66 +628,18 @@ func (e *Engine) Run(s event.Stream) {
 // RunParallel consumes the stream with the given number of workers,
 // hashing partitions onto workers (paper §7, "Parallel Processing":
 // sub-streams are processed in parallel independently from each other).
-// Results are merged afterwards. Only valid for grouped queries.
+// Results stream out as windows close (per-window barrier merge in the
+// Runtime). Only valid for grouped queries.
+//
+// Deprecated: RunParallel is a shim over a one-statement Runtime; use
+// Runtime.RunParallel, which shares the parallel workers across every
+// registered statement.
 func (e *Engine) RunParallel(s event.Stream, workers int) {
-	if workers <= 1 || len(e.partAttrs) == 0 || !e.plan.Simple() {
-		e.Run(s)
-		return
+	rt := NewRuntime()
+	if _, err := rt.adopt(e, ""); err != nil {
+		panic(err) // fresh runtime: cannot be closed or running
 	}
-	type routed struct {
-		ev   *event.Event
-		hash uint64
-	}
-	subEngines := make([]*Engine, workers)
-	chans := make([]chan routed, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		subEngines[w] = NewEngine(e.plan)
-		subEngines[w].SetForceVertexScan(e.forceScan)
-		chans[w] = make(chan routed, 1024)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for r := range chans[w] {
-				subEngines[w].ProcessRouted(r.ev, r.hash)
-			}
-			subEngines[w].Flush()
-		}(w)
-	}
-	// One hash per event: it selects the worker AND rides along so the
-	// worker's Process does not recompute the partition key.
-	for ev := s.Next(); ev != nil; ev = s.Next() {
-		h := e.routeHash(ev)
-		chans[int(h%uint64(workers))] <- routed{ev, h}
-	}
-	for _, c := range chans {
-		close(c)
-	}
-	wg.Wait()
-	// Merge per (group, wid) across workers: an output group can span
-	// workers when the partition key is finer than the group key.
-	def := e.plan.Def()
-	type gw struct {
-		group string
-		wid   int64
-	}
-	merged := map[gw]*aggregate.Payload{}
-	for _, se := range subEngines {
-		for _, r := range se.results {
-			k := gw{r.Group, r.Wid}
-			if cur := merged[k]; cur == nil {
-				merged[k] = def.Clone(r.Payload)
-			} else {
-				def.Merge(cur, r.Payload)
-			}
-		}
-		e.stats.Events += se.stats.Events
-		e.mergeStats(se)
-	}
-	for k, pl := range merged {
-		e.emit(k.group, k.wid, pl)
-	}
-	sortResults(e.results)
+	_ = rt.RunParallel(context.Background(), s, workers)
 }
 
 // Flush closes all open windows in all partitions.

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"context"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// RunParallel consumes the stream with parallel workers shared by
+// every registered statement (paper §7, "Parallel Processing"):
+// partitions are hashed onto workers, so each sub-stream is processed
+// independently. Results stream out as windows close — the coordinator
+// broadcasts a per-window barrier per statement, each worker releases
+// the window (emitting its partial aggregates) and acknowledges, and
+// the merger emits the merged result once every worker has passed the
+// barrier. Worker result buffers are therefore bounded by the number
+// of concurrently open windows, not the stream length.
+//
+// RunParallel drives the whole stream and closes the runtime at the
+// end (all statements flush). It must own the runtime from the start:
+// if events were already processed sequentially, or no statement is
+// partitioned, or workers <= 1, it falls back to the sequential Run
+// followed by Close. Statements cannot be registered or closed while
+// it runs. Result callbacks fire from internal goroutines.
+func (rt *Runtime) RunParallel(ctx context.Context, s event.Stream, workers int) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrClosed
+	}
+	// Snapshot the parallel-eligible statements: simple partitioned
+	// plans. Everything else (composite plans, ungrouped queries) is
+	// processed inline on the coordinator, exactly as sequentially.
+	var parStmts []*Stmt
+	var inline []*Stmt
+	groupIdx := map[*routeGroup]int{}
+	var groups []*routeGroup
+	for _, st := range rt.stmts {
+		if st.grp != nil && len(st.grp.acc) > 0 {
+			if _, ok := groupIdx[st.grp]; !ok {
+				groupIdx[st.grp] = len(groups)
+				groups = append(groups, st.grp)
+			}
+			parStmts = append(parStmts, st)
+		} else {
+			inline = append(inline, st)
+		}
+	}
+	// The per-worker event mask carries one bit per route group.
+	if workers <= 1 || len(parStmts) == 0 || len(groups) > 64 || rt.watermark >= 0 {
+		rt.mu.Unlock()
+		if err := rt.Run(ctx, s); err != nil {
+			_ = rt.Close()
+			return err
+		}
+		return rt.Close()
+	}
+	rt.running = true
+	rt.mu.Unlock()
+	err := rt.runParallel(ctx, s, workers, parStmts, inline, groups, groupIdx)
+	rt.mu.Lock()
+	rt.running = false
+	rt.mu.Unlock()
+	if cerr := rt.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+const (
+	pmEvent uint8 = iota
+	pmBarrier
+)
+
+// parMsg is one coordinator→worker message: a routed event (mask
+// selects which route groups this worker processes it for) or a
+// per-statement window barrier. Per-group routing hashes ride in the
+// inline hsArr for up to len(hsArr) groups — the common case, kept
+// allocation-free — and spill to the shared read-only hs slice beyond.
+type parMsg struct {
+	kind  uint8
+	ev    *event.Event
+	hsArr [4]uint64
+	hs    []uint64 // per-group hashes when len(groups) > len(hsArr)
+	mask  uint64   // bit per route group
+	si    int      // barrier: statement index
+	t     event.Time
+	hi    int64 // barrier: highest window id closed by t
+}
+
+// mergeMsg is one worker→merger message: a per-window partial result,
+// or a barrier acknowledgement ("this worker has released every window
+// of statement si up to hi").
+type mergeMsg struct {
+	w   int
+	si  int
+	r   Result
+	ack bool
+	hi  int64
+}
+
+// parallelDebug captures streaming-merge instrumentation for tests.
+type parallelDebug struct {
+	// maxPending is the largest number of simultaneously pending
+	// (unmerged) windows across all statements — the merge buffer bound.
+	maxPending int
+	// workerRetained sums len(results) across worker engines at flush;
+	// the streaming merge keeps it at zero (workers do not buffer).
+	workerRetained int
+}
+
+func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
+	parStmts, inline []*Stmt, groups []*routeGroup, groupIdx map[*routeGroup]int) error {
+	// Statement index sets per group, and each statement's group bit.
+	stmtsOfGroup := make([][]int, len(groups))
+	for si, st := range parStmts {
+		gi := groupIdx[st.grp]
+		stmtsOfGroup[gi] = append(stmtsOfGroup[gi], si)
+	}
+
+	mergeCh := make(chan mergeMsg, 1024)
+	chans := make([]chan parMsg, workers)
+	engines := make([][]*Engine, workers) // [worker][statement]
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		engines[w] = make([]*Engine, len(parStmts))
+		for si, st := range parStmts {
+			we := NewEngine(st.eng.plan)
+			we.SetForceVertexScan(st.eng.forceScan)
+			we.setRetainResults(false)
+			w, si := w, si
+			we.OnResult(func(r Result) { mergeCh <- mergeMsg{w: w, si: si, r: r} })
+			engines[w][si] = we
+		}
+		chans[w] = make(chan parMsg, 1024)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for m := range chans[w] {
+				switch m.kind {
+				case pmEvent:
+					for gi := range groups {
+						if m.mask&(1<<uint(gi)) == 0 {
+							continue
+						}
+						var h uint64
+						if m.hs != nil { // spilled: more groups than hsArr holds
+							h = m.hs[gi]
+						} else {
+							h = m.hsArr[gi]
+						}
+						for _, si := range stmtsOfGroup[gi] {
+							engines[w][si].ProcessRouted(m.ev, h)
+						}
+					}
+				case pmBarrier:
+					engines[w][m.si].AdvanceTo(m.t)
+					mergeCh <- mergeMsg{w: w, si: m.si, ack: true, hi: m.hi}
+				}
+			}
+			if abort.Load() {
+				return
+			}
+			// End of stream: release every open window, then a final ack.
+			for si := range parStmts {
+				engines[w][si].Flush()
+				mergeCh <- mergeMsg{w: w, si: si, ack: true, hi: math.MaxInt64}
+			}
+		}(w)
+	}
+
+	mergerDone := make(chan struct{})
+	var debug parallelDebug
+	go mergeLoop(mergeCh, mergerDone, parStmts, workers, &abort, &debug)
+
+	err := feedWorkers(ctx, s, workers, parStmts, inline, groups, chans, &abort)
+
+	for _, c := range chans {
+		close(c)
+	}
+	wg.Wait()
+	close(mergeCh)
+	<-mergerDone
+
+	// Fold worker stats into the statements' engines; the sum of
+	// sampled worker peaks is an upper bound on the concurrent peak
+	// (see mergeStats).
+	for si, st := range parStmts {
+		for w := 0; w < workers; w++ {
+			we := engines[w][si]
+			st.eng.stats.Events += we.stats.Events
+			st.eng.mergeStats(we)
+			debug.workerRetained += len(we.results)
+		}
+	}
+	rt.parDebug = &debug
+	return err
+}
+
+// feedWorkers drives the stream: per event it computes one routing
+// hash per distinct partition-attribute signature, broadcasts window
+// barriers for statements whose windows the event closes, and sends
+// the event to the workers owning the targeted partitions.
+func feedWorkers(ctx context.Context, s event.Stream, workers int,
+	parStmts, inline []*Stmt, groups []*routeGroup, chans []chan parMsg, abort *atomic.Bool) error {
+	done := ctx.Done()
+	masks := make([]uint64, workers)
+	touched := make([]int, 0, workers)
+	var watermark event.Time = -1
+	var ooo uint64
+	defer func() {
+		// Out-of-order drops were counted at the coordinator (events are
+		// not forwarded); charge them to every statement's stats, as the
+		// sequential path does.
+		for _, st := range parStmts {
+			st.eng.stats.OutOfOrder += ooo
+		}
+		for _, st := range inline {
+			st.eng.stats.OutOfOrder += ooo
+		}
+	}()
+	for ev := s.Next(); ev != nil; ev = s.Next() {
+		if done != nil {
+			select {
+			case <-done:
+				abort.Store(true)
+				return ctx.Err()
+			default:
+			}
+		}
+		if ev.Time < watermark {
+			ooo++
+			continue
+		}
+		watermark = ev.Time
+		// Window barriers precede the event that closes the window, so
+		// every worker releases wid before any post-window event.
+		for si, st := range parStmts {
+			if _, hi, ok := st.eng.plan.Window.ClosedBy(st.parPrev, ev.Time); ok {
+				for w := 0; w < workers; w++ {
+					chans[w] <- parMsg{kind: pmBarrier, si: si, t: ev.Time, hi: hi}
+				}
+			}
+			st.parPrev = ev.Time
+		}
+		// Inline statements run on the coordinator, preserving sequential
+		// semantics for unpartitioned and composite plans.
+		for _, st := range inline {
+			st.eng.Process(ev)
+		}
+		if len(groups) == 1 {
+			h := hashRoute(groups[0].acc, ev)
+			msg := parMsg{kind: pmEvent, ev: ev, mask: 1}
+			msg.hsArr[0] = h
+			chans[int(h%uint64(workers))] <- msg
+			continue
+		}
+		// Multi-signature fan-out: one hash per group, one message per
+		// distinct target worker. Up to len(hsArr) groups ride inline
+		// (no per-event allocation); larger fleets share one spill slice.
+		var hsArr [4]uint64
+		var hs []uint64
+		if len(groups) > len(hsArr) {
+			hs = make([]uint64, len(groups))
+		}
+		touched = touched[:0]
+		for gi, g := range groups {
+			h := hashRoute(g.acc, ev)
+			if hs != nil {
+				hs[gi] = h
+			} else {
+				hsArr[gi] = h
+			}
+			w := int(h % uint64(workers))
+			if masks[w] == 0 {
+				touched = append(touched, w)
+			}
+			masks[w] |= 1 << uint(gi)
+		}
+		for _, w := range touched {
+			chans[w] <- parMsg{kind: pmEvent, ev: ev, hsArr: hsArr, hs: hs, mask: masks[w]}
+			masks[w] = 0
+		}
+	}
+	return nil
+}
+
+// mergeLoop is the streaming merger: it holds, per statement, the
+// per-window partial payloads of each worker, and emits a window the
+// moment every worker has released it. Partials are merged in worker
+// index order, keeping float aggregation deterministic.
+func mergeLoop(mergeCh <-chan mergeMsg, done chan<- struct{},
+	parStmts []*Stmt, workers int, abort *atomic.Bool, debug *parallelDebug) {
+	defer close(done)
+	type widPartial struct {
+		groups map[string][]*aggregate.Payload // group → per-worker payloads
+	}
+	type stMerge struct {
+		pending  map[int64]*widPartial
+		released []int64 // per worker: highest released wid
+	}
+	states := make([]*stMerge, len(parStmts))
+	for si := range states {
+		rel := make([]int64, workers)
+		for w := range rel {
+			rel[w] = math.MinInt64
+		}
+		states[si] = &stMerge{pending: map[int64]*widPartial{}, released: rel}
+	}
+	pendingTotal := 0
+	for m := range mergeCh {
+		ms := states[m.si]
+		if !m.ack {
+			wp := ms.pending[m.r.Wid]
+			if wp == nil {
+				wp = &widPartial{groups: map[string][]*aggregate.Payload{}}
+				ms.pending[m.r.Wid] = wp
+				pendingTotal++
+				if pendingTotal > debug.maxPending {
+					debug.maxPending = pendingTotal
+				}
+			}
+			slot := wp.groups[m.r.Group]
+			if slot == nil {
+				slot = make([]*aggregate.Payload, workers)
+				wp.groups[m.r.Group] = slot
+			}
+			slot[m.w] = m.r.Payload
+			continue
+		}
+		if m.hi <= ms.released[m.w] {
+			continue
+		}
+		ms.released[m.w] = m.hi
+		minRel := ms.released[0]
+		for _, r := range ms.released[1:] {
+			if r < minRel {
+				minRel = r
+			}
+		}
+		if len(ms.pending) == 0 || abort.Load() {
+			continue
+		}
+		var ready []int64
+		for wid := range ms.pending {
+			if wid <= minRel {
+				ready = append(ready, wid)
+			}
+		}
+		slices.Sort(ready)
+		st := parStmts[m.si]
+		def := st.eng.plan.Def()
+		for _, wid := range ready {
+			wp := ms.pending[wid]
+			delete(ms.pending, wid)
+			pendingTotal--
+			groups := make([]string, 0, len(wp.groups))
+			for g := range wp.groups {
+				groups = append(groups, g)
+			}
+			slices.Sort(groups)
+			for _, g := range groups {
+				var merged *aggregate.Payload
+				for _, pl := range wp.groups[g] {
+					if pl == nil {
+						continue
+					}
+					if merged == nil {
+						merged = pl
+					} else {
+						def.Merge(merged, pl)
+					}
+				}
+				if merged != nil {
+					st.eng.emit(g, wid, merged)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/greta-cep/greta/internal/event"
+)
+
+// Sentinel errors returned by Runtime operations.
+var (
+	// ErrClosed reports an operation on a closed runtime.
+	ErrClosed = errors.New("greta: runtime closed")
+	// ErrOutOfOrder reports an event older than the runtime watermark;
+	// the event was counted and dropped for every registered statement
+	// (paper §2 delegates out-of-order repair upstream).
+	ErrOutOfOrder = errors.New("greta: out-of-order event dropped")
+	// ErrStatementClosed reports an operation on a closed statement.
+	ErrStatementClosed = errors.New("greta: statement closed")
+	// ErrRunning reports a registration attempt while RunParallel owns
+	// the runtime.
+	ErrRunning = errors.New("greta: runtime is running in parallel mode")
+)
+
+// Runtime is a long-lived multi-query GRETA host: one shared ingest
+// path feeding any number of registered statements. Each event is
+// schema-bound upstream, hashed once per distinct partition-attribute
+// signature, and fanned out to every registered statement's
+// partitions. Statements can be registered and closed at any point
+// mid-stream; a statement registered at watermark T sees only events
+// at or after T.
+//
+// Process, Register, Close, and statement Close are safe to call from
+// different goroutines (a mutex serializes them); Process itself must
+// be called from one goroutine at a time for the in-order invariant to
+// be meaningful.
+type Runtime struct {
+	mu        sync.Mutex
+	closed    bool
+	running   bool // RunParallel owns the stream
+	watermark event.Time
+
+	// groups deduplicate the per-event routing hash: statements whose
+	// plans share a partition-attribute signature share one FNV-1a
+	// computation (the shared-node idiom of multi-query CEP engines,
+	// applied to the ingest path).
+	groups []*routeGroup
+	// direct holds composite-plan statements (disjunction/conjunction,
+	// §9), whose sub-engines route internally.
+	direct []*Stmt
+	stmts  []*Stmt // all live statements, registration order
+
+	nextID int
+
+	// parDebug captures streaming-merge instrumentation from the last
+	// RunParallel (test hook).
+	parDebug *parallelDebug
+}
+
+// routeGroup is one distinct partition-attribute signature and the
+// statements sharing it.
+type routeGroup struct {
+	sig     string
+	acc     []event.Accessor
+	members []*Stmt
+}
+
+// Stmt is one registered statement: a plan, its engine, and its
+// lifecycle state inside a Runtime.
+type Stmt struct {
+	rt  *Runtime
+	id  string
+	eng *Engine
+	grp *routeGroup // nil for composite plans
+
+	// win mirrors the plan's window spec; parPrev is the coordinator's
+	// per-statement window-close cursor during RunParallel.
+	parPrev event.Time
+
+	closed  bool
+	onClose func()
+}
+
+// NewRuntime builds an empty runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{watermark: -1}
+}
+
+// StmtConfig carries per-registration options.
+type StmtConfig struct {
+	// ID names the statement (result tagging); empty picks "q<n>".
+	ID string
+	// Transactional enables the §7 stream-transaction scheduler for
+	// this statement's engine.
+	Transactional bool
+	// ForceVertexScan disables the summary fast path (differential
+	// tests and debugging).
+	ForceVertexScan bool
+}
+
+// Register instantiates an engine for plan and attaches it to the
+// shared ingest. The statement sees events from the current watermark
+// onward; windows that ended before registration are never emitted.
+func (rt *Runtime) Register(plan *Plan, cfg StmtConfig) (*Stmt, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.registrable(); err != nil {
+		return nil, err
+	}
+	if cfg.ID != "" && rt.hasID(cfg.ID) {
+		return nil, fmt.Errorf("greta: statement id %q already registered", cfg.ID)
+	}
+	eng := NewEngine(plan)
+	eng.SetTransactional(cfg.Transactional)
+	eng.SetForceVertexScan(cfg.ForceVertexScan)
+	return rt.adoptLocked(eng, cfg.ID), nil
+}
+
+// adopt attaches an existing (fresh, never-processed) engine as a
+// statement. Engine.RunParallel uses it to run its own engine under
+// the runtime's streaming merge.
+func (rt *Runtime) adopt(eng *Engine, id string) (*Stmt, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.registrable(); err != nil {
+		return nil, err
+	}
+	if id != "" && rt.hasID(id) {
+		return nil, fmt.Errorf("greta: statement id %q already registered", id)
+	}
+	return rt.adoptLocked(eng, id), nil
+}
+
+func (rt *Runtime) registrable() error {
+	if rt.closed {
+		return ErrClosed
+	}
+	if rt.running {
+		return ErrRunning
+	}
+	return nil
+}
+
+// hasID reports whether a live statement already uses id (a closed
+// statement's id is reusable). rt.mu held.
+func (rt *Runtime) hasID(id string) bool {
+	for _, st := range rt.stmts {
+		if st.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// adoptLocked wires an engine into the route groups; rt.mu held. The
+// caller has already rejected duplicate explicit ids; generated ids
+// skip any the user claimed.
+func (rt *Runtime) adoptLocked(eng *Engine, id string) *Stmt {
+	for id == "" || rt.hasID(id) {
+		id = fmt.Sprintf("q%d", rt.nextID)
+		rt.nextID++
+	}
+	if rt.watermark >= 0 {
+		eng.setWatermark(rt.watermark)
+	}
+	st := &Stmt{rt: rt, id: id, eng: eng, parPrev: rt.watermark}
+	if plan := eng.plan; plan.Simple() {
+		sig := strings.Join(eng.partAttrs, "\x1f")
+		var grp *routeGroup
+		for _, g := range rt.groups {
+			if g.sig == sig {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &routeGroup{sig: sig, acc: make([]event.Accessor, len(eng.partAttrs))}
+			for i, a := range eng.partAttrs {
+				grp.acc[i] = event.NewAccessor(a)
+			}
+			rt.groups = append(rt.groups, grp)
+		}
+		grp.members = append(grp.members, st)
+		st.grp = grp
+	} else {
+		rt.direct = append(rt.direct, st)
+	}
+	rt.stmts = append(rt.stmts, st)
+	return st
+}
+
+// Process offers one event to every registered statement. The routing
+// hash is computed once per distinct partition-attribute signature and
+// forwarded, so N statements over the same grouping cost one hash.
+// Events must arrive in non-decreasing time order: an older event is
+// counted and dropped by every statement and ErrOutOfOrder is
+// returned. After Close it returns ErrClosed.
+func (rt *Runtime) Process(ev *event.Event) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.process(ev)
+}
+
+func (rt *Runtime) process(ev *event.Event) error {
+	if rt.closed {
+		return ErrClosed
+	}
+	if rt.running {
+		return ErrRunning
+	}
+	late := ev.Time < rt.watermark
+	// Forward even when late: each engine's own cursor rejects the
+	// event and counts the drop in its stats, exactly as the
+	// single-engine path always has.
+	for _, g := range rt.groups {
+		if len(g.members) == 0 {
+			continue
+		}
+		h := hashRoute(g.acc, ev)
+		for _, st := range g.members {
+			st.eng.ProcessRouted(ev, h)
+		}
+	}
+	for _, st := range rt.direct {
+		st.eng.Process(ev)
+	}
+	if late {
+		return ErrOutOfOrder
+	}
+	rt.watermark = ev.Time
+	return nil
+}
+
+// Run consumes the stream until it is exhausted or ctx is cancelled.
+// Out-of-order events are counted and dropped (as Engine.Run always
+// did); any other Process error aborts. Run does not close the
+// runtime — more statements or streams may follow; call Close to
+// flush open windows at end of life.
+func (rt *Runtime) Run(ctx context.Context, s event.Stream) error {
+	done := ctx.Done()
+	for ev := s.Next(); ev != nil; ev = s.Next() {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		if err := rt.Process(ev); err != nil && !errors.Is(err, ErrOutOfOrder) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Watermark returns the largest event time the runtime has accepted
+// (-1 before the first event).
+func (rt *Runtime) Watermark() event.Time {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.watermark
+}
+
+// Statements returns the live statements in registration order.
+func (rt *Runtime) Statements() []*Stmt {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]*Stmt(nil), rt.stmts...)
+}
+
+// RouteGroups returns the number of distinct partition-attribute
+// signatures among the registered simple-plan statements — each costs
+// one routing hash per event, however many statements share it.
+func (rt *Runtime) RouteGroups() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.groups)
+}
+
+// ParallelDebug reports streaming-merge instrumentation from the last
+// RunParallel: the peak number of simultaneously pending (unmerged)
+// windows in the merger, and the total results still buffered in
+// worker engines at flush (zero when streaming delivery works).
+func (rt *Runtime) ParallelDebug() (maxPendingWindows, workerRetainedResults int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.parDebug == nil {
+		return 0, 0
+	}
+	return rt.parDebug.maxPending, rt.parDebug.workerRetained
+}
+
+// Close flushes every registered statement (emitting all open
+// windows) and rejects further events. Idempotent.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return nil
+	}
+	rt.closed = true
+	for _, st := range rt.stmts {
+		st.finish()
+	}
+	rt.stmts = nil
+	rt.groups = nil
+	rt.direct = nil
+	return nil
+}
+
+// ID returns the statement's identifier.
+func (st *Stmt) ID() string { return st.id }
+
+// Engine exposes the statement's engine (results, stats, DOT).
+func (st *Stmt) Engine() *Engine { return st.eng }
+
+// OnClose registers a hook invoked after the statement's final flush —
+// the greta layer uses it to terminate streaming result iterators.
+func (st *Stmt) OnClose(f func()) { st.onClose = f }
+
+// Close detaches the statement from the shared ingest, flushing its
+// open windows (their results are emitted through the usual delivery
+// path). Other statements are not perturbed. Idempotent; returns
+// ErrStatementClosed if already closed.
+func (st *Stmt) Close() error {
+	st.rt.mu.Lock()
+	defer st.rt.mu.Unlock()
+	if st.closed {
+		return ErrStatementClosed
+	}
+	if st.rt.running {
+		return ErrRunning
+	}
+	if st.grp != nil {
+		st.grp.members = deleteStmt(st.grp.members, st)
+	} else {
+		st.rt.direct = deleteStmt(st.rt.direct, st)
+	}
+	st.rt.stmts = deleteStmt(st.rt.stmts, st)
+	st.finish()
+	return nil
+}
+
+// finish flushes and marks the statement closed. Caller holds rt.mu
+// (or exclusive ownership during Close/RunParallel teardown).
+func (st *Stmt) finish() {
+	if st.closed {
+		return
+	}
+	st.closed = true
+	st.eng.Flush()
+	if st.onClose != nil {
+		st.onClose()
+	}
+}
+
+func deleteStmt(list []*Stmt, st *Stmt) []*Stmt {
+	for i, s := range list {
+		if s == st {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

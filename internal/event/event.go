@@ -187,6 +187,14 @@ func (s *SliceStream) Reset() { s.pos = 0 }
 // Len returns the total number of events in the stream.
 func (s *SliceStream) Len() int { return len(s.events) }
 
+// FuncStream adapts a generator function to Stream: each Next calls f,
+// and the stream ends when f returns nil. Useful for synthetic and
+// unbounded sources.
+type FuncStream func() *Event
+
+// Next implements Stream.
+func (f FuncStream) Next() *Event { return f() }
+
 // ChanStream adapts a receive channel to Stream, enabling live ingestion
 // from concurrent producers.
 type ChanStream struct {

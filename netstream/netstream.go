@@ -1,23 +1,39 @@
-// Package netstream provides network ingestion for GRETA engines: a
-// line-oriented JSON protocol over TCP (or any net.Conn) that feeds an
-// engine from remote event producers and pushes window results back as
-// they are emitted.
+// Package netstream provides network ingestion for GRETA runtimes: a
+// line-oriented JSON protocol over TCP (or any net.Conn) that feeds a
+// multi-query Runtime from remote event producers and pushes window
+// results back as they are emitted, tagged with the statement that
+// produced them. Statements can be registered and closed mid-stream.
 //
 // Protocol (newline-delimited JSON):
 //
 //	client → server   {"type":"Stock","time":17,"attrs":{"price":99.5},"str":{"company":"co01"}}
-//	client → server   {"cmd":"flush"}     — close windows, receive remaining results, end session
-//	server → client   {"result":{"group":"...","wid":3,"start":30,"end":60,"values":[42]}}
+//	client → server   {"cmd":"register","query":"RETURN COUNT(*) PATTERN ..."}
+//	client → server   {"cmd":"close","id":"q1"}   — close one statement, flushing its windows
+//	client → server   {"cmd":"flush"}             — close all, receive remaining results, end session
+//	server → client   {"result":{"stmt":"q0","group":"...","wid":3,"start":30,"end":60,"values":[42]}}
+//	server → client   {"registered":{"id":"q1","query":"..."}}
+//	server → client   {"closed":"q1"}
+//	server → client   {"error":"..."}             — malformed input, rejected commands, and
+//	                                                internal panics are reported, never
+//	                                                silently swallowed; clients treat them as
+//	                                                session faults (a malformed producer), so
+//	                                                one may surface from a later command call
+//	server → client   {"warn":"..."}              — non-fatal per-event diagnostics
+//	                                                (out-of-order drops); the session continues
 //	server → client   {"done":true,"events":12345,"dropped":0}
 //
 // Events must arrive in non-decreasing time order per connection; an
 // optional reorder slack buffers and re-sorts bounded disorder (the
-// out-of-order handling the paper delegates upstream, §2).
+// out-of-order handling the paper delegates upstream, §2). Events that
+// still violate order are dropped, counted in "dropped", and reported
+// via a {"warn":...} line (warn, not error, so in-flight command
+// acknowledgements are not misattributed as failures).
 package netstream
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -26,17 +42,22 @@ import (
 	"github.com/greta-cep/greta/internal/reorder"
 )
 
-// WireEvent is the JSON representation of one event.
+// WireEvent is the JSON representation of one client→server line: an
+// event, or a command (register/close/flush).
 type WireEvent struct {
 	Cmd   string             `json:"cmd,omitempty"`
+	Query string             `json:"query,omitempty"` // register: query text
+	ID    string             `json:"id,omitempty"`    // register (optional) / close: statement id
 	Type  string             `json:"type,omitempty"`
 	Time  int64              `json:"time"`
 	Attrs map[string]float64 `json:"attrs,omitempty"`
 	Str   map[string]string  `json:"str,omitempty"`
 }
 
-// WireResult is the JSON representation of one emitted result.
+// WireResult is the JSON representation of one emitted result, tagged
+// with the id of the statement that produced it.
 type WireResult struct {
+	Stmt   string    `json:"stmt"`
 	Group  string    `json:"group"`
 	Wid    int64     `json:"wid"`
 	Start  int64     `json:"start"`
@@ -44,21 +65,47 @@ type WireResult struct {
 	Values []float64 `json:"values"`
 }
 
+// WireRegistered acknowledges a register command.
+type WireRegistered struct {
+	ID    string `json:"id"`
+	Query string `json:"query"`
+}
+
 type wireOut struct {
-	Result *WireResult `json:"result,omitempty"`
-	Done   bool        `json:"done,omitempty"`
-	Events uint64      `json:"events,omitempty"`
-	Drop   uint64      `json:"dropped,omitempty"`
-	Error  string      `json:"error,omitempty"`
+	Result     *WireResult     `json:"result,omitempty"`
+	Registered *WireRegistered `json:"registered,omitempty"`
+	Closed     string          `json:"closed,omitempty"`
+	Done       bool            `json:"done,omitempty"`
+	Events     uint64          `json:"events,omitempty"`
+	Drop       uint64          `json:"dropped,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Warn       string          `json:"warn,omitempty"`
 }
 
 // EngineFactory builds a fresh engine per connection.
+//
+// Deprecated: set Statements (and AllowRegister) instead; NewEngine
+// serves single-statement sessions through the Engine shim.
 type EngineFactory func() *greta.Engine
 
 // Server serves GRETA sessions: each accepted connection gets its own
-// engine (its own stream).
+// Runtime (its own stream) hosting the configured statements, plus any
+// the client registers mid-stream.
 type Server struct {
+	// NewEngine, when set, supplies each session's initial statement as
+	// a single-statement Engine (its Runtime hosts client
+	// registrations too, when AllowRegister is set).
+	//
+	// Deprecated: use Statements.
 	NewEngine EngineFactory
+	// Statements are registered into every session's Runtime at accept,
+	// with ids "q0", "q1", ... in order.
+	Statements []*greta.Statement
+	// AllowRegister permits {"cmd":"register","query":...}: the query
+	// is compiled with CompileOptions and attached mid-stream.
+	AllowRegister bool
+	// CompileOptions apply to client-registered queries.
+	CompileOptions []greta.Option
 	// Slack enables the reorder buffer with the given time slack.
 	Slack greta.Time
 
@@ -93,7 +140,6 @@ func (s *Server) Close() error {
 // ServeConn runs one session over an established connection.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
-	eng := s.NewEngine()
 	w := bufio.NewWriter(conn)
 	enc := json.NewEncoder(w)
 	var wmu sync.Mutex
@@ -103,15 +149,62 @@ func (s *Server) ServeConn(conn net.Conn) {
 		_ = enc.Encode(o)
 		_ = w.Flush()
 	}
-	eng.OnResult(func(r greta.Result) {
-		send(wireOut{Result: &WireResult{
-			Group: r.Group, Wid: r.Wid,
-			Start: r.WindowStart, End: r.WindowEnd,
-			Values: r.Values,
-		}})
-	})
-	var nextID uint64
-	feed := func(e *greta.Event) { eng.Process(e) }
+	// An engine-side panic must reach the client as an error line, not
+	// a silently dropped connection.
+	defer func() {
+		if r := recover(); r != nil {
+			send(wireOut{Error: fmt.Sprintf("internal error: %v", r)})
+		}
+	}()
+
+	handles := map[string]*greta.Handle{}
+	wire := func(h *greta.Handle) {
+		id := h.ID()
+		handles[id] = h
+		h.OnResult(func(r greta.Result) {
+			send(wireOut{Result: &WireResult{
+				Stmt:  id,
+				Group: r.Group, Wid: r.Wid,
+				Start: r.WindowStart, End: r.WindowEnd,
+				Values: r.Values,
+			}})
+		})
+	}
+	var rt *greta.Runtime
+	if s.NewEngine != nil {
+		// Legacy factory path: the session runtime is the engine's
+		// backing one-statement runtime, so client registrations join it.
+		eng := s.NewEngine()
+		rt = eng.Runtime()
+		wire(eng.Handle())
+	} else {
+		rt = greta.NewRuntime()
+	}
+	defer rt.Close()
+	for _, stmt := range s.Statements {
+		h, err := rt.Register(stmt)
+		if err != nil {
+			send(wireOut{Error: fmt.Sprintf("register: %v", err)})
+			return
+		}
+		wire(h)
+	}
+
+	var processed, dropped uint64
+	feed := func(e *greta.Event) {
+		if err := rt.Process(e); err != nil {
+			if errors.Is(err, greta.ErrOutOfOrder) {
+				// Dropped by design (paper §2); report without failing the
+				// session or any in-flight command acknowledgement.
+				dropped++
+				send(wireOut{Warn: err.Error()})
+				return
+			}
+			send(wireOut{Error: err.Error()})
+			return
+		}
+		processed++
+	}
 	var buf *reorder.Buffer
 	if s.Slack > 0 {
 		buf = reorder.New(s.Slack, feed)
@@ -119,6 +212,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var nextID uint64
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -129,8 +223,59 @@ func (s *Server) ServeConn(conn net.Conn) {
 			send(wireOut{Error: fmt.Sprintf("bad event: %v", err)})
 			continue
 		}
-		if we.Cmd == "flush" {
-			break
+		switch we.Cmd {
+		case "flush":
+			goto done
+		case "register":
+			if !s.AllowRegister {
+				send(wireOut{Error: "register: disabled on this server"})
+				continue
+			}
+			// Lifecycle commands are reorder barriers: events the client
+			// sent before the command pass through the slack buffer first,
+			// so the registration watermark cuts at the command, and a
+			// closing statement's final windows count every prior event.
+			if buf != nil {
+				buf.Flush()
+			}
+			stmt, err := greta.Compile(we.Query, s.CompileOptions...)
+			if err != nil {
+				send(wireOut{Error: fmt.Sprintf("register: %v", err)})
+				continue
+			}
+			var opts []greta.RegisterOption
+			if we.ID != "" {
+				opts = append(opts, greta.WithID(we.ID))
+			}
+			h, err := rt.Register(stmt, opts...)
+			if err != nil {
+				send(wireOut{Error: fmt.Sprintf("register: %v", err)})
+				continue
+			}
+			wire(h)
+			send(wireOut{Registered: &WireRegistered{ID: h.ID(), Query: h.Query()}})
+			continue
+		case "close":
+			h, ok := handles[we.ID]
+			if !ok {
+				send(wireOut{Error: fmt.Sprintf("close: unknown statement %q", we.ID)})
+				continue
+			}
+			if buf != nil { // reorder barrier, as for register
+				buf.Flush()
+			}
+			delete(handles, we.ID)
+			if err := h.Close(); err != nil {
+				send(wireOut{Error: fmt.Sprintf("close %s: %v", we.ID, err)})
+				continue
+			}
+			send(wireOut{Closed: we.ID})
+			continue
+		case "":
+			// An event line.
+		default:
+			send(wireOut{Error: fmt.Sprintf("unknown command %q", we.Cmd)})
+			continue
 		}
 		if we.Type == "" {
 			send(wireOut{Error: "event missing type"})
@@ -145,15 +290,19 @@ func (s *Server) ServeConn(conn net.Conn) {
 			Str:   we.Str,
 		})
 	}
+done:
 	if buf != nil {
 		buf.Flush()
 	}
-	eng.Flush()
-	var dropped uint64
-	if buf != nil {
-		dropped = buf.Dropped()
+	_ = rt.Close()
+	send(wireOut{Done: true, Events: processed, Drop: dropped + reorderDropped(buf)})
+}
+
+func reorderDropped(buf *reorder.Buffer) uint64 {
+	if buf == nil {
+		return 0
 	}
-	send(wireOut{Done: true, Events: eng.Stats().Events, Drop: dropped + eng.Stats().OutOfOrder})
+	return buf.Dropped()
 }
 
 // Client streams events to a netstream server and receives results.
@@ -161,7 +310,18 @@ type Client struct {
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
+	// pending buffers results that arrive interleaved with command
+	// acknowledgements; Flush prepends them.
+	pending []WireResult
+	// warnings collects non-fatal {"warn":...} diagnostics (e.g.
+	// out-of-order drops) observed while reading replies.
+	warnings []string
 }
+
+// Warnings returns the non-fatal server diagnostics collected so far
+// (out-of-order drops and the like). The session outlives them; the
+// Flush summary's dropped count reflects the same events.
+func (c *Client) Warnings() []string { return c.warnings }
 
 // Dial connects to a server.
 func Dial(addr string) (*Client, error) {
@@ -182,17 +342,74 @@ func (c *Client) Send(typ string, t int64, attrs map[string]float64, strs map[st
 	return c.enc.Encode(WireEvent{Type: typ, Time: t, Attrs: attrs, Str: strs})
 }
 
+// Register attaches a new statement mid-stream and returns its id.
+// Results already in flight are buffered for Flush.
+func (c *Client) Register(query string) (string, error) {
+	if err := c.enc.Encode(WireEvent{Cmd: "register", Query: query}); err != nil {
+		return "", err
+	}
+	for {
+		var o wireOut
+		if err := c.dec.Decode(&o); err != nil {
+			return "", err
+		}
+		switch {
+		case o.Warn != "":
+			c.warnings = append(c.warnings, o.Warn)
+		case o.Error != "":
+			return "", fmt.Errorf("server: %s", o.Error)
+		case o.Registered != nil:
+			return o.Registered.ID, nil
+		case o.Result != nil:
+			c.pending = append(c.pending, *o.Result)
+		case o.Done:
+			return "", fmt.Errorf("server ended session before acknowledging register")
+		}
+	}
+}
+
+// CloseStatement closes one statement mid-stream; its open windows
+// flush first (those results are buffered for Flush).
+func (c *Client) CloseStatement(id string) error {
+	if err := c.enc.Encode(WireEvent{Cmd: "close", ID: id}); err != nil {
+		return err
+	}
+	for {
+		var o wireOut
+		if err := c.dec.Decode(&o); err != nil {
+			return err
+		}
+		switch {
+		case o.Warn != "":
+			c.warnings = append(c.warnings, o.Warn)
+		case o.Error != "":
+			return fmt.Errorf("server: %s", o.Error)
+		case o.Closed == id:
+			return nil
+		case o.Result != nil:
+			c.pending = append(c.pending, *o.Result)
+		case o.Done:
+			return fmt.Errorf("server ended session before acknowledging close")
+		}
+	}
+}
+
 // Flush ends the stream and collects all remaining results plus the
 // session summary.
 func (c *Client) Flush() ([]WireResult, uint64, error) {
 	if err := c.enc.Encode(WireEvent{Cmd: "flush"}); err != nil {
 		return nil, 0, err
 	}
-	var results []WireResult
+	results := c.pending
+	c.pending = nil
 	for {
 		var o wireOut
 		if err := c.dec.Decode(&o); err != nil {
 			return results, 0, err
+		}
+		if o.Warn != "" {
+			c.warnings = append(c.warnings, o.Warn)
+			continue
 		}
 		if o.Error != "" {
 			return results, 0, fmt.Errorf("server: %s", o.Error)

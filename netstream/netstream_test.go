@@ -185,3 +185,226 @@ func TestConcurrentSessions(t *testing.T) {
 func errorf(format string, args ...interface{}) error {
 	return fmt.Errorf(format, args...)
 }
+
+// startRuntimeServer serves multi-statement sessions with mid-stream
+// registration enabled.
+func startRuntimeServer(t *testing.T, queries ...string) string {
+	t.Helper()
+	srv := &Server{AllowRegister: true}
+	for _, q := range queries {
+		stmt, err := greta.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Statements = append(srv.Statements, stmt)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestMultiStatementTaggedResults runs two statements over one shared
+// session stream and checks results carry their statement ids.
+func TestMultiStatementTaggedResults(t *testing.T) {
+	addr := startRuntimeServer(t,
+		"RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10",
+		"RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 SLIDE 10")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, e := range []struct {
+		typ string
+		tm  int64
+	}{{"A", 1}, {"A", 3}, {"B", 5}, {"A", 12}} {
+		if err := c.Send(e.typ, e.tm, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, events, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 4 {
+		t.Errorf("events = %d, want 4", events)
+	}
+	byStmt := map[string]int{}
+	for _, r := range results {
+		byStmt[r.Stmt]++
+	}
+	// q0: windows 0 and 1 (A-trends); q1: window 0 (two SEQ(A,B) matches).
+	if byStmt["q0"] != 2 || byStmt["q1"] != 1 {
+		t.Errorf("results per statement = %v, want q0:2 q1:1 (all %+v)", byStmt, results)
+	}
+}
+
+// TestMidStreamRegisterAndClose registers a statement mid-stream (it
+// sees only the suffix), then closes the first statement and checks
+// the survivor keeps producing.
+func TestMidStreamRegisterAndClose(t *testing.T) {
+	addr := startRuntimeServer(t, "RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for tm := int64(1); tm <= 12; tm++ {
+		if err := c.Send("A", tm, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := c.Register("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "q1" {
+		t.Errorf("registered id = %q, want q1", id)
+	}
+	if err := c.CloseStatement("q0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseStatement("q0"); err == nil {
+		t.Error("closing q0 twice should report an error")
+	}
+	for tm := int64(13); tm <= 25; tm++ {
+		if err := c.Send("A", tm, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, _, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string][]int64{}
+	for _, r := range results {
+		counts[r.Stmt] = append(counts[r.Stmt], r.Wid)
+	}
+	// q0 closed at watermark 12: window 0 plus the flushed window 1.
+	if len(counts["q0"]) != 2 {
+		t.Errorf("q0 windows = %v, want window 0 + flushed window 1", counts["q0"])
+	}
+	// q1 registered at watermark 12: it must not emit window 0 (closed
+	// before registration) but covers windows 1 and 2.
+	for _, wid := range counts["q1"] {
+		if wid == 0 {
+			t.Errorf("q1 emitted window 0, which closed before registration (windows %v)", counts["q1"])
+		}
+	}
+	if len(counts["q1"]) != 2 {
+		t.Errorf("q1 windows = %v, want 2 (windows 1 and 2)", counts["q1"])
+	}
+}
+
+// TestRegisterRejected covers the register error paths: disabled
+// server and bad query text, both reported as protocol errors.
+func TestRegisterRejected(t *testing.T) {
+	addr, _ := startServer(t, "RETURN COUNT(*) PATTERN A+", 0)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Register("RETURN COUNT(*) PATTERN B+"); err == nil {
+		t.Error("register on a NewEngine-only server must be rejected")
+	}
+
+	addr2 := startRuntimeServer(t, "RETURN COUNT(*) PATTERN A+")
+	c2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Register("bogus query"); err == nil {
+		t.Error("register with a bad query must be rejected")
+	}
+	// The session survives a rejected registration.
+	if err := c2.Send("A", 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, events, err := c2.Flush(); err != nil || events != 1 {
+		t.Errorf("session after rejected register: events=%d err=%v", events, err)
+	}
+}
+
+// TestOutOfOrderReported checks that events violating time order are
+// dropped, counted, and reported to the client as non-fatal warnings
+// instead of silently swallowed — and that the session (and its
+// results) survives.
+func TestOutOfOrderReported(t *testing.T) {
+	addr := startRuntimeServer(t, "RETURN COUNT(*) PATTERN A+")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send("A", 10, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send("A", 3, nil, nil); err != nil { // late, no slack
+		t.Fatal(err)
+	}
+	if err := c.Send("A", 12, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	results, events, err := c.Flush()
+	if err != nil {
+		t.Fatalf("out-of-order drops must not fail the session: %v", err)
+	}
+	if events != 2 {
+		t.Errorf("events = %d, want 2 (the late event dropped)", events)
+	}
+	if len(results) != 1 || results[0].Values[0] != 3 { // trends over {a10, a12}
+		t.Errorf("results = %+v, want count 3", results)
+	}
+	if len(c.Warnings()) != 1 {
+		t.Errorf("warnings = %v, want exactly the drop diagnostic", c.Warnings())
+	}
+}
+
+// TestRegisterAfterDropNotMisattributed locks in the warn/error split:
+// a register command issued right after an out-of-order drop must see
+// its own acknowledgement, not the drop diagnostic.
+func TestRegisterAfterDropNotMisattributed(t *testing.T) {
+	addr := startRuntimeServer(t, "RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send("A", 10, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send("A", 2, nil, nil); err != nil { // dropped, emits a warn line
+		t.Fatal(err)
+	}
+	id, err := c.Register("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10")
+	if err != nil {
+		t.Fatalf("register misattributed the drop diagnostic: %v", err)
+	}
+	if id != "q1" {
+		t.Errorf("registered id = %q, want q1", id)
+	}
+	if err := c.Send("A", 15, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1 ([10,20)): q0 saw {a10, a15} → 3 trends; q1 registered
+	// at watermark 10 saw only a15 → 1 trend.
+	byStmt := map[string]float64{}
+	for _, r := range results {
+		if r.Wid == 1 {
+			byStmt[r.Stmt] = r.Values[0]
+		}
+	}
+	if byStmt["q0"] != 3 || byStmt["q1"] != 1 {
+		t.Errorf("window-1 counts per statement = %v, want q0:3 q1:1 (all %+v)", byStmt, results)
+	}
+}

@@ -1,0 +1,216 @@
+package greta
+
+import (
+	"context"
+	"iter"
+	"sync"
+
+	"github.com/greta-cep/greta/internal/core"
+)
+
+// Sentinel errors returned by Runtime and Handle operations.
+var (
+	// ErrClosed reports an operation on a closed Runtime.
+	ErrClosed = core.ErrClosed
+	// ErrOutOfOrder reports an event older than the runtime watermark.
+	// The event was counted and dropped for every registered statement
+	// (the paper delegates out-of-order repair upstream, §2; see
+	// netstream's reorder slack for a bounded repair buffer).
+	ErrOutOfOrder = core.ErrOutOfOrder
+	// ErrStatementClosed reports an operation on a closed Handle.
+	ErrStatementClosed = core.ErrStatementClosed
+	// ErrRunning reports Register/Close attempts while RunParallel owns
+	// the runtime.
+	ErrRunning = core.ErrRunning
+)
+
+// Runtime is a long-lived multi-query GRETA host: one shared ingest
+// path feeding any number of registered statements. Each event is
+// hashed once per distinct partition-attribute signature and fanned
+// out to every registered statement's partitions, so N statements over
+// the same grouping cost one routing hash per event. Statements can be
+// registered and closed at any point mid-stream without restarting the
+// stream: a statement registered at watermark T sees only events at or
+// after T, and closing one statement does not perturb the others.
+//
+// Process, Register, and Close are safe to call from different
+// goroutines (a mutex serializes them). Result callbacks run on the
+// ingest path and must not call back into the Runtime or its Handles.
+type Runtime struct {
+	inner *core.Runtime
+}
+
+// NewRuntime builds an empty runtime; register statements with
+// Register and feed events with Process or Run.
+func NewRuntime() *Runtime {
+	return &Runtime{inner: core.NewRuntime()}
+}
+
+// RegisterOption configures one statement registration.
+type RegisterOption func(*core.StmtConfig)
+
+// WithID names the statement; results and netstream tags carry it.
+// Default ids are "q0", "q1", ... in registration order (skipping any
+// the user claimed). Register rejects an id already held by a live
+// statement; a closed statement's id is reusable.
+func WithID(id string) RegisterOption {
+	return func(c *core.StmtConfig) { c.ID = id }
+}
+
+// WithTransactional runs the statement under the paper's §7
+// stream-transaction scheduler (same results, concurrent dependency
+// levels inside each partition).
+func WithTransactional() RegisterOption {
+	return func(c *core.StmtConfig) { c.Transactional = true }
+}
+
+// Register attaches a compiled statement to the shared ingest and
+// returns its Handle. The statement sees events from the current
+// watermark onward; windows that ended before registration are never
+// emitted. Register works mid-stream.
+func (rt *Runtime) Register(stmt *Statement, opts ...RegisterOption) (*Handle, error) {
+	var cfg core.StmtConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	st, err := rt.inner.Register(stmt.plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{st: st, stmt: stmt}
+	h.cond = sync.NewCond(&h.mu)
+	st.Engine().OnResult(h.deliver)
+	st.OnClose(h.markDone)
+	return h, nil
+}
+
+// Process offers one event to every registered statement. Events must
+// arrive in non-decreasing time order: an older event is counted and
+// dropped by every statement and ErrOutOfOrder is returned. After
+// Close it returns ErrClosed.
+func (rt *Runtime) Process(ev *Event) error { return rt.inner.Process(ev) }
+
+// Run consumes the stream until it is exhausted or ctx is cancelled.
+// Out-of-order events are counted and dropped; any other error aborts.
+// Run does not close the runtime — more statements or streams may
+// follow. Call Close to flush open windows at end of life.
+func (rt *Runtime) Run(ctx context.Context, s Stream) error { return rt.inner.Run(ctx, s) }
+
+// RunParallel consumes the whole stream with parallel workers shared
+// by every registered statement, partitioning by grouping/equivalence
+// attributes (paper §7). Results stream out as windows close: the
+// coordinator broadcasts a per-window barrier, workers release their
+// partial aggregates, and the merged result is emitted once every
+// worker has passed the barrier — worker buffers stay bounded by the
+// number of open windows. Unpartitioned and composite statements are
+// processed inline with identical results.
+//
+// RunParallel must own the runtime from the start (no events processed
+// yet); otherwise it falls back to the sequential Run. It drives the
+// stream to completion (or ctx cancellation) and closes the runtime.
+// Result callbacks may fire from internal goroutines.
+func (rt *Runtime) RunParallel(ctx context.Context, s Stream, workers int) error {
+	return rt.inner.RunParallel(ctx, s, workers)
+}
+
+// Watermark returns the largest event time the runtime has accepted
+// (-1 before the first event). A statement registered now sees events
+// from this watermark onward.
+func (rt *Runtime) Watermark() Time { return rt.inner.Watermark() }
+
+// Close flushes every registered statement — their remaining open
+// windows emit through the usual delivery paths — and rejects further
+// events and registrations. Idempotent.
+func (rt *Runtime) Close() error { return rt.inner.Close() }
+
+// Handle is one registered statement's lifecycle and result surface:
+// close it to detach the statement mid-stream, consume results with
+// the OnResult callback or the streaming Results iterator.
+type Handle struct {
+	st   *core.Stmt
+	stmt *Statement
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []Result
+	done bool
+	cb   func(Result)
+}
+
+// deliver is the engine's OnResult sink: it records the result for the
+// Results iterators, then invokes the user callback.
+func (h *Handle) deliver(r Result) {
+	h.mu.Lock()
+	h.buf = append(h.buf, r)
+	cb := h.cb
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	if cb != nil {
+		cb(r)
+	}
+}
+
+// markDone ends the result stream (statement closed and flushed).
+func (h *Handle) markDone() {
+	h.mu.Lock()
+	h.done = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// ID returns the statement's identifier ("q<n>" unless WithID chose
+// another).
+func (h *Handle) ID() string { return h.st.ID() }
+
+// Query returns the canonical text of the statement's query.
+func (h *Handle) Query() string { return h.stmt.Query() }
+
+// OnResult registers a callback invoked for every emitted result, as
+// soon as its window closes. The callback runs on the ingest path
+// (or an internal goroutine under RunParallel) and must not call back
+// into the Runtime or Handle.
+func (h *Handle) OnResult(f func(Result)) {
+	h.mu.Lock()
+	h.cb = f
+	h.mu.Unlock()
+}
+
+// Results streams the statement's results as windows close. The
+// iterator yields every result emitted so far and then blocks until
+// more arrive, returning when the statement (or runtime) is closed —
+// consume it from its own goroutine while the stream is being fed, or
+// after Close to drain everything. Multiple iterators each see the
+// full result sequence: results are retained for the statement's
+// lifetime (as Engine.Results always did), so close statements you are
+// done with on unbounded streams.
+func (h *Handle) Results() iter.Seq[Result] {
+	return func(yield func(Result) bool) {
+		idx := 0
+		for {
+			h.mu.Lock()
+			for idx >= len(h.buf) && !h.done {
+				h.cond.Wait()
+			}
+			if idx >= len(h.buf) {
+				h.mu.Unlock()
+				return
+			}
+			r := h.buf[idx]
+			idx++
+			h.mu.Unlock()
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}
+
+// Stats returns the statement's runtime statistics. Call it between
+// Process calls or after Close; it reads live engine state.
+func (h *Handle) Stats() Stats { return h.st.Engine().Stats() }
+
+// Close detaches the statement from the shared ingest mid-stream,
+// flushing its open windows (their results are delivered before Close
+// returns, and Results iterators then terminate). Other statements are
+// not perturbed. Returns ErrStatementClosed if already closed.
+func (h *Handle) Close() error { return h.st.Close() }

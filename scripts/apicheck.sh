@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# apicheck.sh — the public-API surface guard.
+#
+#   scripts/apicheck.sh update   regenerate api.txt from the current code
+#   scripts/apicheck.sh check    fail if the API surface drifted from api.txt
+#
+# api.txt is the committed fingerprint of every exported declaration
+# (functions, methods, types, struct fields, vars, consts) of the
+# public packages, extracted from `go doc -all`. CI runs `check`, so an
+# accidental breaking change to the public API fails the build; an
+# intentional change is committed by rerunning `make api` and reviewing
+# the diff.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=api.txt
+PKGS=". ./netstream"
+
+gen() {
+	for pkg in $PKGS; do
+		echo "# package $pkg"
+		# Declarations are flush-left; struct fields, interface methods,
+		# and const/var block members are tab-indented. Doc prose and its
+		# code examples are space-indented and excluded, as are comments
+		# inside declaration blocks.
+		go doc -all "$pkg" | grep -E "^(func|type|var|const|$(printf '\t'))" | grep -v "^$(printf '\t')//" || true
+		echo
+	done
+}
+
+case "${1:-check}" in
+update)
+	gen >"$OUT"
+	echo "wrote $OUT"
+	;;
+check)
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+	gen >"$tmp"
+	if ! diff -u "$OUT" "$tmp"; then
+		echo >&2
+		echo "public API surface drifted from $OUT." >&2
+		echo "If the change is intentional, run 'make api' and commit the diff." >&2
+		exit 1
+	fi
+	echo "API surface unchanged"
+	;;
+*)
+	echo "usage: $0 [update|check]" >&2
+	exit 2
+	;;
+esac
