@@ -117,6 +117,9 @@ func main() {
 		}
 		handles = append(handles, h)
 	}
+	// Sharing topology is decided at registration; snapshot it before
+	// the run closes the runtime.
+	topo := rt.Stats()
 
 	ctx := context.Background()
 	if *workers > 1 {
@@ -132,6 +135,10 @@ func main() {
 	}
 
 	fmt.Printf("events: %d\n", len(evs))
+	if *statsFlag && topo.Statements > 1 {
+		fmt.Printf("statements=%d routeGroups=%d sharedStatements=%d sharedGraphs=%d\n",
+			topo.Statements, topo.RouteGroups, topo.SharedStatements, topo.SharedGraphs)
+	}
 	for _, h := range handles {
 		tag := ""
 		if len(handles) > 1 {
@@ -164,8 +171,8 @@ func main() {
 		}
 		if *statsFlag {
 			st := h.Stats()
-			fmt.Printf("\nevents=%d inserted=%d edges=%d partitions=%d peakVertices=%d peakPayloads=%d results=%d\n",
-				st.Events, st.Inserted, st.Edges, st.Partitions, st.PeakVertices, st.PeakPayloads, st.Results)
+			fmt.Printf("\nevents=%d inserted=%d edges=%d partitions=%d peakVertices=%d peakPayloads=%d results=%d shared=%d\n",
+				st.Events, st.Inserted, st.Edges, st.Partitions, st.PeakVertices, st.PeakPayloads, st.Results, st.SharedStatements)
 			// Edge-traversal cost split: per-vertex candidate visits vs O(1)
 			// summary folds (each covering any number of edges) vs lazy
 			// watermark-driven summary rebuilds.

@@ -51,7 +51,9 @@
 package greta
 
 import (
+	"cmp"
 	"context"
+	"slices"
 
 	"github.com/greta-cep/greta/internal/aggregate"
 	"github.com/greta-cep/greta/internal/core"
@@ -164,7 +166,9 @@ func (s *Statement) Query() string { return s.query.String() }
 // across many concurrent statements and support mid-stream lifecycle.
 func (s *Statement) NewEngine() *Engine {
 	rt := NewRuntime()
-	h, err := rt.Register(s)
+	// Sharing is off for the shim: SetTransactional mutates the engine
+	// after registration, which a shared graph must never absorb.
+	h, err := rt.Register(s, WithSharing(false))
 	if err != nil {
 		// A fresh runtime cannot be closed or running.
 		panic(err)
@@ -229,8 +233,19 @@ func (e *Engine) SetTransactional(on bool) { e.inner.SetTransactional(on) }
 // drive the Runtime directly if you need explicit end-of-life control).
 func (e *Engine) Flush() { _ = e.rt.Close() }
 
-// Results returns all emitted results sorted by (group, window).
-func (e *Engine) Results() []Result { return e.inner.Results() }
+// Results returns all emitted results sorted by (group, window),
+// served from the handle's delivery buffer — the engine itself may run
+// without retention.
+func (e *Engine) Results() []Result {
+	rs := e.h.bufferedResults()
+	slices.SortFunc(rs, func(a, b Result) int {
+		if c := cmp.Compare(a.Group, b.Group); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Wid, b.Wid)
+	})
+	return rs
+}
 
 // Stats returns runtime statistics.
 func (e *Engine) Stats() Stats { return e.inner.Stats() }

@@ -43,21 +43,31 @@ func TestNoHotPathAllocs(t *testing.T) {
 	t.Run("vertex-scan", func(t *testing.T) { testNoHotPathAllocs(t, true) })
 	t.Run("negation-fold", testNoHotPathAllocsNegation)
 	t.Run("multi-statement", testNoHotPathAllocsMultiStatement)
+	t.Run("shared-statements", testNoHotPathAllocsSharedStatements)
 }
 
-// testNoHotPathAllocsMultiStatement guards the Runtime's shared ingest:
-// steady-state Process with three registered statements over the same
-// partition attributes must stay zero-alloc — the routing hash is
-// computed once for the shared signature and each statement's engine
-// runs its own 0-alloc path against untouched per-spec pools.
+// testNoHotPathAllocsMultiStatement guards the Runtime's shared ingest
+// across MANY distinct route signatures: steady-state Process with six
+// registered statements over six different partition-attribute lists
+// must stay zero-alloc — one hash per signature per event, no per-event
+// hash array spilling to the heap, and each statement's engine on its
+// own 0-alloc path against untouched per-spec pools.
 func testNoHotPathAllocsMultiStatement(t *testing.T) {
 	srcs := []string{
+		// Six distinct partition-attribute signatures (group-by attrs
+		// lead, equivalence attrs follow).
 		"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ " +
-			"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000",
+			"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000", // [company company]
 		"RETURN COUNT(*), MIN(S.price) PATTERN Stock S+ " +
-			"WHERE [company] AND S.price < NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000",
+			"WHERE S.price < NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000", // [company]
 		"RETURN SUM(S.price) PATTERN Stock S+ " +
-			"WHERE [company] GROUP-BY company WITHIN 1000 SLIDE 1000",
+			"WHERE [price] AND S.price >= NEXT(S).price WITHIN 1000 SLIDE 1000", // [price]
+		"RETURN COUNT(*) PATTERN Stock S+ " +
+			"WHERE [price] AND S.price >= NEXT(S).price GROUP-BY price WITHIN 1000 SLIDE 1000", // [price price]
+		"RETURN COUNT(*) PATTERN Stock S+ " +
+			"WHERE [price] AND S.price >= NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000", // [company price]
+		"RETURN COUNT(*) PATTERN Stock S+ " +
+			"WHERE S.price > NEXT(S).price WITHIN 1000 SLIDE 1000", // [] (ungrouped)
 	}
 	rt := NewRuntime()
 	stmts := make([]*Stmt, len(srcs))
@@ -71,10 +81,12 @@ func testNoHotPathAllocsMultiStatement(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// All three statements share one partition-attribute signature, so
-	// the ingest hashes each event exactly once.
-	if got := rt.RouteGroups(); got != 1 {
-		t.Fatalf("route groups = %d, want 1 (shared hash)", got)
+	// Six statements, six distinct partition-attribute signatures: one
+	// hash each per event, all computed inline (the parallel path's
+	// pooled spill for > 4 signatures is covered by
+	// TestRuntimeParallelManySignatures).
+	if got := rt.RouteGroups(); got != len(srcs) {
+		t.Fatalf("route groups = %d, want %d (distinct hashes)", got, len(srcs))
 	}
 
 	// Warmup: expire panes so every statement's per-spec pools are
@@ -118,6 +130,74 @@ func testNoHotPathAllocsMultiStatement(t *testing.T) {
 		if after.Edges == before[i].Edges {
 			t.Fatalf("statement %d traversed no edges", i)
 		}
+	}
+}
+
+// testNoHotPathAllocsSharedStatements guards the shared sub-plan
+// network's steady state: four statements with divergent RETURN
+// clauses collapsed onto ONE shared graph must process events with
+// zero allocations — the union-definition payloads come from the same
+// per-spec pools, and the per-subscriber fan-out only runs at window
+// close, never on the per-event path.
+func testNoHotPathAllocsSharedStatements(t *testing.T) {
+	rest := "PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000"
+	srcs := []string{
+		"RETURN COUNT(*) " + rest,
+		"RETURN COUNT(*), SUM(S.price) " + rest,
+		"RETURN MIN(S.price), MAX(S.price) " + rest,
+		"RETURN AVG(S.price) " + rest,
+	}
+	rt := NewRuntime()
+	stmts := make([]*Stmt, len(srcs))
+	for i, src := range srcs {
+		plan, err := NewPlan(query.MustParse(src), aggregate.ModeNative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts[i], err = rt.Register(plan, StmtConfig{Share: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs := rt.Stats(); rs.SharedGraphs != 1 || rs.SharedStatements != len(srcs) {
+		t.Fatalf("sharing did not engage: %+v", rs)
+	}
+
+	id := uint64(0)
+	price := func(i uint64) float64 { return float64(1000 - i%7) }
+	for i := 0; i < 21000; i++ {
+		id++
+		if err := rt.Process(allocStockEvent(id, event.Time(i/10), "c0", price(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const runs = 300
+	evs := make([]*event.Event, runs)
+	for i := range evs {
+		id++
+		evs[i] = allocStockEvent(id, event.Time(2100+i), "c0", price(id))
+	}
+	before := stmts[0].Stats()
+	i := 0
+	avg := testing.AllocsPerRun(runs-1, func() {
+		if err := rt.Process(evs[i]); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state shared-statement Process allocates %.2f objects/op, want 0", avg)
+	}
+	after := stmts[0].Stats()
+	if got := after.Inserted - before.Inserted; got < runs {
+		t.Fatalf("shared graph inserted %d vertices in measured loop, want >= %d", got, runs)
+	}
+	if after.Edges == before.Edges {
+		t.Fatal("shared graph traversed no edges")
+	}
+	if after.SummaryFolds == before.SummaryFolds {
+		t.Fatal("shared graph took no summary folds (fast path not exercised)")
 	}
 }
 

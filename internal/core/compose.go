@@ -74,7 +74,10 @@ func (e *Engine) composeResults() {
 		for _, ss := range e.plan.Specs {
 			r.Values = append(r.Values, def.Value(payload, ss.Spec, ss.Slot, ss.Slot2))
 		}
-		e.results = append(e.results, r)
+		e.emitted++
+		if !e.noRetain {
+			e.results = append(e.results, r)
+		}
 		if e.onResult != nil {
 			e.onResult(r)
 		}

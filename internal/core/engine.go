@@ -59,7 +59,16 @@ type Stats struct {
 	PeakVertices    uint64
 	PeakPayloads    uint64
 	Partitions      int
-	Results         int
+	// Results counts emitted results. It is a counter, not len(results):
+	// a statement registered without retention still reports every
+	// emission here.
+	Results int
+	// SharedStatements is the number of statements served by this
+	// statement's graph through the shared sub-plan network, including
+	// itself; 0 for a statement owning its engine exclusively. Set at
+	// the statement level (Stmt.Stats) — engines do not know their
+	// subscribers.
+	SharedStatements int
 }
 
 // partition holds the dependent GRETA graphs of one stream partition
@@ -142,6 +151,9 @@ type Engine struct {
 
 	onResult func(Result)
 	results  []Result
+	// emitted counts emissions independently of retention (Stats.Results
+	// must not collapse to zero when noRetain drops the slice).
+	emitted int
 
 	stats Stats
 }
@@ -563,6 +575,7 @@ func (e *Engine) emit(group string, wid int64, payload *aggregate.Payload) {
 	for _, ss := range e.plan.Specs {
 		r.Values = append(r.Values, def.Value(payload, ss.Spec, ss.Slot, ss.Slot2))
 	}
+	e.emitted++
 	if !e.noRetain {
 		e.results = append(e.results, r)
 	}
@@ -678,6 +691,55 @@ func (e *Engine) Flush() {
 	sortResults(e.results)
 }
 
+// peekFlushInto visits every open window's final aggregate without
+// consuming engine state: window payloads are peeked (cloned) per
+// partition, merged per output group exactly as closeWindow would, and
+// handed to fan in (wid, group) order. A shared subscriber detaching
+// mid-stream flushes through it, so the surviving subscribers see the
+// graph — open windows, pane state, watermarks — completely untouched.
+// Only valid for simple dependency-free plans (the only ones the
+// shared network admits): those have no pending invalidation records
+// to fold and no lazy finals to compute, so the peek is exact.
+func (e *Engine) peekFlushInto(fan func(group string, wid int64, payload *aggregate.Payload)) {
+	if !e.plan.Simple() {
+		return
+	}
+	def := e.plan.Def()
+	widSet := map[int64]bool{}
+	for _, p := range e.partList {
+		for _, wid := range p.graphs[0].OpenWids() {
+			widSet[wid] = true
+		}
+	}
+	wids := make([]int64, 0, len(widSet))
+	for wid := range widSet {
+		wids = append(wids, wid)
+	}
+	slices.Sort(wids)
+	for _, wid := range wids {
+		merged := map[string]*aggregate.Payload{}
+		for _, p := range e.partList {
+			pl := p.graphs[0].PeekWindow(wid)
+			if pl == nil {
+				continue
+			}
+			if cur := merged[p.group]; cur == nil {
+				merged[p.group] = pl
+			} else {
+				def.Merge(cur, pl)
+			}
+		}
+		groups := make([]string, 0, len(merged))
+		for g := range merged {
+			groups = append(groups, g)
+		}
+		slices.Sort(groups)
+		for _, g := range groups {
+			fan(g, wid, merged[g])
+		}
+	}
+}
+
 // Results returns all emitted results sorted by (group, wid).
 func (e *Engine) Results() []Result {
 	return e.results
@@ -717,7 +779,7 @@ func (e *Engine) Stats() Stats {
 			s.PeakVertices += ps.PeakVertices
 			s.PeakPayloads += ps.PeakPayloads
 		}
-		s.Results = len(e.results)
+		s.Results = e.emitted
 		return s
 	}
 	s.Partitions = len(e.partList)
@@ -743,7 +805,7 @@ func (e *Engine) Stats() Stats {
 	if pays > s.PeakPayloads {
 		s.PeakPayloads = pays
 	}
-	s.Results = len(e.results)
+	s.Results = e.emitted
 	return s
 }
 

@@ -1225,6 +1225,24 @@ func (g *Graph) CollectWindow(wid int64) *aggregate.Payload {
 	return r
 }
 
+// PeekWindow returns a clone of the window's final aggregate as
+// CollectWindow would compute it, without consuming any graph state —
+// the window stays open and later events keep extending it. Only valid
+// for graphs whose finals are maintained incrementally (no Case-2
+// dependency): the shared sub-plan network, its only caller, admits no
+// dependency links at all, so the incremental map is always current.
+// Returns nil when the window holds no finished trends.
+func (g *Graph) PeekWindow(wid int64) *aggregate.Payload {
+	if g.spec.Negative || g.lazyFinal || !g.endWids[wid] {
+		return nil
+	}
+	r := g.results[wid]
+	if r == nil || r.Zero() {
+		return nil
+	}
+	return g.def.Clone(r)
+}
+
 // OpenWids lists windows that still hold uncollected results.
 func (g *Graph) OpenWids() []int64 {
 	wids := make([]int64, 0, len(g.endWids))

@@ -33,22 +33,34 @@ func (rt *Runtime) RunParallel(ctx context.Context, s event.Stream, workers int)
 		rt.mu.Unlock()
 		return ErrClosed
 	}
-	// Snapshot the parallel-eligible statements: simple partitioned
-	// plans. Everything else (composite plans, ungrouped queries) is
-	// processed inline on the coordinator, exactly as sequentially.
+	// Snapshot the parallel units: simple partitioned plans, with the
+	// subscribers of a shared graph collapsed onto the graph's host
+	// statement (the engine runs once per graph, and the fan-out
+	// delivers per subscriber). Everything else (composite plans,
+	// ungrouped queries) is processed inline on the coordinator,
+	// exactly as sequentially.
 	var parStmts []*Stmt
 	var inline []*Stmt
 	groupIdx := map[*routeGroup]int{}
 	var groups []*routeGroup
+	seenEntry := map[*sharedEntry]bool{}
 	for _, st := range rt.stmts {
-		if st.grp != nil && len(st.grp.acc) > 0 {
-			if _, ok := groupIdx[st.grp]; !ok {
-				groupIdx[st.grp] = len(groups)
-				groups = append(groups, st.grp)
+		unit := st
+		if st.entry != nil {
+			if seenEntry[st.entry] {
+				continue
 			}
-			parStmts = append(parStmts, st)
+			seenEntry[st.entry] = true
+			unit = st.entry.host
+		}
+		if unit.grp != nil && len(unit.grp.acc) > 0 {
+			if _, ok := groupIdx[unit.grp]; !ok {
+				groupIdx[unit.grp] = len(groups)
+				groups = append(groups, unit.grp)
+			}
+			parStmts = append(parStmts, unit)
 		} else {
-			inline = append(inline, st)
+			inline = append(inline, unit)
 		}
 	}
 	// The per-worker event mask carries one bit per route group.
@@ -81,16 +93,34 @@ const (
 // selects which route groups this worker processes it for) or a
 // per-statement window barrier. Per-group routing hashes ride in the
 // inline hsArr for up to len(hsArr) groups — the common case, kept
-// allocation-free — and spill to the shared read-only hs slice beyond.
+// allocation-free — and spill to a pooled, refcounted hash array
+// beyond (shared read-only by every targeted worker, recycled when the
+// last one is done — no per-event heap allocation either way).
 type parMsg struct {
 	kind  uint8
 	ev    *event.Event
 	hsArr [4]uint64
-	hs    []uint64 // per-group hashes when len(groups) > len(hsArr)
-	mask  uint64   // bit per route group
-	si    int      // barrier: statement index
+	spill *hashSpill // per-group hashes when len(groups) > len(hsArr)
+	mask  uint64     // bit per route group
+	si    int        // barrier: statement index
 	t     event.Time
 	hi    int64 // barrier: highest window id closed by t
+}
+
+// hashSpill is a pooled per-event hash array for runs with more route
+// groups than parMsg's inline array holds. The coordinator fills it,
+// sets refs to the number of targeted workers, and every worker
+// releases once after processing; the last release recycles it.
+type hashSpill struct {
+	hs   []uint64
+	refs atomic.Int32
+}
+
+// release returns the spill to its pool when the last worker is done.
+func (sp *hashSpill) release(pool *sync.Pool) {
+	if sp != nil && sp.refs.Add(-1) == 0 {
+		pool.Put(sp)
+	}
 }
 
 // mergeMsg is one worker→merger message: a per-window partial result,
@@ -126,6 +156,11 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 	mergeCh := make(chan mergeMsg, 1024)
 	chans := make([]chan parMsg, workers)
 	engines := make([][]*Engine, workers) // [worker][statement]
+	// spills recycles the per-event hash arrays of >len(hsArr)-group
+	// runs between the coordinator and the workers.
+	spills := &sync.Pool{New: func() any {
+		return &hashSpill{hs: make([]uint64, len(groups))}
+	}}
 	var abort atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -150,8 +185,8 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 							continue
 						}
 						var h uint64
-						if m.hs != nil { // spilled: more groups than hsArr holds
-							h = m.hs[gi]
+						if m.spill != nil { // spilled: more groups than hsArr holds
+							h = m.spill.hs[gi]
 						} else {
 							h = m.hsArr[gi]
 						}
@@ -159,6 +194,7 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 							engines[w][si].ProcessRouted(m.ev, h)
 						}
 					}
+					m.spill.release(spills)
 				case pmBarrier:
 					engines[w][m.si].AdvanceTo(m.t)
 					mergeCh <- mergeMsg{w: w, si: m.si, ack: true, hi: m.hi}
@@ -179,7 +215,7 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 	var debug parallelDebug
 	go mergeLoop(mergeCh, mergerDone, parStmts, workers, &abort, &debug)
 
-	err := feedWorkers(ctx, s, workers, parStmts, inline, groups, chans, &abort)
+	err := feedWorkers(ctx, s, workers, parStmts, inline, groups, chans, spills, &abort)
 
 	for _, c := range chans {
 		close(c)
@@ -208,7 +244,8 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 // barriers for statements whose windows the event closes, and sends
 // the event to the workers owning the targeted partitions.
 func feedWorkers(ctx context.Context, s event.Stream, workers int,
-	parStmts, inline []*Stmt, groups []*routeGroup, chans []chan parMsg, abort *atomic.Bool) error {
+	parStmts, inline []*Stmt, groups []*routeGroup, chans []chan parMsg,
+	spills *sync.Pool, abort *atomic.Bool) error {
 	done := ctx.Done()
 	masks := make([]uint64, workers)
 	touched := make([]int, 0, workers)
@@ -262,18 +299,19 @@ func feedWorkers(ctx context.Context, s event.Stream, workers int,
 			continue
 		}
 		// Multi-signature fan-out: one hash per group, one message per
-		// distinct target worker. Up to len(hsArr) groups ride inline
-		// (no per-event allocation); larger fleets share one spill slice.
+		// distinct target worker. Up to len(hsArr) groups ride inline;
+		// larger fleets share one pooled, refcounted spill array —
+		// neither path allocates per event.
 		var hsArr [4]uint64
-		var hs []uint64
+		var spill *hashSpill
 		if len(groups) > len(hsArr) {
-			hs = make([]uint64, len(groups))
+			spill = spills.Get().(*hashSpill)
 		}
 		touched = touched[:0]
 		for gi, g := range groups {
 			h := hashRoute(g.acc, ev)
-			if hs != nil {
-				hs[gi] = h
+			if spill != nil {
+				spill.hs[gi] = h
 			} else {
 				hsArr[gi] = h
 			}
@@ -283,8 +321,11 @@ func feedWorkers(ctx context.Context, s event.Stream, workers int,
 			}
 			masks[w] |= 1 << uint(gi)
 		}
+		if spill != nil {
+			spill.refs.Store(int32(len(touched)))
+		}
 		for _, w := range touched {
-			chans[w] <- parMsg{kind: pmEvent, ev: ev, hsArr: hsArr, hs: hs, mask: masks[w]}
+			chans[w] <- parMsg{kind: pmEvent, ev: ev, hsArr: hsArr, spill: spill, mask: masks[w]}
 			masks[w] = 0
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/share"
 )
 
 // Sentinel errors returned by Runtime operations.
@@ -53,6 +54,12 @@ type Runtime struct {
 	direct []*Stmt
 	stmts  []*Stmt // all live statements, registration order
 
+	// shareIdx is the shared sub-plan network: statements whose
+	// trend-formation signatures match are served by one engine (see
+	// share.go). Epochs advance once per processed event, so only
+	// provably cold graphs accept new subscribers.
+	shareIdx *share.Index[*shareRec]
+
 	nextID int
 
 	// parDebug captures streaming-merge instrumentation from the last
@@ -68,16 +75,37 @@ type routeGroup struct {
 	members []*Stmt
 }
 
-// Stmt is one registered statement: a plan, its engine, and its
-// lifecycle state inside a Runtime.
+// Stmt is one registered statement: a plan, its engine (exclusive or
+// shared), and its lifecycle state inside a Runtime.
 type Stmt struct {
 	rt  *Runtime
 	id  string
 	eng *Engine
-	grp *routeGroup // nil for composite plans
+	grp *routeGroup // nil for composite plans and shared subscribers
 
-	// win mirrors the plan's window spec; parPrev is the coordinator's
-	// per-statement window-close cursor during RunParallel.
+	// srcPlan is the plan the statement registered with; the shared
+	// network replans its RETURN slots into union definitions.
+	srcPlan *Plan
+
+	// Shared-subscriber state: the entry whose engine serves this
+	// statement, the statement's RETURN slot mapping into the union
+	// payload, its own delivered results (the shared engine retains
+	// none), and the stats snapshot frozen when it detaches from a
+	// still-running shared graph.
+	entry       *sharedEntry
+	outs        []share.Output
+	results     []Result
+	resultCount int
+	frozen      *Stats
+	// shareNode records an exclusive statement as its signature's
+	// attachable candidate.
+	shareNode *share.Node[*shareRec]
+
+	noRetain bool
+	onRes    func(Result)
+
+	// parPrev is the coordinator's per-statement window-close cursor
+	// during RunParallel.
 	parPrev event.Time
 
 	closed  bool
@@ -86,7 +114,7 @@ type Stmt struct {
 
 // NewRuntime builds an empty runtime.
 func NewRuntime() *Runtime {
-	return &Runtime{watermark: -1}
+	return &Runtime{watermark: -1, shareIdx: share.NewIndex[*shareRec]()}
 }
 
 // StmtConfig carries per-registration options.
@@ -94,16 +122,30 @@ type StmtConfig struct {
 	// ID names the statement (result tagging); empty picks "q<n>".
 	ID string
 	// Transactional enables the §7 stream-transaction scheduler for
-	// this statement's engine.
+	// this statement's engine (and disqualifies it from sharing).
 	Transactional bool
 	// ForceVertexScan disables the summary fast path (differential
-	// tests and debugging).
+	// tests and debugging). Part of the sharing signature: forced and
+	// folding statements never share a graph.
 	ForceVertexScan bool
+	// Share enters the statement into the shared sub-plan network:
+	// statements whose trend-formation signatures match (pattern,
+	// predicates, window, partition-by, semantics, mode — everything
+	// but the RETURN aggregates) are served by one shared graph.
+	Share bool
+	// NoRetain drops results after delivery (OnResult callback and the
+	// per-statement fan-out) instead of retaining them for Results(),
+	// bounding memory on unbounded streams. Stats.Results still counts
+	// every emission.
+	NoRetain bool
 }
 
 // Register instantiates an engine for plan and attaches it to the
 // shared ingest. The statement sees events from the current watermark
 // onward; windows that ended before registration are never emitted.
+// With cfg.Share set, the statement may attach to (or become the
+// candidate for) a shared graph serving every statement with the same
+// trend-formation signature.
 func (rt *Runtime) Register(plan *Plan, cfg StmtConfig) (*Stmt, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -113,10 +155,13 @@ func (rt *Runtime) Register(plan *Plan, cfg StmtConfig) (*Stmt, error) {
 	if cfg.ID != "" && rt.hasID(cfg.ID) {
 		return nil, fmt.Errorf("greta: statement id %q already registered", cfg.ID)
 	}
-	eng := NewEngine(plan)
-	eng.SetTransactional(cfg.Transactional)
-	eng.SetForceVertexScan(cfg.ForceVertexScan)
-	return rt.adoptLocked(eng, cfg.ID), nil
+	if cfg.Share && shareable(plan, cfg) {
+		return rt.registerShared(plan, cfg, shareKeyOf(plan, cfg))
+	}
+	st := rt.adoptLocked(newStmtEngine(plan, cfg), cfg.ID)
+	st.srcPlan = plan
+	st.noRetain = cfg.NoRetain
+	return st, nil
 }
 
 // adopt attaches an existing (fresh, never-processed) engine as a
@@ -155,18 +200,24 @@ func (rt *Runtime) hasID(id string) bool {
 	return false
 }
 
-// adoptLocked wires an engine into the route groups; rt.mu held. The
-// caller has already rejected duplicate explicit ids; generated ids
-// skip any the user claimed.
-func (rt *Runtime) adoptLocked(eng *Engine, id string) *Stmt {
+// enrollLocked assigns the statement's id and adds it to the live set;
+// rt.mu held. The caller has already rejected duplicate explicit ids;
+// generated ids skip any the user claimed.
+func (rt *Runtime) enrollLocked(st *Stmt, id string) {
 	for id == "" || rt.hasID(id) {
 		id = fmt.Sprintf("q%d", rt.nextID)
 		rt.nextID++
 	}
+	st.id = id
+	rt.stmts = append(rt.stmts, st)
+}
+
+// adoptLocked wires an engine into the route groups; rt.mu held.
+func (rt *Runtime) adoptLocked(eng *Engine, id string) *Stmt {
 	if rt.watermark >= 0 {
 		eng.setWatermark(rt.watermark)
 	}
-	st := &Stmt{rt: rt, id: id, eng: eng, parPrev: rt.watermark}
+	st := &Stmt{rt: rt, eng: eng, parPrev: rt.watermark}
 	if plan := eng.plan; plan.Simple() {
 		sig := strings.Join(eng.partAttrs, "\x1f")
 		var grp *routeGroup
@@ -188,7 +239,7 @@ func (rt *Runtime) adoptLocked(eng *Engine, id string) *Stmt {
 	} else {
 		rt.direct = append(rt.direct, st)
 	}
-	rt.stmts = append(rt.stmts, st)
+	rt.enrollLocked(st, id)
 	return st
 }
 
@@ -211,6 +262,10 @@ func (rt *Runtime) process(ev *event.Event) error {
 	if rt.running {
 		return ErrRunning
 	}
+	// A new ingest epoch: every engine sees this event (even a dropped
+	// one is counted), so no existing graph is cold any more and none
+	// may accept new shared subscribers.
+	rt.shareIdx.Advance()
 	late := ev.Time < rt.watermark
 	// Forward even when late: each engine's own cursor rejects the
 	// event and counts the drop in its stats, exactly as the
@@ -280,6 +335,38 @@ func (rt *Runtime) RouteGroups() int {
 	return len(rt.groups)
 }
 
+// RuntimeStats summarizes the runtime's multi-query topology: how many
+// statements are registered, how many distinct routing hashes the
+// ingest computes per event, and how far the shared sub-plan network
+// collapsed the statement set — SharedStatements statements are served
+// by SharedGraphs shared graphs (the remaining statements own private
+// engines). SharedGraphs < SharedStatements means sharing is engaged.
+type RuntimeStats struct {
+	Statements       int
+	RouteGroups      int
+	SharedStatements int
+	SharedGraphs     int
+}
+
+// Stats reports the runtime's current multi-query topology.
+func (rt *Runtime) Stats() RuntimeStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rs := RuntimeStats{Statements: len(rt.stmts), RouteGroups: len(rt.groups)}
+	seen := map[*sharedEntry]bool{}
+	for _, st := range rt.stmts {
+		if st.entry == nil {
+			continue
+		}
+		rs.SharedStatements++
+		if !seen[st.entry] {
+			seen[st.entry] = true
+			rs.SharedGraphs++
+		}
+	}
+	return rs
+}
+
 // ParallelDebug reports streaming-merge instrumentation from the last
 // RunParallel: the peak number of simultaneously pending (unmerged)
 // windows in the merger, and the total results still buffered in
@@ -314,17 +401,80 @@ func (rt *Runtime) Close() error {
 // ID returns the statement's identifier.
 func (st *Stmt) ID() string { return st.id }
 
-// Engine exposes the statement's engine (results, stats, DOT).
+// Engine exposes the statement's engine (stats, DOT). For a shared
+// subscriber this is the shared engine — it retains no results; use
+// Stmt.Results and Stmt.Stats for the per-statement view.
 func (st *Stmt) Engine() *Engine { return st.eng }
 
 // OnClose registers a hook invoked after the statement's final flush —
 // the greta layer uses it to terminate streaming result iterators.
 func (st *Stmt) OnClose(f func()) { st.onClose = f }
 
+// OnResult registers the statement's result callback. It survives
+// promotion into a shared graph, unlike a callback set directly on the
+// statement's (replaceable) engine — always prefer it over
+// Engine.OnResult when working through a Runtime.
+func (st *Stmt) OnResult(f func(Result)) {
+	st.onRes = f
+	if st.entry == nil {
+		st.eng.OnResult(st.fire)
+	}
+}
+
+// fire forwards an exclusive engine's emission to the statement
+// callback.
+func (st *Stmt) fire(r Result) {
+	if st.onRes != nil {
+		st.onRes(r)
+	}
+}
+
+// deliver records and forwards one result destined for this statement
+// (shared fan-out and detach flush).
+func (st *Stmt) deliver(r Result) {
+	if !st.noRetain {
+		st.results = append(st.results, r)
+	}
+	st.resultCount++
+	if st.onRes != nil {
+		st.onRes(r)
+	}
+}
+
+// Results returns the statement's emitted results sorted by
+// (group, wid): the engine's for an exclusive statement, the
+// statement's own fan-out buffer for a shared subscriber. Empty when
+// the statement registered with NoRetain.
+func (st *Stmt) Results() []Result {
+	if st.entry != nil {
+		return st.results
+	}
+	return st.eng.Results()
+}
+
+// Stats returns the statement's runtime statistics. A shared
+// subscriber reports the shared engine's counters — identical to what
+// a private engine over the same stream would have accumulated — plus
+// its own Results count and the number of statements sharing the
+// graph; a subscriber that detached mid-stream reports the snapshot
+// frozen at its close.
+func (st *Stmt) Stats() Stats {
+	if st.frozen != nil {
+		return *st.frozen
+	}
+	s := st.eng.Stats()
+	if st.entry != nil {
+		s.Results = st.resultCount
+		s.SharedStatements = len(st.entry.subs)
+	}
+	return s
+}
+
 // Close detaches the statement from the shared ingest, flushing its
 // open windows (their results are emitted through the usual delivery
-// path). Other statements are not perturbed. Idempotent; returns
-// ErrStatementClosed if already closed.
+// path). Other statements are not perturbed — a shared subscriber's
+// flush peeks the shared graph without consuming it. Idempotent;
+// returns ErrStatementClosed if already closed.
 func (st *Stmt) Close() error {
 	st.rt.mu.Lock()
 	defer st.rt.mu.Unlock()
@@ -333,6 +483,40 @@ func (st *Stmt) Close() error {
 	}
 	if st.rt.running {
 		return ErrRunning
+	}
+	if e := st.entry; e != nil {
+		if len(e.subs) == 1 {
+			// Last subscriber: the shared graph dies with it, so the
+			// destructive flush delivers through the ordinary fan-out.
+			e.flushFinal()
+			e.subs = nil
+			st.rt.shareIdx.Retire(e.node)
+			if e.host.grp != nil {
+				e.host.grp.members = deleteStmt(e.host.grp.members, e.host)
+			}
+		} else {
+			// Survivors remain: emit this subscriber's open windows from a
+			// non-destructive peek, then freeze its stats — the shared
+			// engine keeps evolving for the others.
+			e.detachFlush(st)
+			s := st.eng.Stats()
+			s.Results = st.resultCount
+			s.SharedStatements = len(e.subs)
+			st.frozen = &s
+			e.subs = deleteStmt(e.subs, st)
+		}
+		st.rt.stmts = deleteStmt(st.rt.stmts, st)
+		st.closed = true
+		sortResults(st.results)
+		if st.onClose != nil {
+			st.onClose()
+		}
+		return nil
+	}
+	if st.shareNode != nil {
+		// The signature's candidate is gone; a later same-signature
+		// registration starts fresh.
+		st.rt.shareIdx.Retire(st.shareNode)
 	}
 	if st.grp != nil {
 		st.grp.members = deleteStmt(st.grp.members, st)
@@ -345,13 +529,20 @@ func (st *Stmt) Close() error {
 }
 
 // finish flushes and marks the statement closed. Caller holds rt.mu
-// (or exclusive ownership during Close/RunParallel teardown).
+// (or exclusive ownership during Close/RunParallel teardown). Shared
+// subscribers flush their entry's engine once — the fan-out delivers
+// the final windows to every subscriber still attached.
 func (st *Stmt) finish() {
 	if st.closed {
 		return
 	}
 	st.closed = true
-	st.eng.Flush()
+	if st.entry != nil {
+		st.entry.flushFinal()
+		sortResults(st.results)
+	} else {
+		st.eng.Flush()
+	}
 	if st.onClose != nil {
 		st.onClose()
 	}

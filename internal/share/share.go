@@ -1,0 +1,230 @@
+// Package share implements the shared sub-plan network that lets a
+// Runtime serve many statements from one GRETA graph (the Rete
+// insight applied to event trend aggregation: statements whose
+// trend-formation plans coincide reuse one alpha/beta network instead
+// of evaluating private copies).
+//
+// The package owns the three mechanisms that make sharing safe and
+// the runtime composes:
+//
+//   - Signature: the canonical trend-formation identity of a compiled
+//     statement — pattern shape, predicate set, window WITHIN/SLIDE,
+//     partition-by attributes, event selection semantics, arithmetic
+//     mode, and scan discipline. Two statements with equal signatures
+//     form bit-identical trend sets over any stream; only their RETURN
+//     aggregates may diverge.
+//
+//   - Index: an epoch-gated intern table from signature keys to share
+//     nodes. A node is attachable only while the ingest epoch it was
+//     created in is still current (no event has been processed since):
+//     a statement registered mid-stream must never join a warm graph,
+//     because its PR-4 watermark contract says it sees only events
+//     from its registration watermark on — it opens a new node (a new
+//     shared graph seeded at that watermark) instead.
+//
+//   - Output fan-out: per-subscriber RETURN aggregates planned into
+//     the shared graph's union aggregation definition. The shared
+//     graph maintains one payload per (vertex, window) covering the
+//     union of all subscribers' slots; at window close each
+//     subscriber's final values are extracted from the same payload
+//     through its own slot mapping.
+//
+// The package deliberately knows nothing about engines or graphs (the
+// core package instantiates Index with its own entry type), so the
+// sharing policy is testable in isolation.
+package share
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// Signature is the canonical trend-formation identity of a statement:
+// everything that influences which trends form and how they are
+// scanned, and nothing that only influences what is returned per
+// trend set. Statements with equal signatures may share one graph;
+// their RETURN clauses fan out through Output mappings.
+type Signature struct {
+	// Pattern is the canonical pattern text (aliases included: two
+	// patterns spelled with different aliases conservatively do not
+	// share, since predicates reference aliases).
+	Pattern string
+	// Where is the canonical predicate conjunction, in query order
+	// (conservative: reordered conjuncts change the Vertex Tree sort
+	// attribute selection and therefore the scan stats).
+	Where string
+	// Equiv and GroupBy are the partition-by attribute lists, in query
+	// order (their concatenation is the routing signature).
+	Equiv   string
+	GroupBy string
+	// Within and Slide identify the window plan.
+	Within, Slide int64
+	// Semantics is the event selection semantics.
+	Semantics string
+	// MinLen is the minimal-trend-length constraint (unrolled into the
+	// pattern by the planner, so it shapes the template).
+	MinLen int
+	// Mode is the aggregation arithmetic (native or exact).
+	Mode uint8
+	// ForceScan pins the scan discipline: a forced per-vertex engine
+	// and a summary-folding engine produce identical results but
+	// different traversal stats, so they do not share.
+	ForceScan bool
+}
+
+// SignatureOf canonicalizes a parsed query (plus the per-registration
+// knobs that shape execution) into its sharing signature.
+func SignatureOf(q *query.Query, mode aggregate.Mode, forceScan bool) Signature {
+	sig := Signature{
+		Pattern:   q.Pattern.String(),
+		Equiv:     strings.Join(q.Equivalence, ","),
+		GroupBy:   strings.Join(q.GroupBy, ","),
+		Within:    int64(q.Window.Within),
+		Slide:     int64(q.Window.Slide),
+		Semantics: q.Semantics.String(),
+		MinLen:    q.MinLen,
+		Mode:      uint8(mode),
+		ForceScan: forceScan,
+	}
+	if q.Where != nil {
+		sig.Where = q.Where.String()
+	}
+	return sig
+}
+
+// Key renders the signature as an intern-table key.
+func (s Signature) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.Pattern) + len(s.Where) + len(s.Equiv) + len(s.GroupBy) + 32)
+	for i, part := range []string{s.Pattern, s.Where, s.Equiv, s.GroupBy, s.Semantics} {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(part)
+	}
+	b.WriteByte('\x1f')
+	b.WriteString(strconv.FormatInt(s.Within, 10))
+	b.WriteByte('\x1f')
+	b.WriteString(strconv.FormatInt(s.Slide, 10))
+	b.WriteByte('\x1f')
+	b.WriteString(strconv.Itoa(s.MinLen))
+	b.WriteByte('\x1f')
+	b.WriteString(strconv.Itoa(int(s.Mode)))
+	if s.ForceScan {
+		b.WriteString("\x1fforce")
+	}
+	return b.String()
+}
+
+// Node is one interned sub-plan: the shared network's handle on a
+// candidate or promoted shared graph of type E.
+type Node[E any] struct {
+	key     string
+	seq     uint64
+	retired bool
+	// Val is the caller's entry (the core package stores its candidate
+	// statement or shared-engine record here).
+	Val E
+}
+
+// Key returns the node's signature key.
+func (n *Node[E]) Key() string { return n.key }
+
+// Index is the epoch-gated intern table of the shared sub-plan
+// network. Advance marks the start of a new ingest epoch (an event was
+// processed); nodes interned in earlier epochs stop being attachable —
+// their graphs are warm, and a warm graph's history would violate a
+// newly registered statement's watermark contract. Warm nodes keep
+// serving their existing subscribers; they simply stop accepting new
+// ones, and a later registration with the same signature interns a
+// fresh node over the stale slot.
+type Index[E any] struct {
+	seq   uint64
+	nodes map[string]*Node[E]
+}
+
+// NewIndex returns an empty index at epoch zero.
+func NewIndex[E any]() *Index[E] {
+	return &Index[E]{nodes: map[string]*Node[E]{}}
+}
+
+// Advance starts a new ingest epoch, making previously interned nodes
+// non-attachable. Call once per processed event (including dropped
+// ones: an engine that counted a drop already diverges from a fresh
+// engine's stats).
+func (ix *Index[E]) Advance() { ix.seq++ }
+
+// Seq returns the current epoch (diagnostics).
+func (ix *Index[E]) Seq() uint64 { return ix.seq }
+
+// Attachable returns the node interned under key if it is still
+// attachable: interned in the current epoch and not retired.
+func (ix *Index[E]) Attachable(key string) (*Node[E], bool) {
+	n := ix.nodes[key]
+	if n == nil || n.retired || n.seq != ix.seq {
+		return nil, false
+	}
+	return n, true
+}
+
+// Put interns val under key at the current epoch, replacing any stale
+// node occupying the slot (the stale node's subscribers keep their
+// pointer; only the index forgets it).
+func (ix *Index[E]) Put(key string, val E) *Node[E] {
+	n := &Node[E]{key: key, seq: ix.seq, Val: val}
+	ix.nodes[key] = n
+	return n
+}
+
+// Retire removes a node from the index (its last subscriber detached,
+// or its graph was flushed). Idempotent; a nil node is ignored.
+func (ix *Index[E]) Retire(n *Node[E]) {
+	if n == nil || n.retired {
+		return
+	}
+	n.retired = true
+	if ix.nodes[n.key] == n {
+		delete(ix.nodes, n.key)
+	}
+}
+
+// Output maps one RETURN aggregate of a subscriber onto the shared
+// graph's union aggregation definition: the aggregate spec plus its
+// slot indices in the union payload (Slot2 carries AVG's count slot).
+type Output struct {
+	Spec  aggregate.Spec
+	Slot  int
+	Slot2 int
+}
+
+// PlanOutputs plans a subscriber's RETURN aggregates into the shared
+// union definition, registering any slots the union does not carry yet
+// (AddSlot deduplicates, so overlapping subscribers reuse slots). Must
+// run before the shared engine is compiled against def: compiled specs
+// snapshot the slot layout.
+func PlanOutputs(def *aggregate.Def, specs []aggregate.Spec) []Output {
+	outs := make([]Output, len(specs))
+	for i, sp := range specs {
+		s1, s2 := def.Plan(sp)
+		outs[i] = Output{Spec: sp, Slot: s1, Slot2: s2}
+	}
+	return outs
+}
+
+// OutputValues extracts one subscriber's final values from a shared
+// union payload. Slot arithmetic is independent per slot, so the
+// values are bit-identical to what a private engine carrying only the
+// subscriber's slots would produce.
+func OutputValues(def *aggregate.Def, p *aggregate.Payload, outs []Output) []float64 {
+	if len(outs) == 0 {
+		return nil
+	}
+	vals := make([]float64, len(outs))
+	for i, o := range outs {
+		vals[i] = def.Value(p, o.Spec, o.Slot, o.Slot2)
+	}
+	return vals
+}

@@ -1,0 +1,121 @@
+package share_test
+
+import (
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/query"
+	"github.com/greta-cep/greta/internal/share"
+)
+
+func key(t *testing.T, src string, mode aggregate.Mode, force bool) string {
+	t.Helper()
+	return share.SignatureOf(query.MustParse(src), mode, force).Key()
+}
+
+// TestSignatureKeys pins the sharing policy: RETURN divergence shares,
+// every trend-formation difference does not.
+func TestSignatureKeys(t *testing.T) {
+	base := "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5"
+	same := []string{
+		// Different RETURN aggregates over the same trend set.
+		"RETURN SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5",
+		"RETURN COUNT(*), MIN(S.price), AVG(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5",
+	}
+	diff := []string{
+		// Pattern shape.
+		"RETURN COUNT(*) PATTERN SEQ(Halt H, Stock S+) WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5",
+		// Predicate set.
+		"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price < NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5",
+		// Equivalence attributes.
+		"RETURN COUNT(*) PATTERN Stock S+ WHERE S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5",
+		// Grouping.
+		"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+		// Window plan.
+		"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 10",
+		"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company",
+		// Selection semantics.
+		"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 20 SLIDE 5 SEMANTICS skip-till-next-match",
+		// Alias renaming (conservative: predicates reference aliases).
+		"RETURN COUNT(*) PATTERN Stock T+ WHERE [company] AND T.price > NEXT(T).price GROUP-BY company WITHIN 20 SLIDE 5",
+	}
+	bk := key(t, base, aggregate.ModeNative, false)
+	for _, src := range same {
+		if got := key(t, src, aggregate.ModeNative, false); got != bk {
+			t.Errorf("RETURN-divergent statement has different key:\n%s\nvs\n%s", got, bk)
+		}
+	}
+	for _, src := range diff {
+		if got := key(t, src, aggregate.ModeNative, false); got == bk {
+			t.Errorf("trend-formation-divergent statement %q shares the key", src)
+		}
+	}
+	// Arithmetic mode and scan discipline split the key too.
+	if key(t, base, aggregate.ModeExact, false) == bk {
+		t.Error("exact-mode statement shares the native key")
+	}
+	if key(t, base, aggregate.ModeNative, true) == bk {
+		t.Error("forced-scan statement shares the folding key")
+	}
+}
+
+// TestIndexEpochs pins the attach window: nodes accept subscribers
+// only until the next event is processed; stale slots are replaced.
+func TestIndexEpochs(t *testing.T) {
+	ix := share.NewIndex[int]()
+	n1 := ix.Put("k", 1)
+	if got, ok := ix.Attachable("k"); !ok || got != n1 {
+		t.Fatal("fresh node must be attachable")
+	}
+	ix.Advance() // an event was processed: the graph is warm
+	if _, ok := ix.Attachable("k"); ok {
+		t.Fatal("warm node must not be attachable")
+	}
+	// A new registration interns a fresh node over the stale slot; the
+	// stale node keeps existing for its subscribers.
+	n2 := ix.Put("k", 2)
+	if got, ok := ix.Attachable("k"); !ok || got != n2 {
+		t.Fatal("replacement node must be attachable")
+	}
+	ix.Retire(n2)
+	if _, ok := ix.Attachable("k"); ok {
+		t.Fatal("retired node must not be attachable")
+	}
+	// Retiring the stale node must not disturb the slot's current owner.
+	n3 := ix.Put("k", 3)
+	ix.Retire(n1)
+	if got, ok := ix.Attachable("k"); !ok || got != n3 {
+		t.Fatal("retiring a stale node evicted the current one")
+	}
+}
+
+// TestOutputFanout pins the union-definition fan-out: subscribers with
+// divergent RETURN clauses read their own slots from one payload, and
+// overlapping slots are shared rather than duplicated.
+func TestOutputFanout(t *testing.T) {
+	def := &aggregate.Def{Mode: aggregate.ModeNative}
+	subA := share.PlanOutputs(def, []aggregate.Spec{
+		{Kind: aggregate.CountStar},
+		{Kind: aggregate.Sum, Type: "Stock", Attr: "price"},
+	})
+	subB := share.PlanOutputs(def, []aggregate.Spec{
+		{Kind: aggregate.Sum, Type: "Stock", Attr: "price"},
+		{Kind: aggregate.Min, Type: "Stock", Attr: "price"},
+	})
+	if len(def.Slots) != 2 {
+		t.Fatalf("union def has %d slots, want 2 (SUM shared, MIN added)", len(def.Slots))
+	}
+	if subA[1].Slot != subB[0].Slot {
+		t.Fatalf("overlapping SUM slot not shared: %d vs %d", subA[1].Slot, subB[0].Slot)
+	}
+	p := def.New()
+	p.Count = 7
+	p.Slots[subA[1].Slot].F = 42.5
+	p.Slots[subB[1].Slot].F = 3.25
+	if got := share.OutputValues(def, p, subA); got[0] != 7 || got[1] != 42.5 {
+		t.Errorf("subscriber A values = %v, want [7 42.5]", got)
+	}
+	if got := share.OutputValues(def, p, subB); got[0] != 42.5 || got[1] != 3.25 {
+		t.Errorf("subscriber B values = %v, want [42.5 3.25]", got)
+	}
+}

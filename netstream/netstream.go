@@ -20,7 +20,13 @@
 //	                                                one may surface from a later command call
 //	server → client   {"warn":"..."}              — non-fatal per-event diagnostics
 //	                                                (out-of-order drops); the session continues
-//	server → client   {"done":true,"events":12345,"dropped":0}
+//	server → client   {"done":true,"events":12345,"dropped":0,
+//	                   "shared_stmts":4,"shared_graphs":1}
+//	                                              — the session's final stats line also
+//	                                                reports how far the runtime's shared
+//	                                                sub-plan network collapsed the
+//	                                                statement set (4 statements served
+//	                                                by 1 shared graph)
 //
 // Events must arrive in non-decreasing time order per connection; an
 // optional reorder slack buffers and re-sorts bounded disorder (the
@@ -78,8 +84,13 @@ type wireOut struct {
 	Done       bool            `json:"done,omitempty"`
 	Events     uint64          `json:"events,omitempty"`
 	Drop       uint64          `json:"dropped,omitempty"`
-	Error      string          `json:"error,omitempty"`
-	Warn       string          `json:"warn,omitempty"`
+	// SharedStmts/SharedGraphs report the session runtime's sub-plan
+	// sharing at flush: SharedStmts statements were served by
+	// SharedGraphs shared GRETA graphs (the rest ran exclusively).
+	SharedStmts  int    `json:"shared_stmts,omitempty"`
+	SharedGraphs int    `json:"shared_graphs,omitempty"`
+	Error        string `json:"error,omitempty"`
+	Warn         string `json:"warn,omitempty"`
 }
 
 // EngineFactory builds a fresh engine per connection.
@@ -294,8 +305,11 @@ done:
 	if buf != nil {
 		buf.Flush()
 	}
+	// Snapshot the sharing topology before Close tears the runtime down.
+	rs := rt.Stats()
 	_ = rt.Close()
-	send(wireOut{Done: true, Events: processed, Drop: dropped + reorderDropped(buf)})
+	send(wireOut{Done: true, Events: processed, Drop: dropped + reorderDropped(buf),
+		SharedStmts: rs.SharedStatements, SharedGraphs: rs.SharedGraphs})
 }
 
 func reorderDropped(buf *reorder.Buffer) uint64 {

@@ -33,6 +33,19 @@ var (
 // stream: a statement registered at watermark T sees only events at or
 // after T, and closing one statement does not perturb the others.
 //
+// Beyond the shared routing hash, the runtime shares whole sub-plans:
+// statements whose trend formation coincides — same pattern shape,
+// predicates, window, partition-by attributes, and selection semantics;
+// only the RETURN aggregates may differ — are served by ONE shared
+// GRETA graph (vertices, edges, pane summaries, and pools maintained
+// once), with each statement's aggregates extracted from the shared
+// per-window payload at window close. Sharing is on by default
+// (WithSharing(false) opts a statement out) and engages only between
+// statements registered at the same stream position: a statement
+// registered mid-stream never inherits a warm graph's history — it
+// opens a new shared graph seeded at its registration watermark.
+// Stats() reports how far the statement set collapsed.
+//
 // Process, Register, and Close are safe to call from different
 // goroutines (a mutex serializes them). Result callbacks run on the
 // ingest path and must not call back into the Runtime or its Handles.
@@ -59,9 +72,31 @@ func WithID(id string) RegisterOption {
 
 // WithTransactional runs the statement under the paper's §7
 // stream-transaction scheduler (same results, concurrent dependency
-// levels inside each partition).
+// levels inside each partition). Transactional statements do not enter
+// the shared sub-plan network.
 func WithTransactional() RegisterOption {
 	return func(c *core.StmtConfig) { c.Transactional = true }
+}
+
+// WithSharing controls the statement's participation in the shared
+// sub-plan network (default on): statements whose trend formation
+// coincides — everything but the RETURN aggregates — are served by one
+// shared graph, each receiving its own aggregates at window close.
+// Results, stats, and lifecycle are bit-identical either way; sharing
+// only collapses the work. Composite (OR/AND), negation, and
+// transactional statements always run exclusively.
+func WithSharing(on bool) RegisterOption {
+	return func(c *core.StmtConfig) { c.Share = on }
+}
+
+// WithoutRetention registers the statement in drop-on-delivery mode:
+// neither the engine nor the Handle retains emitted results, bounding
+// memory on unbounded streams whose consumers use the OnResult
+// callback or a live Results iterator. Stats().Results still counts
+// every emission; Results iterators yield only results emitted while
+// they are being consumed (no replay).
+func WithoutRetention() RegisterOption {
+	return func(c *core.StmtConfig) { c.NoRetain = true }
 }
 
 // Register attaches a compiled statement to the shared ingest and
@@ -69,7 +104,7 @@ func WithTransactional() RegisterOption {
 // watermark onward; windows that ended before registration are never
 // emitted. Register works mid-stream.
 func (rt *Runtime) Register(stmt *Statement, opts ...RegisterOption) (*Handle, error) {
-	var cfg core.StmtConfig
+	cfg := core.StmtConfig{Share: true}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -77,9 +112,9 @@ func (rt *Runtime) Register(stmt *Statement, opts ...RegisterOption) (*Handle, e
 	if err != nil {
 		return nil, err
 	}
-	h := &Handle{st: st, stmt: stmt}
+	h := &Handle{st: st, stmt: stmt, noBuf: cfg.NoRetain}
 	h.cond = sync.NewCond(&h.mu)
-	st.Engine().OnResult(h.deliver)
+	st.OnResult(h.deliver)
 	st.OnClose(h.markDone)
 	return h, nil
 }
@@ -118,6 +153,16 @@ func (rt *Runtime) RunParallel(ctx context.Context, s Stream, workers int) error
 // from this watermark onward.
 func (rt *Runtime) Watermark() Time { return rt.inner.Watermark() }
 
+// RuntimeStats summarizes the runtime's multi-query topology:
+// registered statements, distinct routing hashes per event, and the
+// shared sub-plan network's collapse — SharedStatements statements
+// served by SharedGraphs shared graphs.
+type RuntimeStats = core.RuntimeStats
+
+// Stats reports the runtime's current multi-query topology (see
+// RuntimeStats). Per-statement runtime statistics live on the Handles.
+func (rt *Runtime) Stats() RuntimeStats { return rt.inner.Stats() }
+
 // Close flushes every registered statement — their remaining open
 // windows emit through the usual delivery paths — and rejects further
 // events and registrations. Idempotent.
@@ -133,15 +178,63 @@ type Handle struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	buf  []Result
-	done bool
-	cb   func(Result)
+	// noBuf (WithoutRetention) drops results after delivery instead of
+	// buffering them; live holds the tails of currently subscribed
+	// Results iterators, which still receive what is emitted while they
+	// run.
+	noBuf bool
+	live  []*liveTail
+	done  bool
+	cb    func(Result)
 }
 
-// deliver is the engine's OnResult sink: it records the result for the
-// Results iterators, then invokes the user callback.
+// liveTail is one WithoutRetention iterator's pending-result queue: a
+// bounded ring over a slice (head index, amortized O(1) pop). When the
+// consumer lags more than liveTailMax results behind, the oldest
+// pending ones are dropped — the mode's contract is bounded memory,
+// and a tail that outgrew its consumer would void it.
+type liveTail struct {
+	rs   []Result
+	head int
+}
+
+// liveTailMax bounds each live iterator's pending results.
+const liveTailMax = 4096
+
+// push appends under the bound, compacting the consumed prefix.
+func (t *liveTail) push(r Result) {
+	if len(t.rs)-t.head >= liveTailMax {
+		t.head++ // lagging consumer: drop the oldest pending result
+	}
+	if t.head > 0 && (t.head == len(t.rs) || t.head >= liveTailMax) {
+		n := copy(t.rs, t.rs[t.head:])
+		t.rs = t.rs[:n]
+		t.head = 0
+	}
+	t.rs = append(t.rs, r)
+}
+
+// pop removes and returns the oldest pending result.
+func (t *liveTail) pop() Result {
+	r := t.rs[t.head]
+	t.rs[t.head] = Result{}
+	t.head++
+	return r
+}
+
+func (t *liveTail) empty() bool { return t.head >= len(t.rs) }
+
+// deliver is the statement's result sink: it records the result for
+// the Results iterators (or feeds the live iterator tails in
+// drop-on-delivery mode), then invokes the user callback.
 func (h *Handle) deliver(r Result) {
 	h.mu.Lock()
-	h.buf = append(h.buf, r)
+	if !h.noBuf {
+		h.buf = append(h.buf, r)
+	}
+	for _, q := range h.live {
+		q.push(r)
+	}
 	cb := h.cb
 	h.cond.Broadcast()
 	h.mu.Unlock()
@@ -182,9 +275,39 @@ func (h *Handle) OnResult(f func(Result)) {
 // after Close to drain everything. Multiple iterators each see the
 // full result sequence: results are retained for the statement's
 // lifetime (as Engine.Results always did), so close statements you are
-// done with on unbounded streams.
+// done with on unbounded streams — or register them WithoutRetention,
+// in which case nothing is replayed or retained: the iterator receives
+// the results emitted from the moment Results is called (the
+// subscription starts at the call, so grab the iterator before feeding
+// the events it should observe), each result is dropped once consumed,
+// and a consumer lagging more than a few thousand results behind loses
+// the oldest pending ones (the pending tail is bounded).
 func (h *Handle) Results() iter.Seq[Result] {
+	h.mu.Lock()
+	var q *liveTail
+	if h.noBuf {
+		q = h.subscribeLocked()
+	}
+	h.mu.Unlock()
 	return func(yield func(Result) bool) {
+		if q != nil {
+			defer h.unsubscribe(q)
+			for {
+				h.mu.Lock()
+				for q.empty() && !h.done {
+					h.cond.Wait()
+				}
+				if q.empty() {
+					h.mu.Unlock()
+					return
+				}
+				r := q.pop()
+				h.mu.Unlock()
+				if !yield(r) {
+					return
+				}
+			}
+		}
 		idx := 0
 		for {
 			h.mu.Lock()
@@ -205,9 +328,40 @@ func (h *Handle) Results() iter.Seq[Result] {
 	}
 }
 
+// subscribeLocked registers a live iterator tail; h.mu held.
+func (h *Handle) subscribeLocked() *liveTail {
+	q := &liveTail{}
+	h.live = append(h.live, q)
+	return q
+}
+
+// unsubscribe detaches a live iterator tail.
+func (h *Handle) unsubscribe(q *liveTail) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, x := range h.live {
+		if x == q {
+			h.live = append(h.live[:i], h.live[i+1:]...)
+			return
+		}
+	}
+}
+
+// bufferedResults snapshots the handle's delivered results in emission
+// order (the deprecated Engine shim serves Results from it).
+func (h *Handle) bufferedResults() []Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Result(nil), h.buf...)
+}
+
 // Stats returns the statement's runtime statistics. Call it between
-// Process calls or after Close; it reads live engine state.
-func (h *Handle) Stats() Stats { return h.st.Engine().Stats() }
+// Process calls or after Close; it reads live engine state. For a
+// statement served by a shared graph, the counters are identical to
+// what a private engine would have accumulated, Results counts this
+// statement's deliveries, and SharedStatements reports how many
+// statements share the graph.
+func (h *Handle) Stats() Stats { return h.st.Stats() }
 
 // Close detaches the statement from the shared ingest mid-stream,
 // flushing its open windows (their results are delivered before Close

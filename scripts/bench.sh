@@ -12,12 +12,12 @@ set -eu
 
 out="${1:-BENCH.json}"
 benchtime="${2:-1x}"
-pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions'
+pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . ./internal/bench | tee "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }

@@ -1,0 +1,172 @@
+package greta_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/greta-cep/greta"
+)
+
+// TestRuntimeSharingDefault pins the public sharing surface: identical
+// trend formation shares by default (RETURN divergence included), the
+// runtime reports the collapse, results stay per-statement, and
+// WithSharing(false) opts out.
+func TestRuntimeSharingDefault(t *testing.T) {
+	rt := greta.NewRuntime()
+	h1, err := rt.Register(greta.MustCompile("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := rt.Register(greta.MustCompile("RETURN COUNT(*), SUM(A.x) PATTERN A+ WITHIN 10 SLIDE 10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := rt.Register(greta.MustCompile("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10"), greta.WithSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := rt.Stats(); rs.Statements != 3 || rs.SharedGraphs != 1 || rs.SharedStatements != 2 {
+		t.Fatalf("runtime stats = %+v, want 3 statements, 2 shared on 1 graph", rs)
+	}
+	for i := 1; i <= 15; i++ {
+		ev := &greta.Event{ID: uint64(i), Type: "A", Time: greta.Time(i), Attrs: map[string]float64{"x": float64(i)}}
+		if err := rt.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c1, c2, c3 []greta.Result
+	for r := range h1.Results() {
+		c1 = append(c1, r)
+	}
+	for r := range h2.Results() {
+		c2 = append(c2, r)
+	}
+	for r := range h3.Results() {
+		c3 = append(c3, r)
+	}
+	if len(c1) != 2 || len(c2) != 2 || len(c3) != 2 {
+		t.Fatalf("windows = %d/%d/%d, want 2 each", len(c1), len(c2), len(c3))
+	}
+	for i := range c1 {
+		// Shared and exclusive COUNT(*) agree; the shared SUM statement
+		// reads its own slots from the same graph.
+		if c1[i].Values[0] != c3[i].Values[0] {
+			t.Errorf("window %d: shared count %v != exclusive count %v", i, c1[i].Values[0], c3[i].Values[0])
+		}
+		if c2[i].Values[0] != c1[i].Values[0] {
+			t.Errorf("window %d: subscriber counts diverge: %v vs %v", i, c2[i].Values[0], c1[i].Values[0])
+		}
+		if len(c2[i].Values) != 2 || c2[i].Values[1] == 0 {
+			t.Errorf("window %d: SUM subscriber values = %v", i, c2[i].Values)
+		}
+	}
+	if got := h1.Stats().SharedStatements; got != 2 {
+		t.Errorf("h1 SharedStatements = %d, want 2", got)
+	}
+	if got := h3.Stats().SharedStatements; got != 0 {
+		t.Errorf("exclusive statement SharedStatements = %d, want 0", got)
+	}
+}
+
+// TestRuntimeWithoutRetention pins drop-on-delivery mode: no replay
+// buffer anywhere, Stats.Results still counts emissions, callbacks and
+// live iterators receive everything.
+func TestRuntimeWithoutRetention(t *testing.T) {
+	rt := greta.NewRuntime()
+	h, err := rt.Register(greta.MustCompile("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10"),
+		greta.WithoutRetention())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaCb int
+	h.OnResult(func(greta.Result) { viaCb++ })
+
+	// A live iterator sees the results emitted after its Results call
+	// (the subscription starts at the call, so taking the iterator
+	// before feeding observes everything).
+	var viaIter int
+	liveSeq := h.Results()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range liveSeq {
+			viaIter++
+		}
+	}()
+
+	for i := 1; i <= 45; i++ {
+		if err := rt.Process(&greta.Event{ID: uint64(i), Type: "A", Time: greta.Time(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if viaCb != 5 {
+		t.Errorf("callback saw %d results, want 5", viaCb)
+	}
+	if viaIter != 5 {
+		t.Errorf("live iterator saw %d results, want 5", viaIter)
+	}
+	if got := h.Stats().Results; got != 5 {
+		t.Errorf("Stats.Results = %d, want 5 (counter must survive dropped retention)", got)
+	}
+	// No replay: an iterator started after close drains nothing.
+	replay := 0
+	for range h.Results() {
+		replay++
+	}
+	if replay != 0 {
+		t.Errorf("replay iterator saw %d results, want 0 under WithoutRetention", replay)
+	}
+}
+
+// TestRuntimeWithoutRetentionShared combines both registration modes
+// on one shared graph: the retaining subscriber replays, the
+// drop-on-delivery one only counts.
+func TestRuntimeWithoutRetentionShared(t *testing.T) {
+	rt := greta.NewRuntime()
+	keep, err := rt.Register(greta.MustCompile("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, err := rt.Register(greta.MustCompile("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10"),
+		greta.WithoutRetention())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := rt.Stats(); rs.SharedGraphs != 1 || rs.SharedStatements != 2 {
+		t.Fatalf("sharing did not engage: %+v", rs)
+	}
+	for i := 1; i <= 25; i++ {
+		if err := rt.Process(&greta.Event{ID: uint64(i), Type: "A", Time: greta.Time(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for range keep.Results() {
+		kept++
+	}
+	if kept != 3 {
+		t.Errorf("retaining subscriber replayed %d windows, want 3", kept)
+	}
+	dropped := 0
+	for range drop.Results() {
+		dropped++
+	}
+	if dropped != 0 {
+		t.Errorf("drop-on-delivery subscriber replayed %d windows, want 0", dropped)
+	}
+	if ks, ds := keep.Stats(), drop.Stats(); ks.Results != 3 || ds.Results != 3 {
+		t.Errorf("Results counters = %d/%d, want 3/3", ks.Results, ds.Results)
+	}
+}
