@@ -1,0 +1,90 @@
+// Durability benchmarks: the cost of one checkpoint write (what a
+// window boundary pays when WithCheckpoint is armed) and of a full
+// Restore (crash-recovery latency before replay starts). They ride the
+// Fig. 14/15 stock workload with open pane state, a shared-eligible
+// pair, and a negation statement so the snapshot covers summaries with
+// watermark versions.
+package greta_test
+
+import (
+	"os"
+	"testing"
+
+	"github.com/greta-cep/greta"
+)
+
+var ckBenchQueries = []string{
+	`RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 100 SLIDE 50`,
+	`RETURN MIN(S.price), MAX(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 100 SLIDE 50`,
+	`RETURN COUNT(*) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] WITHIN 100 SLIDE 50`,
+}
+
+// ckBenchRuntime arms checkpointing into dir (interval beyond the
+// stream, so only explicit Checkpoint calls write) and warms the
+// runtime with n stock events.
+func ckBenchRuntime(b *testing.B, dir string, n int) *greta.Runtime {
+	b.Helper()
+	rt := greta.NewRuntime(greta.WithCheckpoint(dir, 1<<40))
+	for _, q := range ckBenchQueries {
+		if _, err := rt.Register(greta.MustCompile(q)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, ev := range stockStream(n, 0.01) {
+		if err := rt.Process(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rt
+}
+
+// BenchmarkCheckpointWrite measures one checkpoint of the warmed
+// runtime — serialization plus the atomic temp+fsync+rename store
+// write — and reports the snapshot size.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	dir := b.TempDir()
+	rt := ckBenchRuntime(b, dir, 8000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var size int64
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if info, err := e.Info(); err == nil && info.Size() > size {
+				size = info.Size()
+			}
+		}
+	}
+	b.ReportMetric(float64(size), "snapshot-bytes")
+	_ = rt.Close()
+}
+
+// BenchmarkRestore measures rebuilding a Runtime from the checkpoint:
+// load + checksum verify + decode + pool-backed rehydration of every
+// pane, vertex, and summary. The post-restore Close (window flush) is
+// excluded — recovery latency is the time until replay can start.
+func BenchmarkRestore(b *testing.B) {
+	dir := b.TempDir()
+	rt := ckBenchRuntime(b, dir, 8000)
+	if err := rt.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := greta.Restore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_ = res.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	_ = rt.Close()
+}

@@ -1,0 +1,95 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DumpNodes walks the tree's nodes in pre-order, calling visit once per
+// node with the node's items, its subtree summary, and its child count
+// (0 for leaves, len(items)+1 otherwise). Children follow their parent
+// in the same pre-order, so a reader that records child counts can
+// reconstruct the exact node topology with BuildNodes. visit returns
+// false to stop early.
+//
+// Checkpointing uses this to serialize a Vertex Tree bit-identically:
+// re-inserting items would rebuild summaries in a different fold order
+// and a different node shape, changing float results and traversal
+// stats on resume.
+func (t *Tree[V, S]) DumpNodes(visit func(items []Item[V], sum S, children int) bool) {
+	if t.root == nil {
+		return
+	}
+	t.root.dump(visit)
+}
+
+func (n *node[V, S]) dump(visit func(items []Item[V], sum S, children int) bool) bool {
+	if !visit(n.items, n.sum, len(n.children)) {
+		return false
+	}
+	for _, c := range n.children {
+		if !c.dump(visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// maxBuildDepth bounds BuildNodes' recursion. A degree-16 B-tree of
+// depth 40 holds at least 16^39 items; any deeper input is corrupt.
+const maxBuildDepth = 40
+
+// BuildNodes reconstructs a tree from the pre-order node sequence
+// produced by DumpNodes. next is called once per node and returns the
+// node's items, its subtree summary (assigned directly, never folded —
+// the caller owns summary fidelity), and its child count. Nodes are
+// drawn from f, so restore feeds the same recycling pools as live
+// operation. aug may be nil for an unaugmented tree.
+//
+// Structural invariants are validated (item counts, child counts,
+// depth) so that corrupt input yields an error, never a panic or a
+// runaway allocation. Key ordering is NOT validated; the checkpoint
+// layer's checksum owns integrity.
+func BuildNodes[V, S any](f *FreeList[V, S], aug Summarizer[V, S], next func() ([]Item[V], S, int, error)) (*Tree[V, S], error) {
+	t := &Tree[V, S]{free: f, aug: aug}
+	root, count, err := t.buildNode(next, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.size = count
+	return t, nil
+}
+
+func (t *Tree[V, S]) buildNode(next func() ([]Item[V], S, int, error), depth int) (*node[V, S], int, error) {
+	if depth > maxBuildDepth {
+		return nil, 0, errors.New("btree: node depth exceeds bound (corrupt input)")
+	}
+	items, sum, children, err := next()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(items) == 0 || len(items) > maxItems {
+		return nil, 0, fmt.Errorf("btree: node has %d items, want 1..%d", len(items), maxItems)
+	}
+	if children != 0 && children != len(items)+1 {
+		return nil, 0, fmt.Errorf("btree: node has %d children for %d items, want 0 or %d",
+			children, len(items), len(items)+1)
+	}
+	n := t.newNode()
+	n.items = append(n.items, items...)
+	n.sum = sum
+	count := len(items)
+	for i := 0; i < children; i++ {
+		c, cc, err := t.buildNode(next, depth+1)
+		if err != nil {
+			// Abandon the partial subtree to the garbage collector: putNode
+			// would Clear caller-owned summaries, and this path only runs
+			// on corrupt input that the caller discards wholesale.
+			return nil, 0, err
+		}
+		n.children = append(n.children, c)
+		count += cc
+	}
+	return n, count, nil
+}

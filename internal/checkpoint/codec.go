@@ -1,0 +1,232 @@
+// Package checkpoint implements the durable-runtime on-disk format:
+// little-endian primitive codecs with sticky error handling, and an
+// atomic, checksummed, generational Store (temp file + fsync + rename)
+// with newest-valid-first recovery, per ROADMAP direction 3 and the
+// partially-constrained-log recovery discipline (arXiv:1901.06491).
+//
+// Format invariants (see ROADMAP "Durability architecture"):
+//
+//   - every file starts with the 8-byte magic "GRETACK1" and ends with
+//     a CRC32-Castagnoli of everything before it (magic included);
+//   - all integers are little-endian fixed width; all collections are
+//     length-prefixed and key-ordered, so encoding is deterministic:
+//     encode(decode(encode(x))) == encode(x) byte for byte;
+//   - the body is versioned by the producing layer (internal/core
+//     writes its own version word first), so the Store never needs to
+//     understand body contents.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrCorrupt reports structurally invalid checkpoint bytes. Decoders
+// return it (wrapped) instead of panicking on any malformed input.
+var ErrCorrupt = errors.New("checkpoint: corrupt data")
+
+// Encoder writes little-endian primitives to an io.Writer with sticky
+// error handling: after the first write error every later call is a
+// no-op and Err returns the failure.
+type Encoder struct {
+	w       io.Writer
+	scratch [8]byte
+	err     error
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Err returns the first write error, if any.
+func (e *Encoder) Err() error { return e.err }
+
+// Fail injects an error into the encoder (used when a value being
+// serialized fails to marshal); later writes become no-ops.
+func (e *Encoder) Fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+func (e *Encoder) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+// U8 writes one byte.
+func (e *Encoder) U8(v uint8) {
+	e.scratch[0] = v
+	e.write(e.scratch[:1])
+}
+
+// Bool writes a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	binary.LittleEndian.PutUint32(e.scratch[:4], v)
+	e.write(e.scratch[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], v)
+	e.write(e.scratch[:8])
+}
+
+// I64 writes a little-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 writes a float64 as its IEEE-754 bit pattern (NaN payloads and
+// signed zeros round-trip exactly).
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// String writes a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.write([]byte(s))
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (e *Encoder) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.write(b)
+}
+
+// Decoder reads the Encoder's format from an in-memory buffer with
+// sticky error handling. All length prefixes are validated against the
+// remaining input, so corrupt data yields ErrCorrupt instead of a
+// panic or an attacker-controlled allocation.
+type Decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewDecoder returns a Decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+// Corrupt records (and returns) a corruption error with context; later
+// reads become no-ops.
+func (d *Decoder) Corrupt(format string, args ...any) error {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s (offset %d)", ErrCorrupt, fmt.Sprintf(format, args...), d.pos)
+	}
+	return d.err
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.Corrupt("need %d bytes, have %d", n, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool, rejecting bytes other than 0 and 1.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Corrupt("invalid bool byte")
+		return false
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Len reads a u32 length prefix for elements occupying at least
+// elemSize bytes each, validating it against the remaining input so a
+// corrupt count cannot drive a huge allocation.
+func (d *Decoder) Len(elemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n < 0 || n > d.Remaining()/elemSize {
+		d.Corrupt("length %d exceeds remaining input", n)
+		return 0
+	}
+	return n
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Len(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes reads a length-prefixed byte slice (a copy, safe to retain).
+func (d *Decoder) Bytes() []byte {
+	n := d.Len(1)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

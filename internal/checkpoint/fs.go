@@ -1,0 +1,78 @@
+package checkpoint
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the filesystem operations the Store needs, so the fault
+// injection harness (internal/faultfs) can interpose torn writes,
+// ENOSPC, failed syncs, and crash-during-rename without touching real
+// disks. OSFS is the production implementation.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create truncates/creates the named file for writing.
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// ReadDir lists the names (not paths) of the entries in dir.
+	ReadDir(dir string) ([]string, error)
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs the directory itself so a completed rename is
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is a writable checkpoint file handle.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS implements FS on the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// Directory fsync failures are reported; the caller decides whether
+	// the checkpoint still counts.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,224 @@
+package checkpoint
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Magic opens every checkpoint file: "GRETACK" plus the format
+// generation digit.
+const Magic = "GRETACK1"
+
+// crcTable is CRC32-Castagnoli, hardware-accelerated on most targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoCheckpoint reports a Load against a directory holding no
+// checkpoint files at all (as opposed to only corrupt ones).
+var ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
+
+// Store manages a directory of generational checkpoint files named
+// ckpt-%08d.gck. Writes are atomic — temp file, fsync, rename, fsync
+// of the directory — so a crash at any point leaves either the
+// previous generation or the new one fully intact, never a torn file
+// under the final name. Load picks the newest generation whose
+// checksum verifies, falling back to earlier generations so a corrupt
+// or truncated newest file degrades to the previous checkpoint rather
+// than to nothing.
+type Store struct {
+	// Dir is the checkpoint directory (created on first Write).
+	Dir string
+	// FS is the filesystem; nil means the real one.
+	FS FS
+	// Keep bounds how many generations survive a Write's pruning;
+	// values < 1 mean the default of 2 (current + one fallback).
+	Keep int
+}
+
+func (s *Store) fs() FS {
+	if s.FS == nil {
+		return OSFS{}
+	}
+	return s.FS
+}
+
+func (s *Store) keep() int {
+	if s.Keep < 1 {
+		return 2
+	}
+	return s.Keep
+}
+
+func genName(gen uint64) string { return fmt.Sprintf("ckpt-%08d.gck", gen) }
+
+// parseGen extracts the generation from a checkpoint file name,
+// reporting ok == false for anything that is not a final checkpoint
+// file (temp files, strangers).
+func parseGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".gck") {
+		return 0, false
+	}
+	mid := name[len("ckpt-") : len(name)-len(".gck")]
+	gen, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// generations lists the existing checkpoint generations in ascending
+// order. A missing directory is an empty store.
+func (s *Store) generations() ([]uint64, error) {
+	names, err := s.fs().ReadDir(s.Dir)
+	if err != nil {
+		return nil, nil
+	}
+	var gens []uint64
+	for _, name := range names {
+		if gen, ok := parseGen(name); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// crcWriter tees writes into a running CRC.
+type crcWriter struct {
+	w io.Writer
+	h hash.Hash32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.h.Write(p[:n])
+	return n, err
+}
+
+// Write persists one checkpoint as the next generation. write receives
+// the body writer (buffered; the Store frames it with magic and
+// checksum) and produces the body bytes. On any failure the temp file
+// is removed and the previous generation remains the newest valid one.
+// Returns the generation number written.
+func (s *Store) Write(write func(io.Writer) error) (uint64, error) {
+	fsys := s.fs()
+	if err := fsys.MkdirAll(s.Dir); err != nil {
+		return 0, fmt.Errorf("checkpoint: mkdir: %w", err)
+	}
+	gens, _ := s.generations()
+	gen := uint64(1)
+	if len(gens) > 0 {
+		gen = gens[len(gens)-1] + 1
+	}
+	final := filepath.Join(s.Dir, genName(gen))
+	tmp := final + ".tmp"
+
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	cleanup := func(err error) (uint64, error) {
+		f.Close()
+		fsys.Remove(tmp)
+		return 0, err
+	}
+	buf := bufio.NewWriterSize(f, 1<<16)
+	cw := &crcWriter{w: buf, h: crc32.New(crcTable)}
+	if _, err := io.WriteString(cw, Magic); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: write header: %w", err))
+	}
+	if err := write(cw); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: write body: %w", err))
+	}
+	var trailer [4]byte
+	sum := cw.h.Sum32()
+	trailer[0] = byte(sum)
+	trailer[1] = byte(sum >> 8)
+	trailer[2] = byte(sum >> 16)
+	trailer[3] = byte(sum >> 24)
+	if _, err := buf.Write(trailer[:]); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: write checksum: %w", err))
+	}
+	if err := buf.Flush(); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: flush: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: fsync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if err := fsys.SyncDir(s.Dir); err != nil {
+		return 0, fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	s.prune(gens)
+	return gen, nil
+}
+
+// prune removes the oldest generations beyond Keep-1 of the ones that
+// existed before this Write (the new generation is the Keep'th).
+// Removal failures are ignored: stale files only cost disk.
+func (s *Store) prune(prior []uint64) {
+	excess := len(prior) - (s.keep() - 1)
+	for i := 0; i < excess; i++ {
+		s.fs().Remove(filepath.Join(s.Dir, genName(prior[i])))
+	}
+}
+
+// Verify frames-checks one checkpoint file's bytes and returns the
+// body on success.
+func Verify(data []byte) ([]byte, error) {
+	if len(data) < len(Magic)+4 {
+		return nil, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	want := uint32(trailer[0]) | uint32(trailer[1])<<8 | uint32(trailer[2])<<16 | uint32(trailer[3])<<24
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return body[len(Magic):], nil
+}
+
+// Load returns the body of the newest checkpoint generation whose
+// checksum verifies, along with its generation number. Corrupt or
+// truncated generations are skipped (newest first), so a crash that
+// damaged the latest file falls back to the previous one. Returns
+// ErrNoCheckpoint when no checkpoint files exist at all; if files
+// exist but none verifies, the last corruption error is returned.
+func (s *Store) Load() ([]byte, uint64, error) {
+	gens, _ := s.generations()
+	if len(gens) == 0 {
+		return nil, 0, ErrNoCheckpoint
+	}
+	var lastErr error
+	for i := len(gens) - 1; i >= 0; i-- {
+		name := filepath.Join(s.Dir, genName(gens[i]))
+		data, err := s.fs().ReadFile(name)
+		if err != nil {
+			lastErr = fmt.Errorf("checkpoint: read %s: %w", name, err)
+			continue
+		}
+		body, err := Verify(data)
+		if err != nil {
+			lastErr = fmt.Errorf("checkpoint: %s: %w", name, err)
+			continue
+		}
+		return body, gens[i], nil
+	}
+	return nil, 0, lastErr
+}

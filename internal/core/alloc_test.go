@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"github.com/greta-cep/greta/internal/aggregate"
@@ -44,6 +46,125 @@ func TestNoHotPathAllocs(t *testing.T) {
 	t.Run("negation-fold", testNoHotPathAllocsNegation)
 	t.Run("multi-statement", testNoHotPathAllocsMultiStatement)
 	t.Run("shared-statements", testNoHotPathAllocsSharedStatements)
+	t.Run("checkpointing", testNoHotPathAllocsCheckpoint)
+}
+
+// testNoHotPathAllocsCheckpoint guards the per-event cost of an ARMED
+// checkpoint schedule (two loads and a compare on the steady path —
+// snapshot encoding runs only at boundaries, which the measured window
+// stays clear of), and that a RESTORED runtime returns to the same
+// zero-allocation steady state once pane churn has recharged the
+// per-spec pools (decoded vertices come from the pools, so expiry
+// recycles them exactly as in an uninterrupted run).
+func testNoHotPathAllocsCheckpoint(t *testing.T) {
+	srcs := []string{
+		"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ " +
+			"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000",
+		"RETURN MIN(S.price), MAX(S.price) PATTERN Stock S+ " +
+			"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000",
+	}
+	newRT := func() (*Runtime, []*Stmt) {
+		rt := NewRuntime()
+		stmts := make([]*Stmt, len(srcs))
+		for i, src := range srcs {
+			plan, err := NewPlan(query.MustParse(src), aggregate.ModeNative)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stmts[i], err = rt.Register(plan, StmtConfig{Share: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rt, stmts
+	}
+	measure := func(rt *Runtime, stmts []*Stmt, evs []*event.Event, ctx string) {
+		before := stmts[0].Stats()
+		i := 0
+		avg := testing.AllocsPerRun(len(evs)-1, func() {
+			if err := rt.Process(evs[i]); err != nil {
+				panic(err)
+			}
+			i++
+		})
+		if avg != 0 {
+			t.Fatalf("%s: steady-state Process allocates %.2f objects/op, want 0", ctx, avg)
+		}
+		after := stmts[0].Stats()
+		if got := after.Inserted - before.Inserted; got < uint64(len(evs)) {
+			t.Fatalf("%s: measured loop inserted %d vertices, want >= %d", ctx, got, len(evs))
+		}
+		if after.SummaryFolds == before.SummaryFolds {
+			t.Fatalf("%s: measured loop took no summary folds", ctx)
+		}
+	}
+
+	rt, stmts := newRT()
+	var snap []byte
+	saves := 0
+	err := rt.SetCheckpoint(1000, -1, func(_ event.Time, write func(io.Writer) error) error {
+		saves++
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			return err
+		}
+		snap = buf.Bytes()
+		return nil
+	}, func(err error) { t.Errorf("checkpoint save: %v", err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warmup crosses the 1000 and 2000 boundaries: snapshots fire there,
+	// panes expire and charge the pools; the measured window (2100..2399)
+	// stays below the next boundary at 3000.
+	id := uint64(0)
+	price := func(i uint64) float64 { return float64(1000 - i%7) }
+	for i := 0; i < 21000; i++ {
+		id++
+		if err := rt.Process(allocStockEvent(id, event.Time(i/10), "c0", price(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if saves != 2 {
+		t.Fatalf("warmup fired %d checkpoints, want 2", saves)
+	}
+	const runs = 300
+	evs := make([]*event.Event, runs)
+	for i := range evs {
+		id++
+		evs[i] = allocStockEvent(id, event.Time(2100+i), "c0", price(id))
+	}
+	measure(rt, stmts, evs, "armed")
+
+	// Restore the boundary-2000 snapshot and re-arm the same schedule.
+	rtR, info, err := RestoreRuntime(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayFrom != 2000 {
+		t.Fatalf("replay bound %d, want 2000", info.ReplayFrom)
+	}
+	err = rtR.SetCheckpoint(1000, info.ReplayFrom,
+		func(_ event.Time, write func(io.Writer) error) error { return write(io.Discard) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn through two more window closes (3000, 4000) so expiring
+	// panes recharge the restored runtime's pools, then measure inside
+	// the 4200..4499 window — clear of the next boundary at 5000.
+	for i := 0; i < 21000; i++ {
+		id++
+		if err := rtR.Process(allocStockEvent(id, event.Time(2100+i/10), "c0", price(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evsR := make([]*event.Event, runs)
+	for i := range evsR {
+		id++
+		evsR[i] = allocStockEvent(id, event.Time(4200+i), "c0", price(id))
+	}
+	measure(rtR, rtR.Statements(), evsR, "restored")
 }
 
 // testNoHotPathAllocsMultiStatement guards the Runtime's shared ingest

@@ -247,12 +247,18 @@ func attrKey(ev *event.Event, attrs []string) string {
 // dependencies. The display key and group strings are interned here,
 // once per partition — never on the per-event path.
 func (e *Engine) newPartition(ev *event.Event) *partition {
-	key := attrKey(ev, e.partAttrs)
+	return e.newPartitionFromKey(attrKey(ev, e.partAttrs), e.buildPartKey(ev))
+}
+
+// newPartitionFromKey builds a partition from an already-materialized
+// key (checkpoint restore rebuilds partitions from serialized keys, no
+// event in hand; newPartition derives both from the triggering event).
+func (e *Engine) newPartitionFromKey(key string, pk partKey) *partition {
 	p := &partition{
 		graphs: make([]*Graph, len(e.plan.Subs)),
 		group:  groupPrefix(key, len(e.plan.GroupBy), len(e.partAttrs)),
 		key:    key,
-		pk:     e.buildPartKey(ev),
+		pk:     pk,
 	}
 	for i, spec := range e.plan.Subs {
 		p.graphs[i] = newGraph(spec, e.cspecs[i], e.plan.Window, e.plan.Sem)
@@ -320,6 +326,29 @@ func hashRoute(acc []event.Accessor, ev *event.Event) uint64 {
 			h = hashByte(h, pkNum)
 			h = hashU64(h, math.Float64bits(f))
 		} else {
+			h = hashByte(h, pkMissing)
+		}
+	}
+	return h
+}
+
+// hash recomputes the routing hash of an already-captured partition
+// key. It must stay byte-for-byte equivalent to hashRoute so restored
+// partitions land in the same chain a live event would probe.
+func (pk *partKey) hash() uint64 {
+	h := uint64(14695981039346656037)
+	for i, kind := range pk.kinds {
+		switch kind {
+		case pkStr:
+			h = hashByte(h, pkStr)
+			s := pk.strs[i]
+			for j := 0; j < len(s); j++ {
+				h = hashByte(h, s[j])
+			}
+		case pkNum:
+			h = hashByte(h, pkNum)
+			h = hashU64(h, pk.nums[i])
+		default:
 			h = hashByte(h, pkMissing)
 		}
 	}

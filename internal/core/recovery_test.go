@@ -1,0 +1,475 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+)
+
+// rcSchema mirrors the stock generator's schema; the workload mixes
+// schema-bound and schemaless events so restore covers both access
+// paths (restored events re-bind to freshly decoded schemas).
+var rcSchema = &event.Schema{
+	Type:    "Stock",
+	Numeric: []string{"price"},
+	Strings: []string{"company"},
+}
+
+// rcStream generates the randomized stock workload of the fastpath
+// differential: small-integer prices (exact float64 sums), occasional
+// Halt and News events, same-timestamp bursts, missing and NaN prices,
+// and a mix of schema-bound and schemaless events.
+func rcStream(rng *rand.Rand, n int, allowNaN bool, haltDiv, newsDiv int) []*event.Event {
+	evs := make([]*event.Event, 0, n)
+	t := event.Time(1)
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) >= 2 {
+			t += event.Time(1 + rng.Intn(2))
+		}
+		typ := event.Type("Stock")
+		if rng.Intn(haltDiv) == 0 {
+			typ = "Halt"
+		} else if newsDiv > 0 && rng.Intn(newsDiv) == 0 {
+			typ = "News"
+		}
+		ev := &event.Event{
+			ID:    uint64(i + 1),
+			Type:  typ,
+			Time:  t,
+			Attrs: map[string]float64{},
+			Str:   map[string]string{"company": fmt.Sprintf("c%d", rng.Intn(3))},
+		}
+		switch rng.Intn(20) {
+		case 0: // missing price
+		case 1:
+			if allowNaN {
+				ev.Attrs["price"] = math.NaN()
+			} else {
+				ev.Attrs["price"] = float64(1 + rng.Intn(8))
+			}
+		default:
+			ev.Attrs["price"] = float64(1 + rng.Intn(8))
+		}
+		if typ == "Stock" && rng.Intn(2) == 0 {
+			rcSchema.Bind(ev)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// rcSnap is one captured checkpoint.
+type rcSnap struct {
+	replayFrom event.Time
+	data       []byte
+}
+
+// rcCapture arms rt to capture every scheduled checkpoint in memory.
+func rcCapture(t testing.TB, rt *Runtime, every, from event.Time, snaps *[]rcSnap) {
+	t.Helper()
+	err := rt.SetCheckpoint(every, from, func(replayFrom event.Time, snapshot func(io.Writer) error) error {
+		var buf bytes.Buffer
+		if err := snapshot(&buf); err != nil {
+			return err
+		}
+		*snaps = append(*snaps, rcSnap{replayFrom: replayFrom, data: buf.Bytes()})
+		return nil
+	}, func(err error) { t.Errorf("checkpoint save: %v", err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rcDiscard arms rt with the same boundary schedule but discards the
+// snapshots — restored runs re-arm with it so their AdvanceTo cadence
+// matches the interrupted run's.
+func rcDiscard(t testing.TB, rt *Runtime, every, from event.Time) {
+	t.Helper()
+	err := rt.SetCheckpoint(every, from,
+		func(event.Time, func(io.Writer) error) error { return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rcFeed(rt *Runtime, evs []*event.Event, from event.Time) {
+	for _, ev := range evs {
+		if ev.Time >= from {
+			rt.Process(ev)
+		}
+	}
+}
+
+// rcState is the observable state of every live statement, by id.
+type rcState struct {
+	results map[string][]Result
+	stats   map[string]Stats
+}
+
+func rcCaptureState(stmts []*Stmt) rcState {
+	s := rcState{results: map[string][]Result{}, stats: map[string]Stats{}}
+	for _, st := range stmts {
+		if st.closed {
+			continue
+		}
+		s.results[st.id] = st.Results()
+		s.stats[st.id] = st.Stats()
+	}
+	return s
+}
+
+// rcResultsEqual compares result streams bit for bit (float values by
+// IEEE bit pattern so NaNs and signed zeros must match), ignoring only
+// the wall-clock Emitted stamp and payload pointer identity.
+func rcResultsEqual(t *testing.T, ctx string, a, b []Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d results vs %d", ctx, len(a), len(b))
+	}
+	for i := range a {
+		x, y := &a[i], &b[i]
+		if x.Group != y.Group || x.Wid != y.Wid ||
+			x.WindowStart != y.WindowStart || x.WindowEnd != y.WindowEnd {
+			t.Fatalf("%s: result %d keyed (%q,%d,[%d,%d)) vs (%q,%d,[%d,%d))", ctx, i,
+				x.Group, x.Wid, x.WindowStart, x.WindowEnd,
+				y.Group, y.Wid, y.WindowStart, y.WindowEnd)
+		}
+		if len(x.Values) != len(y.Values) {
+			t.Fatalf("%s: result %d has %d values vs %d", ctx, i, len(x.Values), len(y.Values))
+		}
+		for j := range x.Values {
+			if math.Float64bits(x.Values[j]) != math.Float64bits(y.Values[j]) {
+				t.Fatalf("%s: result %d (%q, wid %d) value %d: %v vs %v (bit mismatch)",
+					ctx, i, x.Group, x.Wid, j, x.Values[j], y.Values[j])
+			}
+		}
+		if (x.Payload == nil) != (y.Payload == nil) {
+			t.Fatalf("%s: result %d payload presence differs", ctx, i)
+		}
+		if x.Payload != nil && x.Payload.Count != y.Payload.Count {
+			t.Fatalf("%s: result %d payload count %d vs %d", ctx, i, x.Payload.Count, y.Payload.Count)
+		}
+	}
+}
+
+func rcStatesEqual(t *testing.T, ctx string, a, b rcState, compareStats bool) {
+	t.Helper()
+	if len(a.results) != len(b.results) {
+		t.Fatalf("%s: %d live statements vs %d", ctx, len(a.results), len(b.results))
+	}
+	for id, ra := range a.results {
+		rb, ok := b.results[id]
+		if !ok {
+			t.Fatalf("%s: statement %q missing", ctx, id)
+		}
+		rcResultsEqual(t, fmt.Sprintf("%s: statement %q", ctx, id), ra, rb)
+	}
+	if !compareStats {
+		return
+	}
+	for id, sa := range a.stats {
+		if sb := b.stats[id]; sa != sb {
+			t.Fatalf("%s: statement %q stats diverge:\n  %+v\nvs\n  %+v", ctx, id, sa, sb)
+		}
+	}
+}
+
+func rcRegister(t testing.TB, rt *Runtime, id, q string, mode aggregate.Mode, cfg StmtConfig) *Stmt {
+	t.Helper()
+	plan, err := NewPlan(query.MustParse(q), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ID = id
+	st, err := rt.Register(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRecoveryDifferential kills and restores a checkpointed runtime at
+// every window boundary of each fastpath shape and asserts the restored
+// run is bit-identical to the uninterrupted one: same results (IEEE bit
+// patterns), same Stats counters, same summary folds. A third,
+// checkpoint-free run guards the guard: boundary advancement must not
+// change the emitted results either.
+func TestRecoveryDifferential(t *testing.T) {
+	cases := []struct {
+		name             string
+		q                string
+		mode             aggregate.Mode
+		haltDiv, newsDiv int
+	}{
+		{"stam-range-windowed",
+			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, 0, 0},
+		{"stam-range-unbounded",
+			"RETURN COUNT(*) PATTERN Stock S+ WHERE S.price >= NEXT(S).price",
+			aggregate.ModeNative, 0, 0},
+		{"stam-no-predicate",
+			"RETURN COUNT(*), MIN(S.price), MAX(S.price), AVG(S.price) PATTERN Stock S+ WITHIN 16 SLIDE 4",
+			aggregate.ModeNative, 0, 0},
+		{"stam-seq",
+			"RETURN COUNT(*) PATTERN SEQ(Halt H, Stock S+) WHERE [company] AND S.price < NEXT(S).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, 0, 0},
+		{"skip-till-next-match",
+			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price SEMANTICS skip-till-next-match WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, 0, 0},
+		{"contiguous",
+			"RETURN COUNT(*) PATTERN Stock S+ WHERE S.price > NEXT(S).price SEMANTICS contiguous WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, 0, 0},
+		{"negation-case2",
+			"RETURN COUNT(*), SUM(S.price) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] AND S.price > NEXT(S).price WITHIN 30 SLIDE 10",
+			aggregate.ModeNative, 0, 0},
+		{"negation-case3",
+			"RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+) WHERE [company] AND S.price > NEXT(S).price WITHIN 30 SLIDE 10",
+			aggregate.ModeNative, 0, 0},
+		{"negation-case2-burst",
+			"RETURN COUNT(*), SUM(S.price) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] AND S.price > NEXT(S).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, 8, 0},
+		{"negation-case1-prunable",
+			"RETURN COUNT(*), SUM(B.price) PATTERN SEQ(Stock A, NOT Halt H, Stock B+) WHERE [company] AND B.price > NEXT(B).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, 12, 0},
+		{"negation-nested",
+			"RETURN COUNT(*) PATTERN SEQ(NOT SEQ(Halt X, NOT News N, Halt Y), Stock S+) WHERE [company] AND S.price > NEXT(S).price WITHIN 24 SLIDE 8",
+			aggregate.ModeNative, 8, 20},
+		{"exact-mode",
+			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+			aggregate.ModeExact, 0, 0},
+		{"disjunction",
+			"RETURN COUNT(*) PATTERN Stock S+ OR Halt H+ WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, 8, 0},
+		{"transactional",
+			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+			aggregate.ModeNative, 0, 0},
+	}
+	const every = event.Time(16)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			haltDiv := tc.haltDiv
+			if haltDiv == 0 {
+				haltDiv = 40
+			}
+			cfg := StmtConfig{Transactional: tc.name == "transactional"}
+			for seed := int64(1); seed <= 2; seed++ {
+				evs := rcStream(rand.New(rand.NewSource(seed)), 300,
+					tc.mode != aggregate.ModeExact, haltDiv, tc.newsDiv)
+
+				// Run A: no checkpointing (results baseline).
+				rtA := NewRuntime()
+				stA := rcRegister(t, rtA, "q", tc.q, tc.mode, cfg)
+				rcFeed(rtA, evs, 0)
+				preA := rcCaptureState([]*Stmt{stA})
+				rtA.Close()
+				finalA := rcCaptureState([]*Stmt{stA})
+
+				// Run B: checkpointing on, uninterrupted (bit-identity
+				// reference — boundary AdvanceTo may split summary folds,
+				// so Stats are compared within the checkpointed pair only).
+				var snaps []rcSnap
+				rtB := NewRuntime()
+				stB := rcRegister(t, rtB, "q", tc.q, tc.mode, cfg)
+				rcCapture(t, rtB, every, -1, &snaps)
+				rcFeed(rtB, evs, 0)
+				preB := rcCaptureState([]*Stmt{stB})
+				rcStatesEqual(t, fmt.Sprintf("seed %d: plain vs checkpointed", seed), preA, preB, false)
+				rtB.Close()
+				finalB := rcCaptureState([]*Stmt{stB})
+				rcStatesEqual(t, fmt.Sprintf("seed %d: plain vs checkpointed (closed)", seed), finalA, finalB, false)
+
+				if len(snaps) < 5 {
+					t.Fatalf("seed %d: only %d checkpoints taken", seed, len(snaps))
+				}
+
+				// Kill + restore at every boundary: replay the suffix and
+				// demand bit-identity with the uninterrupted run.
+				for i, sn := range snaps {
+					rtR, info, err := RestoreRuntime(sn.data)
+					if err != nil {
+						t.Fatalf("seed %d: restore checkpoint %d: %v", seed, i, err)
+					}
+					replayFrom := info.ReplayFrom
+					if replayFrom != sn.replayFrom {
+						t.Fatalf("seed %d: checkpoint %d replayFrom %d, serialized %d",
+							seed, i, sn.replayFrom, replayFrom)
+					}
+					if info.Every != every {
+						t.Fatalf("seed %d: checkpoint %d interval %d, want %d", seed, i, info.Every, every)
+					}
+					rcDiscard(t, rtR, every, replayFrom)
+					rcFeed(rtR, evs, replayFrom)
+					stmts := append([]*Stmt(nil), rtR.stmts...)
+					preR := rcCaptureState(stmts)
+					rcStatesEqual(t, fmt.Sprintf("seed %d: checkpoint %d restored", seed, i), preB, preR, true)
+					rtR.Close()
+					finalR := rcCaptureState(stmts)
+					rcStatesEqual(t, fmt.Sprintf("seed %d: checkpoint %d restored (closed)", seed, i), finalB, finalR, false)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryTopology restores a runtime whose statement topology
+// exercises every registration shape at once: a shared entry that
+// shrank to one subscriber, a later same-signature candidate from a
+// newer epoch, a lone candidate, a transactional exclusive statement,
+// and a composite (disjunction) statement. Restores at post-action
+// boundaries must reproduce the interrupted run bit for bit, and the
+// restored share index must not admit new subscribers into warm graphs.
+func TestRecoveryTopology(t *testing.T) {
+	const every = event.Time(32)
+	const sharedQ = "RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5"
+	const candQ = "RETURN COUNT(*) PATTERN SEQ(Halt H, Stock S+) WHERE [company] WITHIN 24 SLIDE 8"
+
+	// Strictly increasing timestamps so every index maps to one time.
+	evs := rcStream(rand.New(rand.NewSource(7)), 280, true, 20, 0)
+	tt := event.Time(0)
+	for _, ev := range evs {
+		tt++
+		ev.Time = tt
+	}
+
+	type runState struct {
+		rt    *Runtime
+		stmts map[string]*Stmt
+	}
+	script := func(t *testing.T, rt *Runtime) runState {
+		rs := runState{rt: rt, stmts: map[string]*Stmt{}}
+		reg := func(id, q string, cfg StmtConfig) {
+			rs.stmts[id] = rcRegister(t, rt, id, q, aggregate.ModeNative, cfg)
+		}
+		reg("sharedA", sharedQ, StmtConfig{Share: true})
+		reg("sharedB", sharedQ, StmtConfig{Share: true})
+		reg("txn", "RETURN COUNT(*) PATTERN Stock S+ WHERE S.price > NEXT(S).price WITHIN 16 SLIDE 4",
+			StmtConfig{Transactional: true})
+		reg("comp", "RETURN COUNT(*) PATTERN Stock S+ OR Halt H+ WITHIN 20 SLIDE 5", StmtConfig{})
+		for _, ev := range evs[:80] {
+			rt.Process(ev)
+		}
+		// New epoch: same signature no longer attaches — C becomes a
+		// fresh candidate whose index node shadows the entry's.
+		reg("sharedC", sharedQ, StmtConfig{Share: true})
+		reg("cand", candQ, StmtConfig{Share: true})
+		for _, ev := range evs[80:120] {
+			rt.Process(ev)
+		}
+		// Entry shrinks to a single subscriber (detach flush).
+		if err := rs.stmts["sharedB"].Close(); err != nil {
+			t.Fatal(err)
+		}
+		delete(rs.stmts, "sharedB")
+		for _, ev := range evs[120:] {
+			rt.Process(ev)
+		}
+		return rs
+	}
+
+	live := func(rs runState) []*Stmt {
+		out := make([]*Stmt, 0, len(rs.stmts))
+		for _, st := range rs.stmts {
+			out = append(out, st)
+		}
+		return out
+	}
+
+	// Uninterrupted checkpointed run.
+	var snaps []rcSnap
+	rtB := NewRuntime()
+	rcCapture(t, rtB, every, -1, &snaps)
+	rsB := script(t, rtB)
+	preB := rcCaptureState(live(rsB))
+
+	// Checkpoint-free baseline (results must match regardless).
+	rsA := script(t, NewRuntime())
+	preA := rcCaptureState(live(rsA))
+	rcStatesEqual(t, "plain vs checkpointed", preA, preB, false)
+
+	if got := preB.stats["sharedA"].SharedStatements; got != 1 {
+		t.Fatalf("sharedA shares with %d statements, want 1 (detached entry)", got)
+	}
+
+	closeTime := evs[119].Time
+	tested := 0
+	for i, sn := range snaps {
+		if sn.replayFrom <= closeTime {
+			continue // mid-script snapshots need the script's actions replayed too
+		}
+		tested++
+		rtR, info, err := RestoreRuntime(sn.data)
+		if err != nil {
+			t.Fatalf("restore checkpoint %d: %v", i, err)
+		}
+		replayFrom := info.ReplayFrom
+		rcDiscard(t, rtR, every, replayFrom)
+		rcFeed(rtR, evs, replayFrom)
+		preR := rcCaptureState(rtR.stmts)
+		rcStatesEqual(t, fmt.Sprintf("checkpoint %d restored", i), preB, preR, true)
+
+		// Restored graphs are warm: a new same-signature registration
+		// must become an exclusive candidate, not a subscriber.
+		st := rcRegister(t, rtR, "late", sharedQ, aggregate.ModeNative, StmtConfig{Share: true})
+		if st.entry != nil {
+			t.Fatalf("checkpoint %d: late registration attached to a restored warm graph", i)
+		}
+		if st.Stats().SharedStatements != 0 {
+			t.Fatalf("checkpoint %d: late registration reports shared statements", i)
+		}
+	}
+	if tested == 0 {
+		t.Fatalf("no post-action checkpoints to test (close at %d, %d snaps)", closeTime, len(snaps))
+	}
+}
+
+// TestCheckpointNow covers the manual path: replayFrom is watermark+1,
+// no boundary advancement happens, and on a strictly increasing stream
+// the restored run is exact.
+func TestCheckpointNow(t *testing.T) {
+	const q = "RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5"
+	evs := rcStream(rand.New(rand.NewSource(3)), 200, true, 30, 0)
+	tt := event.Time(0)
+	for _, ev := range evs {
+		tt++
+		ev.Time = tt
+	}
+
+	var snaps []rcSnap
+	rtB := NewRuntime()
+	stB := rcRegister(t, rtB, "q", q, aggregate.ModeNative, StmtConfig{})
+	if err := rtB.CheckpointNow(); err == nil {
+		t.Fatal("CheckpointNow succeeded without checkpointing configured")
+	}
+	rcCapture(t, rtB, 1<<40, -1, &snaps) // interval too long to self-trigger
+	for i, ev := range evs {
+		rtB.Process(ev)
+		if i == 127 {
+			if err := rtB.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshots, want exactly the manual one", len(snaps))
+	}
+	if want := evs[127].Time + 1; snaps[0].replayFrom != want {
+		t.Fatalf("manual replayFrom %d, want watermark+1 = %d", snaps[0].replayFrom, want)
+	}
+	preB := rcCaptureState([]*Stmt{stB})
+
+	rtR, info, err := RestoreRuntime(snaps[0].data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcFeed(rtR, evs, info.ReplayFrom)
+	preR := rcCaptureState(rtR.stmts)
+	rcStatesEqual(t, "manual checkpoint restored", preB, preR, true)
+}

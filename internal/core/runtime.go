@@ -62,6 +62,11 @@ type Runtime struct {
 
 	nextID int
 
+	// ck is the armed checkpoint schedule, nil when checkpointing is
+	// off (see checkpoint.go). The trigger in process is two loads and
+	// a compare — nothing on the steady path allocates or syscalls.
+	ck *ckState
+
 	// parDebug captures streaming-merge instrumentation from the last
 	// RunParallel (test hook).
 	parDebug *parallelDebug
@@ -261,6 +266,13 @@ func (rt *Runtime) process(ev *event.Event) error {
 	}
 	if rt.running {
 		return ErrRunning
+	}
+	// Watermark-aligned checkpoint: the boundary B <= ev.Time is fully
+	// determined before ev is applied, so the snapshot plus a replay of
+	// events >= B reproduces this run bit for bit (ev itself is the
+	// first replayed event).
+	if ck := rt.ck; ck != nil && ev.Time >= ck.next {
+		rt.checkpointAtBoundary(ev.Time)
 	}
 	// A new ingest epoch: every engine sees this event (even a dropped
 	// one is counted), so no existing graph is cold any more and none

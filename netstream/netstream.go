@@ -9,6 +9,9 @@
 //	client → server   {"type":"Stock","time":17,"attrs":{"price":99.5},"str":{"company":"co01"}}
 //	client → server   {"cmd":"register","query":"RETURN COUNT(*) PATTERN ..."}
 //	client → server   {"cmd":"close","id":"q1"}   — close one statement, flushing its windows
+//	client → server   {"cmd":"checkpoint"}        — write a durable snapshot of the session
+//	                                                runtime now (requires RuntimeOptions
+//	                                                arming greta.WithCheckpoint)
 //	client → server   {"cmd":"flush"}             — close all, receive remaining results, end session
 //	server → client   {"result":{"stmt":"q0","group":"...","wid":3,"start":30,"end":60,"values":[42]}}
 //	server → client   {"registered":{"id":"q1","query":"..."}}
@@ -19,7 +22,16 @@
 //	                                                session faults (a malformed producer), so
 //	                                                one may surface from a later command call
 //	server → client   {"warn":"..."}              — non-fatal per-event diagnostics
-//	                                                (out-of-order drops); the session continues
+//	                                                (out-of-order drops, failed checkpoint
+//	                                                writes); the session continues
+//	server → client   {"checkpointed":true}       — checkpoint acknowledgement; false (after
+//	                                                a {"warn":...} line saying why) when the
+//	                                                write failed or checkpointing is not
+//	                                                configured — the session keeps serving
+//	                                                on the previous generation either way
+//	server → client   {"error":"timeout"}         — the idle-session or read deadline
+//	                                                expired; the server closes the
+//	                                                connection after this line
 //	server → client   {"done":true,"events":12345,"dropped":0,
 //	                   "shared_stmts":4,"shared_graphs":1}
 //	                                              — the session's final stats line also
@@ -38,11 +50,14 @@ package netstream
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 
 	"github.com/greta-cep/greta"
 	"github.com/greta-cep/greta/internal/reorder"
@@ -87,8 +102,11 @@ type wireOut struct {
 	// SharedStmts/SharedGraphs report the session runtime's sub-plan
 	// sharing at flush: SharedStmts statements were served by
 	// SharedGraphs shared GRETA graphs (the rest ran exclusively).
-	SharedStmts  int    `json:"shared_stmts,omitempty"`
-	SharedGraphs int    `json:"shared_graphs,omitempty"`
+	SharedStmts  int `json:"shared_stmts,omitempty"`
+	SharedGraphs int `json:"shared_graphs,omitempty"`
+	// Checkpointed acknowledges a checkpoint command: true on a durable
+	// write, false when it degraded (a warn line preceding it says why).
+	Checkpointed *bool  `json:"checkpointed,omitempty"`
 	Error        string `json:"error,omitempty"`
 	Warn         string `json:"warn,omitempty"`
 }
@@ -119,6 +137,25 @@ type Server struct {
 	CompileOptions []greta.Option
 	// Slack enables the reorder buffer with the given time slack.
 	Slack greta.Time
+	// RuntimeOptions, when set, supplies construction options for each
+	// session's Runtime — typically greta.WithCheckpoint with a
+	// per-session directory (sessions are independent runtimes; two
+	// sessions sharing one directory would interleave generations).
+	// Called once per accepted connection. The server always routes
+	// checkpoint-write failures to {"warn":...} lines, overriding any
+	// WithCheckpointErrors in the returned slice. Ignored on the
+	// deprecated NewEngine path.
+	RuntimeOptions func() []greta.RuntimeOption
+	// ReadTimeout bounds each read from the connection; IdleTimeout
+	// bounds the gap since the last byte of client activity. When either
+	// expires the server sends a final {"error":"timeout"} line and
+	// closes the connection (open windows are NOT flushed — a stalled
+	// client is indistinguishable from a dead one). Zero disables.
+	ReadTimeout time.Duration
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each write of result/acknowledgement lines;
+	// a stuck client ends the session instead of blocking the server.
+	WriteTimeout time.Duration
 
 	mu sync.Mutex
 	ln net.Listener
@@ -148,10 +185,62 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// timeoutReader applies the session's read deadlines: each Read must
+// finish within ReadTimeout, and must begin within IdleTimeout of the
+// last byte of client activity (any byte counts — idleness means a
+// silent client, not a slow line).
+type timeoutReader struct {
+	conn       net.Conn
+	read, idle time.Duration
+	last       time.Time
+}
+
+func (r *timeoutReader) Read(p []byte) (int, error) {
+	var dl time.Time
+	if r.idle > 0 {
+		if r.last.IsZero() {
+			r.last = time.Now()
+		}
+		dl = r.last.Add(r.idle)
+	}
+	if r.read > 0 {
+		if d := time.Now().Add(r.read); dl.IsZero() || d.Before(dl) {
+			dl = d
+		}
+	}
+	if !dl.IsZero() {
+		_ = r.conn.SetReadDeadline(dl)
+	}
+	n, err := r.conn.Read(p)
+	if n > 0 {
+		r.last = time.Now()
+	}
+	return n, err
+}
+
+// deadlineWriter bounds each write so a stuck client cannot block the
+// session goroutine forever.
+type deadlineWriter struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	if w.d > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.d))
+	}
+	return w.conn.Write(p)
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // ServeConn runs one session over an established connection.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
-	w := bufio.NewWriter(conn)
+	w := bufio.NewWriter(&deadlineWriter{conn: conn, d: s.WriteTimeout})
 	enc := json.NewEncoder(w)
 	var wmu sync.Mutex
 	send := func(o wireOut) {
@@ -189,7 +278,17 @@ func (s *Server) ServeConn(conn net.Conn) {
 		rt = eng.Runtime()
 		wire(eng.Handle())
 	} else {
-		rt = greta.NewRuntime()
+		var opts []greta.RuntimeOption
+		if s.RuntimeOptions != nil {
+			opts = s.RuntimeOptions()
+		}
+		// Scheduled checkpoint-write failures degrade to warn lines
+		// instead of killing the session: the previous generation stays
+		// valid and ingestion continues.
+		opts = append(opts, greta.WithCheckpointErrors(func(err error) {
+			send(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)})
+		}))
+		rt = greta.NewRuntime(opts...)
 	}
 	defer rt.Close()
 	for _, stmt := range s.Statements {
@@ -221,7 +320,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		buf = reorder.New(s.Slack, feed)
 		feed = buf.Push
 	}
-	sc := bufio.NewScanner(conn)
+	sc := bufio.NewScanner(&timeoutReader{conn: conn, read: s.ReadTimeout, idle: s.IdleTimeout})
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var nextID uint64
 	for sc.Scan() {
@@ -282,6 +381,19 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			send(wireOut{Closed: we.ID})
 			continue
+		case "checkpoint":
+			if buf != nil { // reorder barrier: the snapshot covers every prior event
+				buf.Flush()
+			}
+			ok := true
+			if err := rt.Checkpoint(); err != nil {
+				// Degrade loudly but keep serving: the previous generation
+				// (if any) is still valid and ingestion continues.
+				send(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)})
+				ok = false
+			}
+			send(wireOut{Checkpointed: &ok})
+			continue
 		case "":
 			// An event line.
 		default:
@@ -300,6 +412,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 			Attrs: we.Attrs,
 			Str:   we.Str,
 		})
+	}
+	if isTimeout(sc.Err()) {
+		// Read/idle deadline expired: report it cleanly and end the
+		// session without the done summary — a stalled client's open
+		// windows are not flushed on its behalf.
+		send(wireOut{Error: "timeout"})
+		return
 	}
 done:
 	if buf != nil {
@@ -324,6 +443,9 @@ type Client struct {
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
+	// addr is remembered by DialContext/LazyDial so a lazily-created
+	// client can establish its connection on first use.
+	addr string
 	// pending buffers results that arrive interleaved with command
 	// acknowledgements; Flush prepends them.
 	pending []WireResult
@@ -344,6 +466,98 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return NewClient(conn), nil
+}
+
+// DialContext connects to a server, retrying transient dial failures
+// (connection refused/reset, timeouts — e.g. the server has not come
+// up yet) with exponential backoff from 10ms to 500ms until ctx is
+// done. Non-transient failures return immediately.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	conn, err := dialBackoff(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(conn)
+	c.addr = addr
+	return c, nil
+}
+
+// LazyDial returns a client with no connection yet: RegisterContext,
+// SendContext, and friends establish it on first use under their
+// context, with the DialContext retry/backoff. Useful when the
+// producer starts before the server is reachable.
+func LazyDial(addr string) *Client { return &Client{addr: addr} }
+
+func dialBackoff(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	backoff := 10 * time.Millisecond
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if !transientDial(err) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("netstream: dial %s: %w (last: %v)", addr, ctx.Err(), err)
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// transientDial reports whether a dial error is worth retrying: the
+// peer actively refused or dropped the handshake, or it timed out.
+// Anything else (bad address, canceled context, ...) is permanent.
+func transientDial(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNABORTED) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// ensure establishes a lazily-dialed client's connection.
+func (c *Client) ensure(ctx context.Context) error {
+	if c.conn != nil {
+		return nil
+	}
+	if c.addr == "" {
+		return errors.New("netstream: client has no connection and no address")
+	}
+	conn, err := dialBackoff(ctx, c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	return nil
+}
+
+// RegisterContext is Register for lazily-dialed clients: it first
+// establishes the connection (retrying transient dial failures with
+// backoff under ctx), then registers the statement.
+func (c *Client) RegisterContext(ctx context.Context, query string) (string, error) {
+	if err := c.ensure(ctx); err != nil {
+		return "", err
+	}
+	return c.Register(query)
+}
+
+// SendContext is Send for lazily-dialed clients, establishing the
+// connection under ctx first if needed.
+func (c *Client) SendContext(ctx context.Context, typ string, t int64, attrs map[string]float64, strs map[string]string) error {
+	if err := c.ensure(ctx); err != nil {
+		return err
+	}
+	return c.Send(typ, t, attrs, strs)
 }
 
 // NewClient wraps an established connection.
@@ -408,6 +622,43 @@ func (c *Client) CloseStatement(id string) error {
 	}
 }
 
+// Checkpoint asks the server to durably snapshot this session's
+// runtime now (the server must arm checkpointing via RuntimeOptions).
+// A degraded checkpoint — write failure or no configuration — returns
+// an error carrying the server's diagnostic; the session itself keeps
+// serving, so the caller may continue sending events either way.
+func (c *Client) Checkpoint() error {
+	if err := c.enc.Encode(WireEvent{Cmd: "checkpoint"}); err != nil {
+		return err
+	}
+	var lastWarn string
+	for {
+		var o wireOut
+		if err := c.dec.Decode(&o); err != nil {
+			return err
+		}
+		switch {
+		case o.Warn != "":
+			c.warnings = append(c.warnings, o.Warn)
+			lastWarn = o.Warn
+		case o.Error != "":
+			return fmt.Errorf("server: %s", o.Error)
+		case o.Checkpointed != nil:
+			if *o.Checkpointed {
+				return nil
+			}
+			if lastWarn != "" {
+				return fmt.Errorf("server: %s", lastWarn)
+			}
+			return errors.New("server: checkpoint failed")
+		case o.Result != nil:
+			c.pending = append(c.pending, *o.Result)
+		case o.Done:
+			return errors.New("server ended session before acknowledging checkpoint")
+		}
+	}
+}
+
 // Flush ends the stream and collects all remaining results plus the
 // session summary.
 func (c *Client) Flush() ([]WireResult, uint64, error) {
@@ -437,5 +688,11 @@ func (c *Client) Flush() ([]WireResult, uint64, error) {
 	}
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection (a no-op on a lazily-dialed client that
+// never connected).
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}

@@ -1,9 +1,14 @@
 package netstream
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/greta-cep/greta"
 )
@@ -363,6 +368,246 @@ func TestOutOfOrderReported(t *testing.T) {
 	}
 	if len(c.Warnings()) != 1 {
 		t.Errorf("warnings = %v, want exactly the drop diagnostic", c.Warnings())
+	}
+}
+
+// startOptServer serves sessions from a fully caller-configured Server
+// (timeouts, runtime options) on an ephemeral port.
+func startOptServer(t *testing.T, srv *Server, queries ...string) string {
+	t.Helper()
+	for _, q := range queries {
+		stmt, err := greta.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Statements = append(srv.Statements, stmt)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestIdleTimeout checks a silent client is cut off with a clean
+// {"error":"timeout"} line followed by connection close — not a silent
+// hang and not a done summary (nothing was flushed).
+func TestIdleTimeout(t *testing.T) {
+	addr := startOptServer(t, &Server{IdleTimeout: 60 * time.Millisecond},
+		"RETURN COUNT(*) PATTERN A+")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	dec := json.NewDecoder(conn)
+	var o struct {
+		Error string `json:"error"`
+		Done  bool   `json:"done"`
+	}
+	if err := dec.Decode(&o); err != nil {
+		t.Fatalf("reading timeout line: %v", err)
+	}
+	if o.Error != "timeout" || o.Done {
+		t.Fatalf("first line after idling = %+v, want error=timeout", o)
+	}
+	if err := dec.Decode(&o); err == nil {
+		t.Errorf("connection stayed open after the timeout line: %+v", o)
+	}
+}
+
+// TestCheckpointCommand drives {"cmd":"checkpoint"}: the acknowledged
+// snapshot must be restorable offline, and the session keeps serving.
+func TestCheckpointCommand(t *testing.T) {
+	dir := t.TempDir()
+	srv := &Server{
+		RuntimeOptions: func() []greta.RuntimeOption {
+			return []greta.RuntimeOption{greta.WithCheckpoint(dir, 1<<40)}
+		},
+	}
+	addr := startOptServer(t, srv, "RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for tm := int64(1); tm <= 12; tm++ {
+		if err := c.Send("A", tm, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint command: %v", err)
+	}
+	// The acknowledged write is durable: an independent Restore sees the
+	// session's statement and watermark.
+	res, err := greta.Restore(dir)
+	if err != nil {
+		t.Fatalf("restoring the session checkpoint: %v", err)
+	}
+	if len(res.Handles) != 1 || res.Handles[0].ID() != "q0" {
+		t.Fatalf("restored handles = %+v, want one q0", res.Handles)
+	}
+	res.Close()
+	// The session continued past the checkpoint.
+	if err := c.Send("A", 13, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	results, events, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 13 || len(results) == 0 {
+		t.Errorf("post-checkpoint session: events=%d results=%+v", events, results)
+	}
+}
+
+// TestCheckpointDegrades covers the failure paths: a write failure and
+// a server with no checkpoint configuration both surface as warn-backed
+// errors, and in both cases the session keeps serving.
+func TestCheckpointDegrades(t *testing.T) {
+	// Shadow the checkpoint directory's parent with a regular file so
+	// every write fails at MkdirAll.
+	shadow := filepath.Join(t.TempDir(), "shadow")
+	if err := os.WriteFile(shadow, []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{
+		RuntimeOptions: func() []greta.RuntimeOption {
+			return []greta.RuntimeOption{greta.WithCheckpoint(filepath.Join(shadow, "ck"), 1<<40)}
+		},
+	}
+	addr := startOptServer(t, srv, "RETURN COUNT(*) PATTERN A+")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send("A", 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err == nil {
+		t.Fatal("failed checkpoint write must surface to the client")
+	}
+	if len(c.Warnings()) == 0 {
+		t.Error("degraded checkpoint left no warn diagnostic")
+	}
+	if err := c.Send("A", 2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	results, events, err := c.Flush()
+	if err != nil || events != 2 || len(results) != 1 {
+		t.Errorf("session after degraded checkpoint: results=%+v events=%d err=%v", results, events, err)
+	}
+
+	// No RuntimeOptions at all: checkpoint is unconfigured.
+	addr2 := startRuntimeServer(t, "RETURN COUNT(*) PATTERN A+")
+	c2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Checkpoint(); err == nil {
+		t.Error("checkpoint on an unconfigured server must report an error")
+	}
+	if err := c2.Send("A", 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, events, err := c2.Flush(); err != nil || events != 1 {
+		t.Errorf("session after unconfigured checkpoint: events=%d err=%v", events, err)
+	}
+}
+
+// reserveAddr grabs an ephemeral address and frees it, so dials hit
+// connection-refused until the test brings a server up on it.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startLateServer brings srv up on addr after the given delay.
+func startLateServer(t *testing.T, srv *Server, addr string, delay time.Duration) {
+	t.Helper()
+	t.Cleanup(func() { srv.Close() })
+	go func() {
+		time.Sleep(delay)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		srv.Serve(ln) //nolint:errcheck
+	}()
+}
+
+// TestDialContextBackoff checks DialContext retries connection-refused
+// with backoff until the server appears, and gives up cleanly when the
+// context expires first.
+func TestDialContextBackoff(t *testing.T) {
+	addr := reserveAddr(t)
+	stmt, err := greta.Compile("RETURN COUNT(*) PATTERN A+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Statements: []*greta.Statement{stmt}}
+	startLateServer(t, srv, addr, 80*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := DialContext(ctx, addr)
+	if err != nil {
+		t.Fatalf("DialContext did not retry to success: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send("A", 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, events, err := c.Flush(); err != nil || events != 1 {
+		t.Errorf("session over retried dial: events=%d err=%v", events, err)
+	}
+
+	// A dead address with a short deadline: the retry loop must stop
+	// with the context error instead of spinning.
+	dead := reserveAddr(t)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if _, err := DialContext(ctx2, dead); err == nil {
+		t.Error("dial to a dead address must fail once the context expires")
+	}
+}
+
+// TestLazyDialRetry checks a lazily-dialed client connects on first
+// use, retrying under the operation's context.
+func TestLazyDialRetry(t *testing.T) {
+	addr := reserveAddr(t)
+	srv := &Server{AllowRegister: true}
+	startLateServer(t, srv, addr, 60*time.Millisecond)
+
+	c := LazyDial(addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	id, err := c.RegisterContext(ctx, "RETURN COUNT(*) PATTERN A+")
+	if err != nil {
+		t.Fatalf("RegisterContext over lazy dial: %v", err)
+	}
+	if id != "q0" {
+		t.Errorf("registered id = %q, want q0", id)
+	}
+	if err := c.SendContext(ctx, "A", 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	results, events, err := c.Flush()
+	if err != nil || events != 1 || len(results) != 1 {
+		t.Errorf("lazy session: results=%+v events=%d err=%v", results, events, err)
 	}
 }
 

@@ -54,9 +54,33 @@ type Runtime struct {
 }
 
 // NewRuntime builds an empty runtime; register statements with
-// Register and feed events with Process or Run.
-func NewRuntime() *Runtime {
-	return &Runtime{inner: core.NewRuntime()}
+// Register and feed events with Process or Run. Options configure
+// runtime-wide behavior (see WithCheckpoint); NewRuntime panics on an
+// invalid option combination (e.g. a non-positive checkpoint
+// interval), which is a programming error, not a runtime condition.
+func NewRuntime(opts ...RuntimeOption) *Runtime {
+	var cfg runtimeConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	rt := &Runtime{inner: core.NewRuntime()}
+	if cfg.ckDir != "" {
+		if err := rt.armCheckpoint(cfg.ckDir, cfg.ckEvery, -1, cfg.ckErr); err != nil {
+			panic(err)
+		}
+	}
+	return rt
+}
+
+// RuntimeOption configures a Runtime at construction (NewRuntime) or
+// restoration (Restore).
+type RuntimeOption func(*runtimeConfig)
+
+// runtimeConfig collects runtime-wide options.
+type runtimeConfig struct {
+	ckDir   string
+	ckEvery Time
+	ckErr   func(error)
 }
 
 // RegisterOption configures one statement registration.
@@ -102,7 +126,10 @@ func WithoutRetention() RegisterOption {
 // Register attaches a compiled statement to the shared ingest and
 // returns its Handle. The statement sees events from the current
 // watermark onward; windows that ended before registration are never
-// emitted. Register works mid-stream.
+// emitted. Register works mid-stream on the sequential path; while
+// RunParallel owns the runtime it fails eagerly with ErrRunning —
+// before compiling any engine state — rather than racing the workers
+// or blocking until the stream ends.
 func (rt *Runtime) Register(stmt *Statement, opts ...RegisterOption) (*Handle, error) {
 	cfg := core.StmtConfig{Share: true}
 	for _, opt := range opts {
@@ -143,7 +170,9 @@ func (rt *Runtime) Run(ctx context.Context, s Stream) error { return rt.inner.Ru
 // RunParallel must own the runtime from the start (no events processed
 // yet); otherwise it falls back to the sequential Run. It drives the
 // stream to completion (or ctx cancellation) and closes the runtime.
-// Result callbacks may fire from internal goroutines.
+// Result callbacks may fire from internal goroutines. While it runs,
+// Register, Handle.Close, Process, and Checkpoint return ErrRunning
+// eagerly instead of racing the workers.
 func (rt *Runtime) RunParallel(ctx context.Context, s Stream, workers int) error {
 	return rt.inner.RunParallel(ctx, s, workers)
 }

@@ -263,3 +263,84 @@ func TestRuntimeParallelPublic(t *testing.T) {
 		}
 	}
 }
+
+// gateStream feeds a prefix, then holds mid-stream until released —
+// keeping RunParallel in flight while the test races registrations
+// against it.
+type gateStream struct {
+	evs     []*greta.Event
+	i       int
+	began   chan struct{} // closed on first Next: RunParallel owns the runtime
+	release chan struct{} // closing resumes the stream
+}
+
+func (s *gateStream) Next() *greta.Event {
+	if s.i == 0 {
+		close(s.began)
+	}
+	if s.i == len(s.evs)/2 {
+		<-s.release
+	}
+	if s.i >= len(s.evs) {
+		return nil
+	}
+	ev := s.evs[s.i]
+	s.i++
+	return ev
+}
+
+// TestRegisterDuringRunParallel pins the eager ErrRunning contract:
+// registrations racing an in-flight RunParallel fail immediately with
+// ErrRunning — they neither block until the stream ends nor race the
+// workers — and the parallel run's own results are unaffected. Run
+// under -race this doubles as the data-race regression test.
+func TestRegisterDuringRunParallel(t *testing.T) {
+	const query = "RETURN COUNT(*) PATTERN Measurement M+ WHERE [job] WITHIN 30 seconds SLIDE 10 seconds"
+	events := greta.ClusterStream(greta.DefaultCluster(4000))
+
+	rt := greta.NewRuntime()
+	h, err := rt.Register(greta.MustCompile(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &gateStream{evs: events, began: make(chan struct{}), release: make(chan struct{})}
+	runErr := make(chan error, 1)
+	go func() { runErr <- rt.RunParallel(context.Background(), s, 4) }()
+	<-s.began
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := rt.Register(greta.MustCompile(query)); !errors.Is(err, greta.ErrRunning) {
+				t.Errorf("Register during RunParallel: err = %v, want ErrRunning", err)
+			}
+			if err := rt.Process(&greta.Event{ID: 1, Type: "Measurement", Time: 1}); !errors.Is(err, greta.ErrRunning) {
+				t.Errorf("Process during RunParallel: err = %v, want ErrRunning", err)
+			}
+			if err := h.Close(); !errors.Is(err, greta.ErrRunning) {
+				t.Errorf("Handle.Close during RunParallel: err = %v, want ErrRunning", err)
+			}
+		}()
+	}
+	// The rejections are eager: every goroutine returns while the stream
+	// is still held open mid-run (a lazy check would deadlock here).
+	wg.Wait()
+	close(s.release)
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// RunParallel closed the runtime; late registrations now say so.
+	if _, err := rt.Register(greta.MustCompile(query)); !errors.Is(err, greta.ErrClosed) {
+		t.Errorf("Register after RunParallel: err = %v, want ErrClosed", err)
+	}
+	n := 0
+	for range h.Results() {
+		n++
+	}
+	if n == 0 {
+		t.Error("parallel run emitted no results")
+	}
+}

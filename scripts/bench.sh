@@ -12,7 +12,7 @@ set -eu
 
 out="${1:-BENCH.json}"
 benchtime="${2:-1x}"
-pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements'
+pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements|BenchmarkCheckpointWrite|BenchmarkRestore'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -23,16 +23,18 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; iters = $2
-    ns = ""; bytes = ""; allocs = ""; evs = ""
+    ns = ""; bytes = ""; allocs = ""; evs = ""; snap = ""
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
         if ($(i+1) == "events/s") evs = $i
+        if ($(i+1) == "snapshot-bytes") snap = $i
     }
     if (ns == "") next
     line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
     if (evs != "") line = line sprintf(", \"events_per_sec\": %s", evs)
+    if (snap != "") line = line sprintf(", \"snapshot_bytes\": %s", snap)
     if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
     lines[n++] = line "}"
