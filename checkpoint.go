@@ -45,6 +45,23 @@ func WithCheckpointErrors(f func(error)) RuntimeOption {
 	return func(c *runtimeConfig) { c.ckErr = f }
 }
 
+// WithCheckpointMeta registers an opaque session-meta provider: f runs
+// at snapshot-encode time (on the ingest path, runtime lock held — it
+// must not call back into the Runtime) and its bytes are embedded in
+// the checkpoint header, surfacing again as Restored.Meta. Serving
+// layers use it to persist session identity and sequence cursors
+// atomically with the engine state they describe (netstream stores the
+// session id and last-applied event sequence this way). nil clears the
+// provider; a restored runtime re-encodes the snapshot's blob until a
+// new provider is set (SetCheckpointMeta).
+func WithCheckpointMeta(f func() []byte) RuntimeOption {
+	return func(c *runtimeConfig) { c.ckMeta = f }
+}
+
+// SetCheckpointMeta replaces the session-meta provider after
+// construction or restore (see WithCheckpointMeta).
+func (rt *Runtime) SetCheckpointMeta(f func() []byte) { rt.inner.SetCheckpointMeta(f) }
+
 // armCheckpoint wires a generational Store under dir into the core
 // checkpoint schedule. from < 0 starts a fresh schedule; a restored
 // runtime passes its replay bound so the cadence resumes unchanged.
@@ -87,6 +104,17 @@ type Restored struct {
 	*Runtime
 	Handles    []*Handle
 	ReplayFrom Time
+	// Meta is the opaque session-meta blob the snapshot carried
+	// (WithCheckpointMeta); nil when none was set.
+	Meta []byte
+	// ReorderPending reports how many in-flight events were rehydrated
+	// into the reorder buffer (the snapshot's disorder window). With
+	// slack armed, the time-based ReplayFrom contract extends to them:
+	// replayed events that were already pending are deduplicated by
+	// event ID, so feeding Time >= ReplayFrom neither loses nor doubles
+	// the window — sequence-based replay (netstream sessions) needs no
+	// dedup at all.
+	ReorderPending int
 }
 
 // Restore rebuilds a Runtime from the newest valid checkpoint in dir,
@@ -141,5 +169,11 @@ func Restore(dir string, opts ...RuntimeOption) (*Restored, error) {
 			return nil, err
 		}
 	}
-	return &Restored{Runtime: rt, Handles: handles, ReplayFrom: info.ReplayFrom}, nil
+	if cfg.ckMeta != nil {
+		rt.inner.SetCheckpointMeta(cfg.ckMeta)
+	}
+	return &Restored{
+		Runtime: rt, Handles: handles, ReplayFrom: info.ReplayFrom,
+		Meta: info.Meta, ReorderPending: info.ReorderPending,
+	}, nil
 }

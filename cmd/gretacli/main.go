@@ -23,12 +23,17 @@
 //
 //	gretacli -query '...' -workload stock -checkpoint-dir /tmp/ck -checkpoint-every 100
 //	gretacli -restore -checkpoint-dir /tmp/ck -workload stock
+//
+// Disorder: -slack N buffers events up to N time units behind the
+// stream maximum and releases them in order; later events are dropped
+// with a diagnostic on stderr (event time vs the violated watermark).
 package main
 
 import (
 	"bufio"
 	"cmp"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +67,7 @@ func main() {
 	ckDir := flag.String("checkpoint-dir", "", "write watermark-aligned checkpoints into this directory (sequential runs only)")
 	ckEvery := flag.Int64("checkpoint-every", 0, "checkpoint boundary interval in event-time units (required with -checkpoint-dir)")
 	restoreFlag := flag.Bool("restore", false, "rebuild the runtime from -checkpoint-dir instead of -query flags, replaying only events at or past the checkpoint watermark")
+	slack := flag.Int64("slack", 0, "tolerate out-of-order events up to this many time units behind the stream maximum (reorder buffer)")
 	flag.Parse()
 
 	if *restoreFlag {
@@ -86,6 +92,14 @@ func main() {
 		// Checkpoints ride the sequential ingest path; RunParallel owns
 		// the stream without boundary hooks.
 		fmt.Fprintln(os.Stderr, "-checkpoint-dir requires -workers 1")
+		os.Exit(2)
+	}
+	if *slack > 0 && *workers > 1 {
+		fmt.Fprintln(os.Stderr, "-slack requires -workers 1")
+		os.Exit(2)
+	}
+	if *slack > 0 && *restoreFlag {
+		fmt.Fprintln(os.Stderr, "-restore recovers the slack recorded in the checkpoint; drop -slack")
 		os.Exit(2)
 	}
 	var opts []greta.Option
@@ -163,6 +177,9 @@ func main() {
 				greta.WithCheckpoint(*ckDir, *ckEvery),
 				greta.WithCheckpointErrors(func(err error) { fmt.Fprintln(os.Stderr, "checkpoint:", err) }))
 		}
+		if *slack > 0 {
+			ropts = append(ropts, greta.WithReorderSlack(*slack))
+		}
 		rt = greta.NewRuntime(ropts...)
 		handles = make([]*greta.Handle, 0, len(queries))
 		for _, src := range queries {
@@ -187,7 +204,32 @@ func main() {
 	if *workers > 1 {
 		err = rt.RunParallel(ctx, greta.NewSliceStream(evs), *workers)
 	} else {
-		if err = rt.Run(ctx, greta.NewSliceStream(evs)); err == nil {
+		// Feed event by event so out-of-order drops surface with their
+		// diagnostics (event time vs the violated watermark or reorder
+		// horizon) instead of vanishing inside Run.
+		const maxWarns = 10
+		dropped := 0
+		for _, ev := range evs {
+			perr := rt.Process(ev)
+			if perr == nil {
+				continue
+			}
+			var oe *greta.OrderError
+			if errors.As(perr, &oe) {
+				dropped++
+				if dropped <= maxWarns {
+					fmt.Fprintf(os.Stderr, "out-of-order drop: event %d time %d behind watermark %d\n",
+						ev.ID, oe.EventTime, oe.Watermark)
+				}
+				continue
+			}
+			err = perr
+			break
+		}
+		if dropped > maxWarns {
+			fmt.Fprintf(os.Stderr, "... %d more out-of-order drops\n", dropped-maxWarns)
+		}
+		if err == nil {
 			err = rt.Close()
 		}
 	}

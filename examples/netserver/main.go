@@ -9,13 +9,25 @@
 // halfway through, registers a second query — a per-sector volume
 // monitor — which sees the stream from its registration watermark
 // onward.
+//
+// The session is resumable: the client asks for a session id up front
+// (EnableResume) and every event carries a sequence number. Three
+// quarters in, the client stalls past the server's read timeout — the
+// server parks the session in its linger window instead of tearing it
+// down — and heals the break with Resume, which redials and replays
+// the unacknowledged tail of the send buffer; the server dedups by
+// seq, so every event still applies exactly once. The run ends with
+// Server.Shutdown: stop accepting, drain and flush the remaining
+// sessions, then close.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"time"
 
 	"github.com/greta-cep/greta"
 	"github.com/greta-cep/greta/netstream"
@@ -36,12 +48,14 @@ func main() {
 		Statements:    []*greta.Statement{q1}, // registered as "q0" per session
 		AllowRegister: true,                   // clients may add statements mid-stream
 		Slack:         5,                      // tolerate events up to 5 seconds late
+		ReadTimeout:   300 * time.Millisecond, // a silent peer is parked, not served
+		Linger:        30 * time.Second,       // parked sessions await a resume this long
+		Heartbeat:     100 * time.Millisecond, // pings surface dead peers on the write path
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 	go func() {
 		if err := srv.Serve(ln); err != nil {
 			// listener closed at shutdown
@@ -55,6 +69,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+
+	ctx := context.Background()
+	sid, err := client.EnableResume(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumable session %q\n", sid)
 
 	// Stream a stock feed with bounded disorder (±3 seconds of jitter);
 	// halfway through, attach the volume monitor mid-stream.
@@ -74,12 +95,30 @@ func main() {
 			}
 			fmt.Printf("registered volume monitor mid-stream as %q\n", volumeID)
 		}
+		if i == 3*len(events)/4 {
+			// Stall past the server's read timeout: the server parks the
+			// session in its linger window and closes the connection.
+			// Resume redials, identifies the session, learns the last
+			// sequence number the server applied, and replays the
+			// unacknowledged tail — nothing is lost, nothing doubles.
+			time.Sleep(srv.ReadTimeout + 200*time.Millisecond)
+			if err := client.Resume(ctx); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("connection parked by read timeout; resumed session %q at event %d\n", sid, i)
+		}
 		t := ev.Time
 		if jitter := rng.Intn(4); jitter > 0 && t >= int64(jitter) {
 			t -= int64(jitter)
 		}
 		if err := client.Send(string(ev.Type), t, ev.Attrs, ev.Str); err != nil {
-			log.Fatal(err)
+			// A break the stall did not surface: heal it and keep going —
+			// the failed event was buffered before the write, so the
+			// resume replay covers it.
+			if rerr := client.Resume(ctx); rerr != nil {
+				log.Fatal(rerr)
+			}
+			fmt.Printf("send failed (%v); resumed session %q at event %d\n", err, sid, i)
 		}
 	}
 
@@ -100,4 +139,13 @@ func main() {
 			break
 		}
 	}
+
+	// Graceful drain: stop accepting, flush and close any remaining
+	// sessions (this one already flushed), then release the listener.
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained and shut down")
 }

@@ -36,11 +36,16 @@ import (
 	"github.com/greta-cep/greta/internal/checkpoint"
 	"github.com/greta-cep/greta/internal/event"
 	"github.com/greta-cep/greta/internal/query"
+	"github.com/greta-cep/greta/internal/reorder"
 )
 
 // ckVersion is the core body format version (the Store frames the body
 // with magic and checksum; this word versions the body layout).
-const ckVersion = 1
+// Version 2 added the session-meta blob to the header and the reorder
+// buffer section (slack, watermarks, pending in-flight events) to the
+// body, so a restored runtime rehydrates its disorder window instead
+// of silently flushing it.
+const ckVersion = 2
 
 // SaveFunc persists one snapshot. replayFrom is the inclusive
 // event-time lower bound the feeder must replay after a restore;
@@ -78,6 +83,18 @@ func (rt *Runtime) SetCheckpoint(every, from event.Time, save SaveFunc, onErr fu
 	}
 	rt.ck = &ckState{every: every, next: next, save: save, onErr: onErr}
 	return nil
+}
+
+// SetCheckpointMeta registers an opaque session-meta provider: f is
+// invoked at snapshot-encode time (runtime lock held — it must not
+// call back into the Runtime) and its bytes travel inside the
+// checkpoint header, surfacing again as RestoreInfo.Meta. The serving
+// layer uses it to persist session identity and sequence cursors next
+// to the engine state they describe. nil clears the provider.
+func (rt *Runtime) SetCheckpointMeta(f func() []byte) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.ckMeta = f
 }
 
 // checkpointAtBoundary runs a scheduled checkpoint; rt.mu held, t is
@@ -1070,6 +1087,30 @@ func (rt *Runtime) encodeLocked(w io.Writer, replayFrom event.Time) error {
 		be.U32(uint32(len(e.subs)))
 		encodeEngine(be, tab, e.host.eng)
 	}
+	// Reorder section: the disorder window travels with the snapshot.
+	// Pending events are interned in the event table like any vertex
+	// reference, listed in canonical release order (time, arrival). A
+	// release in flight (popped from the buffer, not yet applied — it
+	// is what fired this boundary) leads the list: it is first in
+	// release order and would otherwise vanish from both replay modes.
+	if b := rt.reorder; b != nil {
+		be.Bool(true)
+		s := b.Snapshot()
+		pend := s.Pending
+		if rt.inflight != nil {
+			pend = append([]*event.Event{rt.inflight}, pend...)
+		}
+		be.I64(s.Slack)
+		be.I64(s.MaxSeen)
+		be.I64(s.Released)
+		be.U64(s.Dropped)
+		be.U32(uint32(len(pend)))
+		for _, ev := range pend {
+			be.U32(tab.ref(ev))
+		}
+	} else {
+		be.Bool(false)
+	}
 	if err := be.Err(); err != nil {
 		return err
 	}
@@ -1084,6 +1125,11 @@ func (rt *Runtime) encodeLocked(w io.Writer, replayFrom event.Time) error {
 	he.I64(every)
 	he.I64(rt.watermark)
 	he.U64(uint64(rt.nextID))
+	var meta []byte
+	if rt.ckMeta != nil {
+		meta = rt.ckMeta()
+	}
+	he.Bytes(meta)
 	tab.encode(he)
 	if err := he.Err(); err != nil {
 		return err
@@ -1103,6 +1149,14 @@ func (rt *Runtime) encodeLocked(w io.Writer, replayFrom event.Time) error {
 type RestoreInfo struct {
 	ReplayFrom event.Time
 	Every      event.Time
+	// Meta is the opaque session-meta blob the snapshot was written
+	// with (SetCheckpointMeta); nil when none.
+	Meta []byte
+	// ReorderSlack and ReorderPending describe the rehydrated disorder
+	// window: the armed slack (0 when off) and how many in-flight
+	// events were restored into the buffer.
+	ReorderSlack   event.Time
+	ReorderPending int
 }
 
 // RestoreRuntime rebuilds a Runtime from checkpoint body bytes (as
@@ -1124,6 +1178,12 @@ func RestoreRuntime(data []byte) (*Runtime, RestoreInfo, error) {
 	every := d.I64()
 	wm := d.I64()
 	nextID := d.U64()
+	meta := d.Bytes()
+	if len(meta) == 0 {
+		meta = nil
+	} else {
+		meta = append([]byte(nil), meta...)
+	}
 	schemas := decodeSchemas(d)
 	events, err := decodeEvents(d, schemas)
 	if err != nil {
@@ -1247,12 +1307,56 @@ func RestoreRuntime(data []byte) (*Runtime, RestoreInfo, error) {
 	if err := d.Err(); err != nil {
 		return nil, RestoreInfo{}, err
 	}
+	info := RestoreInfo{ReplayFrom: replayFrom, Every: every, Meta: meta}
+	if d.Bool() {
+		snap := &reorder.Snapshot{
+			Slack:    d.I64(),
+			MaxSeen:  d.I64(),
+			Released: d.I64(),
+			Dropped:  d.U64(),
+		}
+		np := d.Len(4)
+		for i := 0; i < np && d.Err() == nil; i++ {
+			ref := int(d.U32())
+			if d.Err() != nil {
+				break
+			}
+			if ref >= len(events) {
+				return nil, RestoreInfo{}, d.Corrupt("reorder pending ref %d out of range", ref)
+			}
+			snap.Pending = append(snap.Pending, events[ref])
+		}
+		if err := d.Err(); err != nil {
+			return nil, RestoreInfo{}, err
+		}
+		if snap.Slack <= 0 {
+			return nil, RestoreInfo{}, d.Corrupt("reorder section with non-positive slack %d", snap.Slack)
+		}
+		rt.reorder = reorder.Restore(snap, rt.applyReleased)
+		if len(snap.Pending) > 0 {
+			rt.replayDedup = make(map[uint64]struct{}, len(snap.Pending))
+			for _, ev := range snap.Pending {
+				rt.replayDedup[ev.ID] = struct{}{}
+			}
+		}
+		info.ReorderSlack = snap.Slack
+		info.ReorderPending = len(snap.Pending)
+	}
+	if err := d.Err(); err != nil {
+		return nil, RestoreInfo{}, err
+	}
 	if d.Remaining() != 0 {
 		return nil, RestoreInfo{}, d.Corrupt("%d trailing bytes after checkpoint body", d.Remaining())
 	}
 
 	rt.watermark = wm
 	rt.nextID = int(nextID)
+	if meta != nil {
+		// Re-encoding a restored runtime without a fresh provider keeps
+		// the snapshot's blob (round-trip identity); the serving layer
+		// overwrites it via SetCheckpointMeta once the session rebinds.
+		rt.ckMeta = func() []byte { return meta }
+	}
 	for _, st := range rt.stmts {
 		st.parPrev = wm
 	}
@@ -1262,5 +1366,5 @@ func RestoreRuntime(data []byte) (*Runtime, RestoreInfo, error) {
 	// Restored graphs are warm by definition: advance the share epoch
 	// so none of them accepts new subscribers.
 	rt.shareIdx.Advance()
-	return rt, RestoreInfo{ReplayFrom: replayFrom, Every: every}, nil
+	return rt, info, nil
 }

@@ -19,25 +19,30 @@ var fuzzShapes = []struct {
 	mode    aggregate.Mode
 	txn     bool
 	share   bool
+	slack   int64 // > 0 arms the reorder buffer (and a session-meta blob)
 }{
 	{"minmax-nan", []string{ // NaN sort keys in MIN/MAX summary trees
 		"RETURN MIN(S.price), MAX(S.price), AVG(S.price) PATTERN Stock S+ WHERE [company] WITHIN 20 SLIDE 5",
-	}, aggregate.ModeNative, false, false},
+	}, aggregate.ModeNative, false, false, 0},
 	{"shared-pair", []string{ // one shared graph, union payload slots
 		"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
 		"RETURN SUM(S.price), MIN(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
-	}, aggregate.ModeNative, false, true},
+	}, aggregate.ModeNative, false, true, 0},
 	{"negation", []string{ // invalidation cursors, wmVer summaries
 		"RETURN COUNT(*), SUM(S.price) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] AND S.price > NEXT(S).price WITHIN 30 SLIDE 10",
 		"RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+) WHERE [company] WITHIN 24 SLIDE 8",
-	}, aggregate.ModeNative, false, false},
+	}, aggregate.ModeNative, false, false, 0},
 	{"exact", []string{ // big.Int counters, big.Float sums
 		"RETURN COUNT(*), SUM(S.price), AVG(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
-	}, aggregate.ModeExact, false, false},
+	}, aggregate.ModeExact, false, false, 0},
 	{"txn-disjunction", []string{ // batch buffers + composite engines
 		"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
 		"RETURN COUNT(*) PATTERN Stock S+ OR Halt H+ WITHIN 20 SLIDE 5",
-	}, aggregate.ModeNative, true, false},
+	}, aggregate.ModeNative, true, false, 0},
+	{"reorder-meta", []string{ // disorder window + session-meta blob (v2 frame)
+		"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+		"RETURN COUNT(*) PATTERN Stock S+ OR Halt H+ WITHIN 20 SLIDE 5",
+	}, aggregate.ModeNative, false, false, 4},
 }
 
 // fuzzBuild feeds a randomized workload into a runtime of the given
@@ -47,6 +52,12 @@ func fuzzBuild(t testing.TB, shape int, seed int64, nEv int, every event.Time) [
 	t.Helper()
 	sh := fuzzShapes[shape]
 	rt := NewRuntime()
+	if sh.slack > 0 {
+		if err := rt.SetReorderSlack(event.Time(sh.slack)); err != nil {
+			t.Fatal(err)
+		}
+		rt.SetCheckpointMeta(func() []byte { return []byte(`{"sess":"fuzz","cursor":7}`) })
+	}
 	for i, q := range sh.queries {
 		cfg := StmtConfig{Share: sh.share}
 		if sh.txn && i == 0 {
@@ -57,6 +68,9 @@ func fuzzBuild(t testing.TB, shape int, seed int64, nEv int, every event.Time) [
 	var snaps []rcSnap
 	rcCapture(t, rt, every, -1, &snaps)
 	evs := rcStream(rand.New(rand.NewSource(seed)), nEv, sh.mode != aggregate.ModeExact, 8, 20)
+	if sh.slack > 0 {
+		rcJitter(rand.New(rand.NewSource(seed^0x5eed)), evs, sh.slack)
+	}
 	rcFeed(rt, evs, 0)
 	if err := rt.CheckpointNow(); err != nil {
 		t.Fatal(err)

@@ -63,8 +63,10 @@ func (rt *Runtime) RunParallel(ctx context.Context, s event.Stream, workers int)
 			inline = append(inline, unit)
 		}
 	}
-	// The per-worker event mask carries one bit per route group.
-	if workers <= 1 || len(parStmts) == 0 || len(groups) > 64 || rt.watermark >= 0 {
+	// The per-worker event mask carries one bit per route group. A
+	// runtime with reorder slack armed also runs sequentially: the
+	// buffer's release order is defined over one arrival sequence.
+	if workers <= 1 || len(parStmts) == 0 || len(groups) > 64 || rt.watermark >= 0 || rt.reorder != nil {
 		rt.mu.Unlock()
 		if err := rt.Run(ctx, s); err != nil {
 			_ = rt.Close()

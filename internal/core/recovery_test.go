@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"github.com/greta-cep/greta/internal/aggregate"
@@ -63,6 +65,20 @@ func rcStream(rng *rand.Rand, n int, allowNaN bool, haltDiv, newsDiv int) []*eve
 		evs = append(evs, ev)
 	}
 	return evs
+}
+
+// rcJitter pulls event times back by up to slack+2 (clamped at 0):
+// bounded disorder for the reorder buffer, occasionally past the slack
+// so deterministic drops occur. Arrival order and IDs are unchanged.
+func rcJitter(rng *rand.Rand, evs []*event.Event, slack int64) {
+	for _, ev := range evs {
+		j := event.Time(rng.Intn(int(slack) + 3))
+		if ev.Time > j {
+			ev.Time -= j
+		} else {
+			ev.Time = 0
+		}
+	}
 }
 
 // rcSnap is one captured checkpoint.
@@ -313,6 +329,170 @@ func TestRecoveryDifferential(t *testing.T) {
 					rtR.Close()
 					finalR := rcCaptureState(stmts)
 					rcStatesEqual(t, fmt.Sprintf("seed %d: checkpoint %d restored (closed)", seed, i), finalB, finalR, false)
+				}
+			}
+		})
+	}
+}
+
+// TestReorderRecoveryDifferential is the disorder-window recovery
+// differential: a slack-armed runtime is checkpointed on schedule while
+// a jittered stream is in flight, then killed and restored at every
+// snapshot; replaying the arrival suffix from the snapshot's meta
+// cursor must reproduce the uninterrupted run bit for bit — results,
+// Stats, watermark, pending-window size, and drop totals. The cursor is
+// written by the meta provider at encode time (inside Process, before
+// the trigger event applies), so the test also pins the two contracts
+// the serving layer's sequence replay depends on: the cursor points at
+// the exact resume spot, and a release in flight when the boundary
+// fires survives inside the snapshot (no silent flush).
+func TestReorderRecoveryDifferential(t *testing.T) {
+	cases := []struct {
+		name    string
+		queries []string
+		slack   int64
+		share   bool
+	}{
+		{"kleene-windowed", []string{
+			"RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+		}, 4, false},
+		{"negation", []string{
+			"RETURN COUNT(*), SUM(S.price) PATTERN SEQ(Stock S+, NOT Halt H) WHERE [company] AND S.price > NEXT(S).price WITHIN 30 SLIDE 10",
+		}, 5, false},
+		{"shared-disjunction", []string{
+			"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+			"RETURN SUM(S.price) PATTERN Stock S+ WHERE [company] AND S.price > NEXT(S).price WITHIN 20 SLIDE 5",
+			"RETURN COUNT(*) PATTERN Stock S+ OR Halt H+ WITHIN 20 SLIDE 5",
+		}, 3, true},
+	}
+	const every = event.Time(16)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 2; seed++ {
+				evs := rcStream(rand.New(rand.NewSource(seed)), 300, false, 12, 0)
+				rcJitter(rand.New(rand.NewSource(seed^0x5eed)), evs, tc.slack)
+
+				build := func() (*Runtime, []*Stmt) {
+					rt := NewRuntime()
+					if err := rt.SetReorderSlack(event.Time(tc.slack)); err != nil {
+						t.Fatal(err)
+					}
+					stmts := make([]*Stmt, len(tc.queries))
+					for i, q := range tc.queries {
+						stmts[i] = rcRegister(t, rt, fmt.Sprintf("q%d", i), q,
+							aggregate.ModeNative, StmtConfig{Share: tc.share})
+					}
+					return rt, stmts
+				}
+				feed := func(rt *Runtime, evs []*event.Event, onEvent func(int)) int {
+					drops := 0
+					for i, ev := range evs {
+						if err := rt.Process(ev); err != nil {
+							var oe *OrderError
+							if !errors.As(err, &oe) {
+								t.Fatalf("seed %d: event %d: %v", seed, i, err)
+							}
+							drops++
+						}
+						if onEvent != nil {
+							onEvent(i)
+						}
+					}
+					return drops
+				}
+
+				// Baseline A: slack armed, no checkpointing.
+				rtA, stA := build()
+				dropsA := feed(rtA, evs, nil)
+
+				// Run B: checkpointing armed; the meta cursor counts the
+				// events consumed so far, advanced AFTER each Process —
+				// a boundary snapshot fired inside Process must still
+				// point at the previous event.
+				var snaps []rcSnap
+				rtB, stB := build()
+				cur := 0
+				rtB.SetCheckpointMeta(func() []byte { return []byte(strconv.Itoa(cur)) })
+				rcCapture(t, rtB, every, -1, &snaps)
+				dropsB := feed(rtB, evs, func(i int) { cur = i + 1 })
+				nFeed := len(snaps) // Close's barrier below may emit more
+				if dropsB == 0 {
+					t.Fatalf("seed %d: jitter produced no drops (slack %d); widen the jitter", seed, tc.slack)
+				}
+				if dropsA != dropsB {
+					t.Fatalf("seed %d: baseline dropped %d, checkpointed run %d", seed, dropsA, dropsB)
+				}
+				preA := rcCaptureState(stA)
+				preB := rcCaptureState(stB)
+				rcStatesEqual(t, fmt.Sprintf("seed %d: plain vs checkpointed", seed), preA, preB, false)
+				pendB := rtB.ReorderPending()
+				droppedB := rtB.reorder.Dropped()
+				wmB := rtB.watermark
+
+				// Closing flushes the identical disorder window everywhere.
+				rtA.Close()
+				rtB.Close()
+				finalA := rcCaptureState(stA)
+				finalB := rcCaptureState(stB)
+				rcStatesEqual(t, fmt.Sprintf("seed %d: plain vs checkpointed (closed)", seed), finalA, finalB, false)
+
+				if len(snaps) < 4 {
+					t.Fatalf("seed %d: only %d checkpoints taken", seed, len(snaps))
+				}
+
+				withPending := 0
+				for i, sn := range snaps {
+					rtR, info, err := RestoreRuntime(sn.data)
+					if err != nil {
+						t.Fatalf("seed %d: restore snapshot %d: %v", seed, i, err)
+					}
+					if info.Every != every || info.ReorderSlack != event.Time(tc.slack) {
+						t.Fatalf("seed %d: snapshot %d info %+v, want every %d slack %d",
+							seed, i, info, every, tc.slack)
+					}
+					curR, err := strconv.Atoi(string(info.Meta))
+					if err != nil {
+						t.Fatalf("seed %d: snapshot %d meta %q: %v", seed, i, info.Meta, err)
+					}
+					if info.ReorderPending > 0 {
+						withPending++
+					}
+					rcDiscard(t, rtR, every, info.ReplayFrom)
+					if i >= nFeed {
+						// Emitted by Close's end-of-stream barrier: the
+						// cursor already covers the whole stream, so there
+						// is nothing to replay — mid-barrier state only has
+						// to close into the final state.
+						if curR != len(evs) {
+							t.Fatalf("seed %d: close-time snapshot %d cursor %d, want %d",
+								seed, i, curR, len(evs))
+						}
+						stmts := append([]*Stmt(nil), rtR.stmts...)
+						rtR.Close()
+						finalR := rcCaptureState(stmts)
+						rcStatesEqual(t, fmt.Sprintf("seed %d: close-time snapshot %d restored (closed)", seed, i), finalB, finalR, false)
+						continue
+					}
+					feed(rtR, evs[curR:], nil)
+					stmts := append([]*Stmt(nil), rtR.stmts...)
+					preR := rcCaptureState(stmts)
+					rcStatesEqual(t, fmt.Sprintf("seed %d: snapshot %d restored", seed, i), preB, preR, true)
+					if got := rtR.ReorderPending(); got != pendB {
+						t.Fatalf("seed %d: snapshot %d: pending %d after replay, want %d", seed, i, got, pendB)
+					}
+					if got := rtR.reorder.Dropped(); got != droppedB {
+						t.Fatalf("seed %d: snapshot %d: buffer dropped %d, want %d", seed, i, got, droppedB)
+					}
+					if rtR.watermark != wmB {
+						t.Fatalf("seed %d: snapshot %d: watermark %d, want %d", seed, i, rtR.watermark, wmB)
+					}
+					rtR.Close()
+					finalR := rcCaptureState(stmts)
+					rcStatesEqual(t, fmt.Sprintf("seed %d: snapshot %d restored (closed)", seed, i), finalB, finalR, false)
+				}
+				if withPending == 0 {
+					t.Fatalf("seed %d: no snapshot carried pending reorder events", seed)
 				}
 			}
 		})

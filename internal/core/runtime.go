@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/reorder"
 	"github.com/greta-cep/greta/internal/share"
 )
 
@@ -25,6 +26,23 @@ var (
 	// the runtime.
 	ErrRunning = errors.New("greta: runtime is running in parallel mode")
 )
+
+// OrderError is the structured form of an out-of-order drop: the
+// offending event's timestamp and the watermark it violated (the
+// runtime watermark, or the reorder horizon when slack is armed).
+// errors.Is(err, ErrOutOfOrder) matches it, so existing callers keep
+// working; errors.As extracts the diagnostics.
+type OrderError struct {
+	EventTime event.Time
+	Watermark event.Time
+}
+
+func (e *OrderError) Error() string {
+	return fmt.Sprintf("greta: out-of-order event dropped: event time %d < watermark %d",
+		e.EventTime, e.Watermark)
+}
+
+func (e *OrderError) Unwrap() error { return ErrOutOfOrder }
 
 // Runtime is a long-lived multi-query GRETA host: one shared ingest
 // path feeding any number of registered statements. Each event is
@@ -66,6 +84,29 @@ type Runtime struct {
 	// off (see checkpoint.go). The trigger in process is two loads and
 	// a compare — nothing on the steady path allocates or syscalls.
 	ck *ckState
+
+	// reorder, when non-nil, buffers bounded out-of-order arrivals
+	// (SetReorderSlack): Process feeds the buffer, released events flow
+	// through applyLocked in time order, and registrations, statement
+	// closes, and Runtime.Close act as barriers. Events behind the
+	// buffer's horizon are dropped with an OrderError before touching
+	// any engine.
+	reorder *reorder.Buffer
+	// inflight is the released event currently being applied (set only
+	// inside a reorder drain): it has been popped from the buffer but
+	// has not touched the engines, so a checkpoint fired by its own
+	// boundary crossing must still persist it — it leads the snapshot's
+	// pending list, first in release order.
+	inflight *event.Event
+	// replayDedup holds the IDs of events that were pending in the
+	// reorder buffer when the restored checkpoint was written: they are
+	// already re-buffered, so a time-based replay feeding them again
+	// skips them once. Empties itself; nil on non-restored runtimes.
+	replayDedup map[uint64]struct{}
+
+	// ckMeta supplies the opaque session-meta blob embedded in each
+	// checkpoint header (SetCheckpointMeta); nil writes an empty blob.
+	ckMeta func() []byte
 
 	// parDebug captures streaming-merge instrumentation from the last
 	// RunParallel (test hook).
@@ -160,6 +201,10 @@ func (rt *Runtime) Register(plan *Plan, cfg StmtConfig) (*Stmt, error) {
 	if cfg.ID != "" && rt.hasID(cfg.ID) {
 		return nil, fmt.Errorf("greta: statement id %q already registered", cfg.ID)
 	}
+	// Registration is a reorder barrier: pending buffered events apply
+	// first, so the new statement's watermark cut lands after every
+	// event that arrived before the registration.
+	rt.reorderBarrierLocked()
 	if cfg.Share && shareable(plan, cfg) {
 		return rt.registerShared(plan, cfg, shareKeyOf(plan, cfg))
 	}
@@ -181,6 +226,7 @@ func (rt *Runtime) adopt(eng *Engine, id string) (*Stmt, error) {
 	if id != "" && rt.hasID(id) {
 		return nil, fmt.Errorf("greta: statement id %q already registered", id)
 	}
+	rt.reorderBarrierLocked()
 	return rt.adoptLocked(eng, id), nil
 }
 
@@ -267,6 +313,34 @@ func (rt *Runtime) process(ev *event.Event) error {
 	if rt.running {
 		return ErrRunning
 	}
+	if b := rt.reorder; b != nil {
+		// Apply a restored in-flight release (pending at or below the
+		// horizon) before considering the incoming event — exactly where
+		// the interrupted run left off. A no-op on live buffers.
+		b.Settle()
+		if len(rt.replayDedup) > 0 {
+			if _, ok := rt.replayDedup[ev.ID]; ok {
+				// Replay of an event already rehydrated into the buffer.
+				delete(rt.replayDedup, ev.ID)
+				return nil
+			}
+		}
+		if !b.Push(ev) {
+			// Beyond-slack arrival: dropped before reaching any engine
+			// (engines only ever see the released, in-order stream), so
+			// per-statement OutOfOrder counters do not move — the caller
+			// accounts for slack drops, as the netstream layer always has.
+			return &OrderError{EventTime: ev.Time, Watermark: b.Horizon()}
+		}
+		return nil
+	}
+	return rt.applyLocked(ev)
+}
+
+// applyLocked applies one in-order (or watermark-checked) event to the
+// engines; rt.mu held. This is the landing point for both the direct
+// path and reorder-buffer releases.
+func (rt *Runtime) applyLocked(ev *event.Event) error {
 	// Watermark-aligned checkpoint: the boundary B <= ev.Time is fully
 	// determined before ev is applied, so the snapshot plus a replay of
 	// events >= B reproduces this run bit for bit (ev itself is the
@@ -295,10 +369,97 @@ func (rt *Runtime) process(ev *event.Event) error {
 		st.eng.Process(ev)
 	}
 	if late {
-		return ErrOutOfOrder
+		return &OrderError{EventTime: ev.Time, Watermark: rt.watermark}
 	}
 	rt.watermark = ev.Time
 	return nil
+}
+
+// applyReleased is the reorder buffer's sink: releases are in time
+// order and at or past the watermark by construction, so the late path
+// cannot trigger; rt.mu is held for the enclosing Push. The event is
+// marked in-flight around the application so a boundary checkpoint it
+// triggers still captures it (see Runtime.inflight).
+func (rt *Runtime) applyReleased(ev *event.Event) {
+	rt.inflight = ev
+	_ = rt.applyLocked(ev)
+	rt.inflight = nil
+}
+
+// SetReorderSlack arms a bounded reorder buffer in front of the
+// engines: events may arrive up to slack time units behind the maximum
+// timestamp seen and are re-sorted (equal timestamps keep arrival
+// order) before application; later arrivals are dropped with an
+// OrderError. Registrations, statement closes, Barrier, and Close
+// flush the buffer first; scheduled checkpoints instead persist the
+// pending events inside the snapshot, so a restored runtime rehydrates
+// its disorder window. Must be called before the first event; slack 0
+// disarms. A runtime with slack armed runs RunParallel sequentially.
+func (rt *Runtime) SetReorderSlack(slack event.Time) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	if rt.running {
+		return ErrRunning
+	}
+	if slack < 0 {
+		return errors.New("greta: reorder slack must be non-negative")
+	}
+	if rt.watermark >= 0 || (rt.reorder != nil && rt.reorder.Pending() > 0) {
+		return errors.New("greta: reorder slack must be configured before the first event")
+	}
+	if slack == 0 {
+		rt.reorder = nil
+		return nil
+	}
+	rt.reorder = reorder.New(slack, rt.applyReleased)
+	return nil
+}
+
+// ReorderSlack returns the armed slack (0 when off).
+func (rt *Runtime) ReorderSlack() event.Time {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.reorder == nil {
+		return 0
+	}
+	return rt.reorder.Slack()
+}
+
+// ReorderPending returns the number of events currently held in the
+// reorder buffer.
+func (rt *Runtime) ReorderPending() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.reorder == nil {
+		return 0
+	}
+	return rt.reorder.Pending()
+}
+
+// Barrier flushes the reorder buffer, applying every pending event in
+// order. A no-op without slack. Use it to force alignment before
+// reading results mid-stream; lifecycle operations barrier implicitly.
+func (rt *Runtime) Barrier() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	if rt.running {
+		return ErrRunning
+	}
+	rt.reorderBarrierLocked()
+	return nil
+}
+
+// reorderBarrierLocked drains the reorder buffer; rt.mu held.
+func (rt *Runtime) reorderBarrierLocked() {
+	if rt.reorder != nil {
+		rt.reorder.Flush()
+	}
 }
 
 // Run consumes the stream until it is exhausted or ctx is cancelled.
@@ -400,6 +561,9 @@ func (rt *Runtime) Close() error {
 	if rt.closed {
 		return nil
 	}
+	// End-of-stream barrier: apply the disorder window before the final
+	// flush, then reject further events.
+	rt.reorderBarrierLocked()
 	rt.closed = true
 	for _, st := range rt.stmts {
 		st.finish()
@@ -496,6 +660,9 @@ func (st *Stmt) Close() error {
 	if st.rt.running {
 		return ErrRunning
 	}
+	// Closing is a reorder barrier: the statement's final windows count
+	// every event that arrived before the close.
+	st.rt.reorderBarrierLocked()
 	if e := st.entry; e != nil {
 		if len(e.subs) == 1 {
 			// Last subscriber: the shared graph dies with it, so the

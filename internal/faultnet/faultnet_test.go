@@ -1,0 +1,190 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client conn talking to a raw server conn over
+// loopback TCP.
+func pipe(t *testing.T, f *Faults) (client net.Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { raw.Close(); server.Close() })
+	return f.Conn(raw), server
+}
+
+func TestCutAfterWritesTearsAndResets(t *testing.T) {
+	f := New()
+	f.CutAfterWrites(10)
+	c, s := pipe(t, f)
+
+	if n, err := c.Write([]byte("eightby!")); n != 8 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// 2 bytes of budget remain: the next write tears after a prefix.
+	n, err := c.Write([]byte("hello"))
+	if n != 2 {
+		t.Fatalf("torn write landed %d bytes, want 2", n)
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("torn write error = %v, want injected ECONNRESET", err)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut write error = %v, want injected", err)
+	}
+	// The peer sees exactly the 10 budgeted bytes, then EOF.
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if string(got) != "eightby!he" {
+		t.Fatalf("peer got %q, want %q", got, "eightby!he")
+	}
+	if f.BytesWritten() != 10 {
+		t.Fatalf("BytesWritten = %d, want 10", f.BytesWritten())
+	}
+}
+
+func TestCutWakesBlockedRead(t *testing.T) {
+	f := New()
+	c, _ := pipe(t, f)
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := c.Read(buf)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the read block
+	f.Cut()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("read error after Cut = %v, want injected", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read did not wake after Cut")
+	}
+}
+
+func TestMaxWriteChunksButDelivers(t *testing.T) {
+	f := New()
+	f.SetMaxWrite(3)
+	c, s := pipe(t, f)
+	msg := []byte("fragmented across many small packets\n")
+	if n, err := c.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	c.Close()
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("peer got %q, want %q", got, msg)
+	}
+}
+
+func TestBlackholeSwallowsWrites(t *testing.T) {
+	f := New()
+	f.SetBlackhole(true)
+	c, s := pipe(t, f)
+	if n, err := c.Write([]byte("into the void")); n != 13 || err != nil {
+		t.Fatalf("blackholed write: n=%d err=%v", n, err)
+	}
+	_ = s.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := s.Read(buf); n != 0 || err == nil {
+		t.Fatalf("peer received %d bytes (%v), want none", n, err)
+	}
+	if f.BytesWritten() != 13 {
+		t.Fatalf("BytesWritten = %d, want 13 (writer believed it delivered)", f.BytesWritten())
+	}
+}
+
+func TestLatencyDelaysOps(t *testing.T) {
+	f := New()
+	f.SetLatency(30 * time.Millisecond)
+	c, s := pipe(t, f)
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 30ms", d)
+	}
+	buf := make([]byte, 1)
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutAfterReads(t *testing.T) {
+	f := New()
+	f.CutAfterReads(4)
+	c, s := pipe(t, f)
+	if _, err := s.Write([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := c.Read(buf)
+	if err != nil || n != 4 {
+		t.Fatalf("budgeted read: n=%d err=%v, want 4 bytes clean", n, err)
+	}
+	if _, err := c.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget read error = %v, want injected", err)
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	f := New()
+	f.CutAfterWrites(5)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := f.Listener(ln)
+	defer wrapped.Close()
+	go func() {
+		c, err := wrapped.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = c.Write([]byte("0123456789")) // tears at 5
+		c.Close()
+	}()
+	cl, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got, _ := io.ReadAll(cl)
+	if string(got) != "01234" {
+		t.Fatalf("client got %q, want %q", got, "01234")
+	}
+}

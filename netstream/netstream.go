@@ -2,7 +2,10 @@
 // line-oriented JSON protocol over TCP (or any net.Conn) that feeds a
 // multi-query Runtime from remote event producers and pushes window
 // results back as they are emitted, tagged with the statement that
-// produced them. Statements can be registered and closed mid-stream.
+// produced them. Statements can be registered and closed mid-stream,
+// and sessions can survive connection loss: a client that enabled
+// resumability reconnects, proves how far it got, and the stream
+// continues exactly once from where it broke.
 //
 // Protocol (newline-delimited JSON):
 //
@@ -12,10 +15,31 @@
 //	client → server   {"cmd":"checkpoint"}        — write a durable snapshot of the session
 //	                                                runtime now (requires RuntimeOptions
 //	                                                arming greta.WithCheckpoint)
+//	client → server   {"cmd":"session"}           — enable resumability; must precede every
+//	                                                event (requires Server.Linger > 0)
+//	client → server   {"cmd":"resume","session":"s0","recv":41}
+//	                                              — first line of a reconnect: attach to the
+//	                                                lingering session, having consumed server
+//	                                                output through seq 41
 //	client → server   {"cmd":"flush"}             — close all, receive remaining results, end session
-//	server → client   {"result":{"stmt":"q0","group":"...","wid":3,"start":30,"end":60,"values":[42]}}
+//	server → client   {"session":{"id":"s0","linger_ms":30000}}
+//	                                              — resumability acknowledged; events must now
+//	                                                carry contiguous 1-based "seq" numbers
+//	server → client   {"resumed":{"id":"s0","seq":12}}
+//	                                              — reconnect acknowledged: the server applied
+//	                                                events through seq 12; re-send everything
+//	                                                after it. "rebase":true means the client
+//	                                                fell behind the replay window and the
+//	                                                retained results are re-delivered in full
+//	                                                (discard previously collected ones)
+//	server → client   {"result":{"stmt":"q0","group":"...","wid":3,"start":30,"end":60,"values":[42]},"seq":7}
+//	                                              — results in a resumable session carry
+//	                                                server-side seqs; duplicates replayed
+//	                                                after a resume are skipped by seq
 //	server → client   {"registered":{"id":"q1","query":"..."}}
 //	server → client   {"closed":"q1"}
+//	server → client   {"ping":3}                  — heartbeat (Server.Heartbeat); clients
+//	                                                ignore it, dead peers fail the write
 //	server → client   {"error":"..."}             — malformed input, rejected commands, and
 //	                                                internal panics are reported, never
 //	                                                silently swallowed; clients treat them as
@@ -31,14 +55,14 @@
 //	                                                on the previous generation either way
 //	server → client   {"error":"timeout"}         — the idle-session or read deadline
 //	                                                expired; the server closes the
-//	                                                connection after this line
+//	                                                connection after this line (a resumable
+//	                                                session lingers for Server.Linger)
 //	server → client   {"done":true,"events":12345,"dropped":0,
-//	                   "shared_stmts":4,"shared_graphs":1}
-//	                                              — the session's final stats line also
-//	                                                reports how far the runtime's shared
-//	                                                sub-plan network collapsed the
-//	                                                statement set (4 statements served
-//	                                                by 1 shared graph)
+//	                   "shared_stmts":4,"shared_graphs":1,"stats":{"q0":{...}}}
+//	                                              — the session's final summary also carries
+//	                                                per-statement engine Stats and how far
+//	                                                the shared sub-plan network collapsed
+//	                                                the statement set
 //
 // Events must arrive in non-decreasing time order per connection; an
 // optional reorder slack buffers and re-sorts bounded disorder (the
@@ -46,6 +70,27 @@
 // still violate order are dropped, counted in "dropped", and reported
 // via a {"warn":...} line (warn, not error, so in-flight command
 // acknowledgements are not misattributed as failures).
+//
+// # Session resilience
+//
+// With Server.Linger > 0 a client may send {"cmd":"session"} before
+// its first event; from then on every event carries a contiguous
+// client-side sequence number and every durable server line (results)
+// carries a server-side one. When the connection drops, the server
+// parks the session — Runtime, statement handles, reorder window,
+// counters — for the linger duration instead of tearing it down. The
+// client reconnects (Client.Resume redials with the same backoff as
+// DialContext), identifies the session, and reports the last server
+// seq it consumed; the server replays the retained output lines after
+// it and answers with the last event seq it applied, which the client
+// uses to re-send the unacknowledged tail of its bounded send buffer.
+// Duplicate events are skipped by seq on the server, duplicate results
+// by seq on the client: exactly-once delivery over an at-least-once
+// wire. If the server process itself restarted, RestoreSession
+// rebuilds the parked session from its checkpoint directory — the
+// snapshot embeds the session id and cursors (WithCheckpointMeta) and
+// rehydrates the reorder buffer's in-flight events — and the same
+// client resume proceeds against the recovered state.
 package netstream
 
 import (
@@ -55,24 +100,29 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"github.com/greta-cep/greta"
-	"github.com/greta-cep/greta/internal/reorder"
 )
 
 // WireEvent is the JSON representation of one client→server line: an
-// event, or a command (register/close/flush).
+// event, or a command (register/close/checkpoint/session/resume/flush).
 type WireEvent struct {
-	Cmd   string             `json:"cmd,omitempty"`
-	Query string             `json:"query,omitempty"` // register: query text
-	ID    string             `json:"id,omitempty"`    // register (optional) / close: statement id
-	Type  string             `json:"type,omitempty"`
-	Time  int64              `json:"time"`
-	Attrs map[string]float64 `json:"attrs,omitempty"`
-	Str   map[string]string  `json:"str,omitempty"`
+	Cmd   string `json:"cmd,omitempty"`
+	Query string `json:"query,omitempty"` // register: query text
+	ID    string `json:"id,omitempty"`    // register (optional) / close: statement id
+	// Seq is the client-side event sequence number (contiguous from 1)
+	// in a resumable session; Session and Recv identify a resume.
+	Seq     uint64             `json:"seq,omitempty"`
+	Session string             `json:"session,omitempty"`
+	Recv    uint64             `json:"recv,omitempty"`
+	Type    string             `json:"type,omitempty"`
+	Time    int64              `json:"time"`
+	Attrs   map[string]float64 `json:"attrs,omitempty"`
+	Str     map[string]string  `json:"str,omitempty"`
 }
 
 // WireResult is the JSON representation of one emitted result, tagged
@@ -92,18 +142,54 @@ type WireRegistered struct {
 	Query string `json:"query"`
 }
 
+// WireSession acknowledges a session command: the server-issued
+// session id and how long the session lingers after a disconnect.
+type WireSession struct {
+	ID       string `json:"id"`
+	LingerMS int64  `json:"linger_ms"`
+}
+
+// WireResumed acknowledges a resume: Seq is the last event sequence
+// the server applied (re-send everything after it). Rebase means the
+// client's consumed-output cursor fell behind the server's replay
+// window: previously collected results must be discarded, the full
+// retained set is re-delivered with fresh seqs.
+type WireResumed struct {
+	ID     string `json:"id"`
+	Seq    uint64 `json:"seq"`
+	Rebase bool   `json:"rebase,omitempty"`
+}
+
+// WireDone is the session summary delivered with the final
+// {"done":true} line and retained by the client (Client.Summary).
+type WireDone struct {
+	Events       uint64
+	Dropped      uint64
+	SharedStmts  int
+	SharedGraphs int
+	Stats        map[string]greta.Stats
+}
+
 type wireOut struct {
 	Result     *WireResult     `json:"result,omitempty"`
 	Registered *WireRegistered `json:"registered,omitempty"`
 	Closed     string          `json:"closed,omitempty"`
-	Done       bool            `json:"done,omitempty"`
-	Events     uint64          `json:"events,omitempty"`
-	Drop       uint64          `json:"dropped,omitempty"`
+	Session    *WireSession    `json:"session,omitempty"`
+	Resumed    *WireResumed    `json:"resumed,omitempty"`
+	// Seq numbers durable lines (results) in a resumable session so a
+	// resuming client can dedup replays; Ping is the heartbeat counter.
+	Seq  uint64 `json:"seq,omitempty"`
+	Ping uint64 `json:"ping,omitempty"`
+	Done bool   `json:"done,omitempty"`
+	// Events/Drop/shared/Stats ride on the done line.
+	Events uint64 `json:"events,omitempty"`
+	Drop   uint64 `json:"dropped,omitempty"`
 	// SharedStmts/SharedGraphs report the session runtime's sub-plan
 	// sharing at flush: SharedStmts statements were served by
 	// SharedGraphs shared GRETA graphs (the rest ran exclusively).
-	SharedStmts  int `json:"shared_stmts,omitempty"`
-	SharedGraphs int `json:"shared_graphs,omitempty"`
+	SharedStmts  int                    `json:"shared_stmts,omitempty"`
+	SharedGraphs int                    `json:"shared_graphs,omitempty"`
+	Stats        map[string]greta.Stats `json:"stats,omitempty"`
 	// Checkpointed acknowledges a checkpoint command: true on a durable
 	// write, false when it degraded (a warn line preceding it says why).
 	Checkpointed *bool  `json:"checkpointed,omitempty"`
@@ -116,6 +202,10 @@ type wireOut struct {
 // Deprecated: set Statements (and AllowRegister) instead; NewEngine
 // serves single-statement sessions through the Engine shim.
 type EngineFactory func() *greta.Engine
+
+// defaultResumeWindow bounds the durable output lines a session
+// retains for resume replay when ResumeWindow is unset.
+const defaultResumeWindow = 4096
 
 // Server serves GRETA sessions: each accepted connection gets its own
 // Runtime (its own stream) hosting the configured statements, plus any
@@ -150,15 +240,36 @@ type Server struct {
 	// bounds the gap since the last byte of client activity. When either
 	// expires the server sends a final {"error":"timeout"} line and
 	// closes the connection (open windows are NOT flushed — a stalled
-	// client is indistinguishable from a dead one). Zero disables.
+	// client is indistinguishable from a dead one; a resumable session
+	// lingers instead of tearing down). Zero disables.
 	ReadTimeout time.Duration
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each write of result/acknowledgement lines;
 	// a stuck client ends the session instead of blocking the server.
 	WriteTimeout time.Duration
+	// Linger enables resumable sessions: after a disconnect the session
+	// state (runtime, handles, reorder window, cursors) is retained
+	// this long awaiting a resume before being torn down. Zero rejects
+	// {"cmd":"session"}.
+	Linger time.Duration
+	// Heartbeat, when positive, sends {"ping":n} lines at this interval
+	// on resumable sessions so a dead peer fails the write path well
+	// before ReadTimeout notices the silence.
+	Heartbeat time.Duration
+	// ResumeWindow bounds the durable output lines retained per session
+	// for resume replay (default 4096). A client whose consumed cursor
+	// falls behind the window is rebased: the retained results are
+	// re-delivered in full.
+	ResumeWindow int
 
-	mu sync.Mutex
-	ln net.Listener
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	nextSess uint64
+	sessions map[string]*session   // resumable sessions by id
+	all      map[*session]struct{} // every live session (Shutdown drain targets)
+	conns    map[net.Conn]struct{} // every live connection (Shutdown force-close)
+	wg       sync.WaitGroup
 }
 
 // Serve accepts connections on ln until it is closed.
@@ -175,7 +286,8 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting connections.
+// Close stops accepting connections. Established sessions keep
+// running; use Shutdown for a graceful drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -183,6 +295,124 @@ func (s *Server) Close() error {
 		return s.ln.Close()
 	}
 	return nil
+}
+
+// Shutdown drains the server gracefully: it stops accepting, then for
+// every live session barriers the reorder buffer, checkpoints the
+// runtime (when armed — degraded writes surface as warn lines), and
+// sends the terminal {"done":...} summary before closing the
+// connection. Parked resumable sessions are drained the same way
+// (their summaries have no peer to reach, but their checkpoints do).
+// Remaining connections without a session are closed, and Shutdown
+// waits for every connection handler and heartbeat to exit, or until
+// ctx is done.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	sessions := make([]*session, 0, len(s.all))
+	for sess := range s.all {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.drain()
+	}
+	// Connections that never became a session (or raced session
+	// teardown) are cut; their readers exit on the closed conn.
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) resumeWindow() int {
+	if s.ResumeWindow > 0 {
+		return s.ResumeWindow
+	}
+	return defaultResumeWindow
+}
+
+// addSession registers a resumable session and issues its id (or
+// validates a restored one). Inner lock: callers may hold sess.mu.
+func (s *Server) addSession(sess *session, id string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", errors.New("server shutting down")
+	}
+	if s.sessions == nil {
+		s.sessions = map[string]*session{}
+	}
+	if id == "" {
+		for {
+			id = fmt.Sprintf("s%d", s.nextSess)
+			s.nextSess++
+			if _, taken := s.sessions[id]; !taken {
+				break
+			}
+		}
+	} else if _, taken := s.sessions[id]; taken {
+		return "", fmt.Errorf("session %q already live", id)
+	}
+	s.sessions[id] = sess
+	if s.all == nil {
+		s.all = map[*session]struct{}{}
+	}
+	s.all[sess] = struct{}{}
+	return id, nil
+}
+
+// trackSession registers a plain (non-resumable) session for Shutdown
+// drains. Fails once the server is draining.
+func (s *Server) trackSession(sess *session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.all == nil {
+		s.all = map[*session]struct{}{}
+	}
+	s.all[sess] = struct{}{}
+	return true
+}
+
+// removeSession forgets a torn-down session. Inner lock: callers hold
+// sess.mu.
+func (s *Server) removeSession(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.all, sess)
+	if sess.id != "" {
+		delete(s.sessions, sess.id)
+	}
+}
+
+func (s *Server) lookupSession(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // timeoutReader applies the session's read deadlines: each Read must
@@ -237,46 +467,341 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// ServeConn runs one session over an established connection.
-func (s *Server) ServeConn(conn net.Conn) {
-	defer conn.Close()
-	w := bufio.NewWriter(&deadlineWriter{conn: conn, d: s.WriteTimeout})
-	enc := json.NewEncoder(w)
-	var wmu sync.Mutex
-	send := func(o wireOut) {
-		wmu.Lock()
-		defer wmu.Unlock()
-		_ = enc.Encode(o)
-		_ = w.Flush()
+// outLine is one retained durable output line (marshalled, newline
+// included) awaiting possible resume replay.
+type outLine struct {
+	seq  uint64
+	data []byte
+}
+
+// sessionMeta is the opaque blob embedded in each checkpoint via
+// WithCheckpointMeta: the session identity and cursors that must stay
+// atomic with the engine state they describe.
+type sessionMeta struct {
+	ID        string `json:"id"`
+	LastSeq   uint64 `json:"last_seq"`
+	OutSeq    uint64 `json:"out_seq"`
+	Processed uint64 `json:"processed"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// session is one client stream's server-side state. mu serializes
+// everything — line handling, result emission (callbacks fire inside
+// rt calls made under mu), heartbeats, park/resume/teardown. srv.mu is
+// the inner lock: it may be taken while holding mu, never the reverse.
+type session struct {
+	srv *Server
+	id  string
+
+	mu        sync.Mutex
+	conn      net.Conn // nil while parked
+	w         *bufio.Writer
+	enc       *json.Encoder
+	hbStop    chan struct{}
+	lingerT   *time.Timer
+	resumable bool
+	ended     bool
+	pings     uint64
+
+	rt      *greta.Runtime
+	handles map[string]*greta.Handle
+	order   []string // handle registration order, for rebase re-delivery
+
+	outSeq   uint64 // seq of the newest durable line emitted
+	outBuf   []outLine
+	outFloor uint64 // seq of the newest discarded retained line
+	lastSeq  uint64 // last client event seq applied
+
+	processed uint64
+	dropped   uint64
+	nextID    uint64 // event ids on the non-resumable path
+}
+
+// sendLocked emits one output line (mu held). Durable lines in a
+// resumable session get a server seq and are retained for resume
+// replay; everything else is fire-and-forget. Returns the flush error
+// so heartbeats can detect a dead peer; other callers ignore it (a
+// broken conn parks the session via the reader).
+func (sess *session) sendLocked(o wireOut, durable bool) error {
+	if durable && sess.resumable {
+		sess.outSeq++
+		o.Seq = sess.outSeq
+		b, err := json.Marshal(o)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		sess.outBuf = append(sess.outBuf, outLine{seq: o.Seq, data: b})
+		if max := sess.srv.resumeWindow(); len(sess.outBuf) > max {
+			drop := len(sess.outBuf) - max
+			sess.outFloor = sess.outBuf[drop-1].seq
+			sess.outBuf = append(sess.outBuf[:0], sess.outBuf[drop:]...)
+		}
+		if sess.conn == nil {
+			return nil
+		}
+		if _, err := sess.w.Write(b); err != nil {
+			return err
+		}
+		return sess.w.Flush()
 	}
-	// An engine-side panic must reach the client as an error line, not
-	// a silently dropped connection.
-	defer func() {
-		if r := recover(); r != nil {
-			send(wireOut{Error: fmt.Sprintf("internal error: %v", r)})
+	if sess.conn == nil {
+		return nil
+	}
+	if err := sess.enc.Encode(o); err != nil {
+		return err
+	}
+	return sess.w.Flush()
+}
+
+// metaBytes is the WithCheckpointMeta provider: it runs on the ingest
+// path inside rt.Process (which the session only calls under mu), so
+// reading the cursors directly is safe and it must not lock.
+func (sess *session) metaBytes() []byte {
+	b, _ := json.Marshal(sessionMeta{
+		ID: sess.id, LastSeq: sess.lastSeq, OutSeq: sess.outSeq,
+		Processed: sess.processed, Dropped: sess.dropped,
+	})
+	return b
+}
+
+// wire attaches a handle's results to the session output. Callbacks
+// fire inside rt calls made under sess.mu, hence sendLocked.
+func (sess *session) wire(h *greta.Handle) {
+	id := h.ID()
+	sess.handles[id] = h
+	sess.order = append(sess.order, id)
+	h.OnResult(func(r greta.Result) {
+		_ = sess.sendLocked(wireOut{Result: &WireResult{
+			Stmt:  id,
+			Group: r.Group, Wid: r.Wid,
+			Start: r.WindowStart, End: r.WindowEnd,
+			Values: r.Values,
+		}}, true)
+	})
+}
+
+func (sess *session) stopHeartbeatLocked() {
+	if sess.hbStop != nil {
+		close(sess.hbStop)
+		sess.hbStop = nil
+	}
+}
+
+// startHeartbeatLocked begins pinging the attached connection. The
+// goroutine exits when stopped, when the connection changes, or when
+// the session ends; a failed ping closes the conn so the reader
+// notices promptly.
+func (sess *session) startHeartbeatLocked() {
+	if sess.srv.Heartbeat <= 0 || sess.conn == nil || sess.hbStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	sess.hbStop = stop
+	myConn := sess.conn
+	sess.srv.wg.Add(1)
+	go func() {
+		defer sess.srv.wg.Done()
+		t := time.NewTicker(sess.srv.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			sess.mu.Lock()
+			if sess.ended || sess.conn != myConn {
+				sess.mu.Unlock()
+				return
+			}
+			sess.pings++
+			if err := sess.sendLocked(wireOut{Ping: sess.pings}, false); err != nil {
+				_ = myConn.Close() // wake the blocked reader; it parks the session
+				sess.mu.Unlock()
+				return
+			}
+			sess.mu.Unlock()
 		}
 	}()
+}
 
-	handles := map[string]*greta.Handle{}
-	wire := func(h *greta.Handle) {
-		id := h.ID()
-		handles[id] = h
-		h.OnResult(func(r greta.Result) {
-			send(wireOut{Result: &WireResult{
-				Stmt:  id,
-				Group: r.Group, Wid: r.Wid,
-				Start: r.WindowStart, End: r.WindowEnd,
-				Values: r.Values,
-			}})
-		})
+// detachLocked drops the connection (stolen or broken) without
+// touching runtime state.
+func (sess *session) detachLocked() {
+	sess.stopHeartbeatLocked()
+	if sess.conn != nil {
+		_ = sess.conn.Close()
+		sess.conn = nil
+		sess.w = nil
+		sess.enc = nil
 	}
-	var rt *greta.Runtime
+}
+
+// teardownLocked ends the session without a summary: the runtime is
+// closed (remaining windows flush to the attached conn, if any) and
+// the session forgotten.
+func (sess *session) teardownLocked() {
+	if sess.ended {
+		return
+	}
+	sess.ended = true
+	if sess.lingerT != nil {
+		sess.lingerT.Stop()
+		sess.lingerT = nil
+	}
+	_ = sess.rt.Close()
+	sess.detachLocked()
+	sess.srv.removeSession(sess)
+}
+
+// finishLocked ends the session gracefully: barrier + close the
+// runtime (flushing every open window through the result path), then
+// send the {"done":...} summary with per-statement Stats.
+func (sess *session) finishLocked() {
+	if sess.ended {
+		return
+	}
+	if sess.lingerT != nil {
+		sess.lingerT.Stop()
+		sess.lingerT = nil
+	}
+	_ = sess.rt.Barrier()
+	rs := sess.rt.Stats()
+	_ = sess.rt.Close()
+	stats := make(map[string]greta.Stats, len(sess.handles))
+	for id, h := range sess.handles {
+		stats[id] = h.Stats()
+	}
+	sess.ended = true
+	_ = sess.sendLocked(wireOut{Done: true, Events: sess.processed, Drop: sess.dropped,
+		SharedStmts: rs.SharedStatements, SharedGraphs: rs.SharedGraphs, Stats: stats}, false)
+	sess.detachLocked()
+	sess.srv.removeSession(sess)
+}
+
+// park handles a reader's exit: a resumable session lingers awaiting a
+// resume, anything else tears down. No-op if the connection was stolen
+// by a resume or the session already ended.
+func (sess *session) park(myConn net.Conn, timedOut bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended || sess.conn != myConn {
+		return
+	}
+	if timedOut {
+		// Report the deadline cleanly before dropping the conn; open
+		// windows are not flushed on a stalled client's behalf.
+		_ = sess.sendLocked(wireOut{Error: "timeout"}, false)
+	}
+	sess.detachLocked()
+	if !sess.resumable || sess.srv.Linger <= 0 || sess.srv.isClosed() {
+		sess.teardownLocked()
+		return
+	}
+	sess.lingerT = time.AfterFunc(sess.srv.Linger, sess.expire)
+}
+
+// expire tears down a session whose linger window elapsed without a
+// resume.
+func (sess *session) expire() {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended || sess.conn != nil {
+		return
+	}
+	sess.teardownLocked()
+}
+
+// fail tears the session down after an internal panic surfaced to the
+// client as an error line.
+func (sess *session) fail(myConn net.Conn) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended || sess.conn != myConn {
+		return
+	}
+	sess.teardownLocked()
+}
+
+// drain is Shutdown's per-session step: barrier the reorder buffer,
+// checkpoint if armed (unconfigured is fine; failed writes warn), then
+// finish with the terminal summary.
+func (sess *session) drain() {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended {
+		return
+	}
+	if sess.lingerT != nil {
+		sess.lingerT.Stop()
+		sess.lingerT = nil
+	}
+	_ = sess.rt.Barrier()
+	if err := sess.rt.Checkpoint(); err != nil && !strings.Contains(err.Error(), "not configured") {
+		_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)}, false)
+	}
+	sess.finishLocked()
+}
+
+// attachLocked binds a (re)connection to the session and replays or
+// rebases the durable output the client missed.
+func (sess *session) attachLocked(conn net.Conn, w *bufio.Writer, enc *json.Encoder, recv uint64) {
+	sess.detachLocked()
+	if sess.lingerT != nil {
+		sess.lingerT.Stop()
+		sess.lingerT = nil
+	}
+	sess.conn = conn
+	sess.w = w
+	sess.enc = enc
+	if recv < sess.outFloor {
+		// The client's cursor fell behind the replay window: rebase.
+		// Acknowledge first, then re-deliver every retained result with
+		// fresh seqs; the client discards its collected set on the ack.
+		_ = sess.sendLocked(wireOut{Resumed: &WireResumed{ID: sess.id, Seq: sess.lastSeq, Rebase: true}}, false)
+		sess.outBuf = sess.outBuf[:0]
+		sess.outFloor = sess.outSeq
+		for _, id := range sess.order {
+			h, ok := sess.handles[id]
+			if !ok {
+				continue
+			}
+			for _, r := range h.Delivered() {
+				_ = sess.sendLocked(wireOut{Result: &WireResult{
+					Stmt:  id,
+					Group: r.Group, Wid: r.Wid,
+					Start: r.WindowStart, End: r.WindowEnd,
+					Values: r.Values,
+				}}, true)
+			}
+		}
+	} else {
+		_ = sess.sendLocked(wireOut{Resumed: &WireResumed{ID: sess.id, Seq: sess.lastSeq}}, false)
+		for _, l := range sess.outBuf {
+			if l.seq <= recv {
+				continue
+			}
+			if _, err := sess.w.Write(l.data); err != nil {
+				break
+			}
+		}
+		_ = sess.w.Flush()
+	}
+	sess.startHeartbeatLocked()
+}
+
+// newSession builds the per-connection session state: a fresh Runtime
+// (or the deprecated engine shim), reorder slack, and the configured
+// statements. Runs before the session is shared, so no locking.
+func (s *Server) newSession(conn net.Conn, w *bufio.Writer, enc *json.Encoder) *session {
+	sess := &session{srv: s, conn: conn, w: w, enc: enc, handles: map[string]*greta.Handle{}}
 	if s.NewEngine != nil {
 		// Legacy factory path: the session runtime is the engine's
 		// backing one-statement runtime, so client registrations join it.
 		eng := s.NewEngine()
-		rt = eng.Runtime()
-		wire(eng.Handle())
+		sess.rt = eng.Runtime()
+		sess.wire(eng.Handle())
 	} else {
 		var opts []greta.RuntimeOption
 		if s.RuntimeOptions != nil {
@@ -286,43 +811,329 @@ func (s *Server) ServeConn(conn net.Conn) {
 		// instead of killing the session: the previous generation stays
 		// valid and ingestion continues.
 		opts = append(opts, greta.WithCheckpointErrors(func(err error) {
-			send(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)})
+			_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)}, false)
 		}))
-		rt = greta.NewRuntime(opts...)
+		sess.rt = greta.NewRuntime(opts...)
 	}
-	defer rt.Close()
-	for _, stmt := range s.Statements {
-		h, err := rt.Register(stmt)
-		if err != nil {
-			send(wireOut{Error: fmt.Sprintf("register: %v", err)})
-			return
-		}
-		wire(h)
+	fail := func(err error) *session {
+		_ = sess.sendLocked(wireOut{Error: err.Error()}, false)
+		_ = sess.rt.Close()
+		return nil
 	}
-
-	var processed, dropped uint64
-	feed := func(e *greta.Event) {
-		if err := rt.Process(e); err != nil {
-			if errors.Is(err, greta.ErrOutOfOrder) {
-				// Dropped by design (paper §2); report without failing the
-				// session or any in-flight command acknowledgement.
-				dropped++
-				send(wireOut{Warn: err.Error()})
-				return
-			}
-			send(wireOut{Error: err.Error()})
-			return
-		}
-		processed++
-	}
-	var buf *reorder.Buffer
 	if s.Slack > 0 {
-		buf = reorder.New(s.Slack, feed)
-		feed = buf.Push
+		if err := sess.rt.SetReorderSlack(s.Slack); err != nil {
+			return fail(fmt.Errorf("slack: %v", err))
+		}
 	}
+	for _, stmt := range s.Statements {
+		h, err := sess.rt.Register(stmt)
+		if err != nil {
+			return fail(fmt.Errorf("register: %v", err))
+		}
+		sess.wire(h)
+	}
+	if !s.trackSession(sess) {
+		return fail(errors.New("server shutting down"))
+	}
+	return sess
+}
+
+// resume attaches a reconnecting client to its lingering session:
+// steals the old connection if one is still around, replays the
+// durable output past the client's cursor, and returns the session for
+// the caller's reader loop. nil means the resume was rejected (an
+// error line was sent).
+func (s *Server) resume(conn net.Conn, w *bufio.Writer, enc *json.Encoder, we *WireEvent) *session {
+	reject := func(msg string) *session {
+		_ = enc.Encode(wireOut{Error: msg})
+		_ = w.Flush()
+		return nil
+	}
+	if s.isClosed() {
+		return reject("resume: server shutting down")
+	}
+	sess := s.lookupSession(we.Session)
+	if sess == nil {
+		return reject(fmt.Sprintf("resume: unknown session %q", we.Session))
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended {
+		return reject(fmt.Sprintf("resume: session %q ended", we.Session))
+	}
+	sess.attachLocked(conn, w, enc, we.Recv)
+	return sess
+}
+
+// reportBadLine surfaces an unparseable line as an error, unless this
+// reader's connection was stolen by a resume (a line torn by the very
+// break being resumed must not fault the healed session) — then the
+// reader just exits.
+func (sess *session) reportBadLine(myConn net.Conn, err error) (stop bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended || sess.conn != myConn {
+		return true
+	}
+	_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("bad event: %v", err)}, false)
+	return false
+}
+
+// handleLine processes one decoded client line under the session lock.
+// stop reports that this reader is done: the session finished, ended
+// underneath it, or its connection was stolen by a resume.
+func (sess *session) handleLine(myConn net.Conn, we *WireEvent) (stop bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended || sess.conn != myConn {
+		return true
+	}
+	switch we.Cmd {
+	case "flush":
+		sess.finishLocked()
+		return true
+	case "session":
+		sess.enableLocked()
+		return false
+	case "resume":
+		_ = sess.sendLocked(wireOut{Error: "resume: already in a session (resume must be the first line of a new connection)"}, false)
+		return false
+	case "register":
+		if !sess.srv.AllowRegister {
+			_ = sess.sendLocked(wireOut{Error: "register: disabled on this server"}, false)
+			return false
+		}
+		// Lifecycle operations are reorder barriers inside the runtime:
+		// events sent before the command pass through the slack buffer
+		// first, so the registration watermark cuts at the command, and
+		// a closing statement's final windows count every prior event.
+		stmt, err := greta.Compile(we.Query, sess.srv.CompileOptions...)
+		if err != nil {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("register: %v", err)}, false)
+			return false
+		}
+		var opts []greta.RegisterOption
+		if we.ID != "" {
+			opts = append(opts, greta.WithID(we.ID))
+		}
+		h, err := sess.rt.Register(stmt, opts...)
+		if err != nil {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("register: %v", err)}, false)
+			return false
+		}
+		sess.wire(h)
+		_ = sess.sendLocked(wireOut{Registered: &WireRegistered{ID: h.ID(), Query: h.Query()}}, false)
+		return false
+	case "close":
+		h, ok := sess.handles[we.ID]
+		if !ok {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("close: unknown statement %q", we.ID)}, false)
+			return false
+		}
+		delete(sess.handles, we.ID)
+		if err := h.Close(); err != nil {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("close %s: %v", we.ID, err)}, false)
+			return false
+		}
+		_ = sess.sendLocked(wireOut{Closed: we.ID}, false)
+		return false
+	case "checkpoint":
+		// No barrier: with slack armed the snapshot carries the pending
+		// disorder window, and a restore rehydrates it — flushing here
+		// would silently narrow the window instead.
+		ok := true
+		if err := sess.rt.Checkpoint(); err != nil {
+			// Degrade loudly but keep serving: the previous generation
+			// (if any) is still valid and ingestion continues.
+			_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)}, false)
+			ok = false
+		}
+		_ = sess.sendLocked(wireOut{Checkpointed: &ok}, false)
+		return false
+	case "":
+		// An event line.
+	default:
+		_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("unknown command %q", we.Cmd)}, false)
+		return false
+	}
+	if we.Type == "" {
+		_ = sess.sendLocked(wireOut{Error: "event missing type"}, false)
+		return false
+	}
+	var id uint64
+	if sess.resumable {
+		switch {
+		case we.Seq == 0:
+			_ = sess.sendLocked(wireOut{Error: "event missing seq (session mode)"}, false)
+			return false
+		case we.Seq <= sess.lastSeq:
+			return false // duplicate from a resume replay: already applied
+		case we.Seq != sess.lastSeq+1:
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("sequence gap: got %d, want %d", we.Seq, sess.lastSeq+1)}, false)
+			return false
+		}
+		id = we.Seq
+	} else {
+		sess.nextID++
+		id = sess.nextID
+	}
+	err := sess.rt.Process(&greta.Event{
+		ID:    id,
+		Type:  greta.Type(we.Type),
+		Time:  we.Time,
+		Attrs: we.Attrs,
+		Str:   we.Str,
+	})
+	// Advance the cursor only after Process returns: a boundary
+	// checkpoint fires inside Process BEFORE the trigger event is
+	// applied, so the snapshot's meta must still point at the previous
+	// seq — otherwise a restore replays from one event too far and the
+	// trigger is silently lost. The seq is consumed even when the event
+	// is dropped for disorder (the drop is deterministic on replay).
+	if sess.resumable {
+		sess.lastSeq = we.Seq
+	}
+	if err != nil {
+		if errors.Is(err, greta.ErrOutOfOrder) {
+			// Dropped by design (paper §2); report without failing the
+			// session or any in-flight command acknowledgement. The
+			// OrderError carries the event time and violated watermark.
+			sess.dropped++
+			_ = sess.sendLocked(wireOut{Warn: err.Error()}, false)
+			return false
+		}
+		_ = sess.sendLocked(wireOut{Error: err.Error()}, false)
+		return false
+	}
+	sess.processed++
+	return false
+}
+
+// enableLocked turns the session resumable ({"cmd":"session"}).
+func (sess *session) enableLocked() {
+	srv := sess.srv
+	if srv.Linger <= 0 {
+		_ = sess.sendLocked(wireOut{Error: "session: resume disabled on this server (set Server.Linger)"}, false)
+		return
+	}
+	if sess.resumable {
+		_ = sess.sendLocked(wireOut{Error: "session: already enabled"}, false)
+		return
+	}
+	if sess.lastSeq > 0 || sess.processed > 0 || sess.dropped > 0 || sess.nextID > 0 {
+		// Event ids must equal seqs for the dedup/replay contract; a
+		// late enable would leave a prefix without them.
+		_ = sess.sendLocked(wireOut{Error: "session: must precede all events"}, false)
+		return
+	}
+	id, err := srv.addSession(sess, "")
+	if err != nil {
+		_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("session: %v", err)}, false)
+		return
+	}
+	sess.id = id
+	sess.resumable = true
+	sess.rt.SetCheckpointMeta(sess.metaBytes)
+	_ = sess.sendLocked(wireOut{Session: &WireSession{ID: id, LingerMS: srv.Linger.Milliseconds()}}, false)
+	sess.startHeartbeatLocked()
+}
+
+// RestoreSession rebuilds a parked resumable session from the
+// checkpoint directory a crashed server left behind: the snapshot's
+// meta blob supplies the session id and cursors, the engine state
+// (including the reorder buffer's in-flight events) is rehydrated, and
+// the session lingers awaiting a client resume exactly as if the
+// connection had just dropped. The resuming client re-sends its
+// buffered events after the restored seq cursor; no dedup pass is
+// needed because sequence numbers identify the replay precisely.
+// Requires Server.Linger > 0. Returns the restored session id.
+func (s *Server) RestoreSession(dir string) (string, error) {
+	if s.Linger <= 0 {
+		return "", errors.New("netstream: RestoreSession requires Server.Linger > 0")
+	}
+	sess := &session{srv: s, resumable: true, handles: map[string]*greta.Handle{}}
+	res, err := greta.Restore(dir, greta.WithCheckpointErrors(func(err error) {
+		_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)}, false)
+	}))
+	if err != nil {
+		return "", err
+	}
+	fail := func(err error) (string, error) {
+		_ = res.Close()
+		return "", err
+	}
+	if res.Meta == nil {
+		return fail(errors.New("netstream: checkpoint carries no session meta (not a netstream session?)"))
+	}
+	var m sessionMeta
+	if err := json.Unmarshal(res.Meta, &m); err != nil {
+		return fail(fmt.Errorf("netstream: bad session meta: %w", err))
+	}
+	if m.ID == "" {
+		return fail(errors.New("netstream: session meta has no id"))
+	}
+	sess.rt = res.Runtime
+	sess.id = m.ID
+	sess.lastSeq = m.LastSeq
+	sess.outSeq = m.OutSeq
+	// Every durable line before the snapshot is gone from the replay
+	// window; a client that consumed less than that is rebased onto the
+	// retained result set.
+	sess.outFloor = m.OutSeq
+	sess.processed = m.Processed
+	sess.dropped = m.Dropped
+	for _, h := range res.Handles {
+		sess.wire(h)
+	}
+	sess.rt.SetCheckpointMeta(sess.metaBytes)
+	if _, err := s.addSession(sess, m.ID); err != nil {
+		return fail(fmt.Errorf("netstream: %v", err))
+	}
+	sess.mu.Lock()
+	sess.lingerT = time.AfterFunc(s.Linger, sess.expire)
+	sess.mu.Unlock()
+	return m.ID, nil
+}
+
+// ServeConn runs one session over an established connection.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	defer conn.Close()
+
+	w := bufio.NewWriter(&deadlineWriter{conn: conn, d: s.WriteTimeout})
+	enc := json.NewEncoder(w)
+	var sess *session
+	// An engine-side panic must reach the client as an error line, not
+	// a silently dropped connection; the session is unrecoverable.
+	defer func() {
+		if r := recover(); r != nil {
+			_ = enc.Encode(wireOut{Error: fmt.Sprintf("internal error: %v", r)})
+			_ = w.Flush()
+			if sess != nil {
+				sess.fail(conn)
+			}
+		}
+	}()
+
 	sc := bufio.NewScanner(&timeoutReader{conn: conn, read: s.ReadTimeout, idle: s.IdleTimeout})
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	var nextID uint64
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -330,121 +1141,54 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		var we WireEvent
 		if err := json.Unmarshal(line, &we); err != nil {
-			send(wireOut{Error: fmt.Sprintf("bad event: %v", err)})
+			if sess != nil {
+				if sess.reportBadLine(conn, err) {
+					return
+				}
+			} else {
+				_ = enc.Encode(wireOut{Error: fmt.Sprintf("bad event: %v", err)})
+				_ = w.Flush()
+			}
 			continue
 		}
-		switch we.Cmd {
-		case "flush":
-			goto done
-		case "register":
-			if !s.AllowRegister {
-				send(wireOut{Error: "register: disabled on this server"})
+		if sess == nil {
+			if we.Cmd == "resume" {
+				if sess = s.resume(conn, w, enc, &we); sess == nil {
+					return
+				}
 				continue
 			}
-			// Lifecycle commands are reorder barriers: events the client
-			// sent before the command pass through the slack buffer first,
-			// so the registration watermark cuts at the command, and a
-			// closing statement's final windows count every prior event.
-			if buf != nil {
-				buf.Flush()
+			if sess = s.newSession(conn, w, enc); sess == nil {
+				return
 			}
-			stmt, err := greta.Compile(we.Query, s.CompileOptions...)
-			if err != nil {
-				send(wireOut{Error: fmt.Sprintf("register: %v", err)})
-				continue
-			}
-			var opts []greta.RegisterOption
-			if we.ID != "" {
-				opts = append(opts, greta.WithID(we.ID))
-			}
-			h, err := rt.Register(stmt, opts...)
-			if err != nil {
-				send(wireOut{Error: fmt.Sprintf("register: %v", err)})
-				continue
-			}
-			wire(h)
-			send(wireOut{Registered: &WireRegistered{ID: h.ID(), Query: h.Query()}})
-			continue
-		case "close":
-			h, ok := handles[we.ID]
-			if !ok {
-				send(wireOut{Error: fmt.Sprintf("close: unknown statement %q", we.ID)})
-				continue
-			}
-			if buf != nil { // reorder barrier, as for register
-				buf.Flush()
-			}
-			delete(handles, we.ID)
-			if err := h.Close(); err != nil {
-				send(wireOut{Error: fmt.Sprintf("close %s: %v", we.ID, err)})
-				continue
-			}
-			send(wireOut{Closed: we.ID})
-			continue
-		case "checkpoint":
-			if buf != nil { // reorder barrier: the snapshot covers every prior event
-				buf.Flush()
-			}
-			ok := true
-			if err := rt.Checkpoint(); err != nil {
-				// Degrade loudly but keep serving: the previous generation
-				// (if any) is still valid and ingestion continues.
-				send(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)})
-				ok = false
-			}
-			send(wireOut{Checkpointed: &ok})
-			continue
-		case "":
-			// An event line.
-		default:
-			send(wireOut{Error: fmt.Sprintf("unknown command %q", we.Cmd)})
-			continue
 		}
-		if we.Type == "" {
-			send(wireOut{Error: "event missing type"})
-			continue
+		if sess.handleLine(conn, &we) {
+			return
 		}
-		nextID++
-		feed(&greta.Event{
-			ID:    nextID,
-			Type:  greta.Type(we.Type),
-			Time:  we.Time,
-			Attrs: we.Attrs,
-			Str:   we.Str,
-		})
 	}
-	if isTimeout(sc.Err()) {
-		// Read/idle deadline expired: report it cleanly and end the
-		// session without the done summary — a stalled client's open
-		// windows are not flushed on its behalf.
-		send(wireOut{Error: "timeout"})
+	timedOut := isTimeout(sc.Err())
+	if sess == nil {
+		if timedOut {
+			_ = enc.Encode(wireOut{Error: "timeout"})
+			_ = w.Flush()
+		}
 		return
 	}
-done:
-	if buf != nil {
-		buf.Flush()
-	}
-	// Snapshot the sharing topology before Close tears the runtime down.
-	rs := rt.Stats()
-	_ = rt.Close()
-	send(wireOut{Done: true, Events: processed, Drop: dropped + reorderDropped(buf),
-		SharedStmts: rs.SharedStatements, SharedGraphs: rs.SharedGraphs})
-}
-
-func reorderDropped(buf *reorder.Buffer) uint64 {
-	if buf == nil {
-		return 0
-	}
-	return buf.Dropped()
+	sess.park(conn, timedOut)
 }
 
 // Client streams events to a netstream server and receives results.
 type Client struct {
+	// SendWindow bounds the resend buffer of a resumable session: the
+	// newest SendWindow unacknowledged events are retained for replay
+	// after Resume (default 1024). Set it before EnableResume.
+	SendWindow int
+
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
-	// addr is remembered by DialContext/LazyDial so a lazily-created
-	// client can establish its connection on first use.
+	// addr is remembered by Dial/DialContext/LazyDial so Resume (and a
+	// lazily-created client's first use) can establish a connection.
 	addr string
 	// pending buffers results that arrive interleaved with command
 	// acknowledgements; Flush prepends them.
@@ -452,6 +1196,15 @@ type Client struct {
 	// warnings collects non-fatal {"warn":...} diagnostics (e.g.
 	// out-of-order drops) observed while reading replies.
 	warnings []string
+
+	// session resilience state: the server-issued id, the event seq
+	// cursor, the last consumed durable server seq, the bounded resend
+	// ring, and the retained final summary.
+	session  string
+	seq      uint64
+	lastRecv uint64
+	ring     []WireEvent
+	summary  *WireDone
 }
 
 // Warnings returns the non-fatal server diagnostics collected so far
@@ -459,13 +1212,23 @@ type Client struct {
 // Flush summary's dropped count reflects the same events.
 func (c *Client) Warnings() []string { return c.warnings }
 
+// Summary returns the session summary from the final {"done":...}
+// line, available after Flush (nil before).
+func (c *Client) Summary() *WireDone { return c.summary }
+
+// SessionID returns the server-issued session id (empty before
+// EnableResume).
+func (c *Client) SessionID() string { return c.session }
+
 // Dial connects to a server.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.addr = addr
+	return c, nil
 }
 
 // DialContext connects to a server, retrying transient dial failures
@@ -541,6 +1304,27 @@ func (c *Client) ensure(ctx context.Context) error {
 	return nil
 }
 
+// note applies the session-resilience bookkeeping every reply loop
+// shares: heartbeats are swallowed, duplicate durable lines (replayed
+// after a resume) are skipped by seq, warnings are collected. Returns
+// true when the line is fully consumed.
+func (c *Client) note(o *wireOut) bool {
+	if o.Ping != 0 {
+		return true
+	}
+	if o.Seq != 0 {
+		if o.Seq <= c.lastRecv {
+			return true // duplicate replay of a line already consumed
+		}
+		c.lastRecv = o.Seq
+	}
+	if o.Warn != "" {
+		c.warnings = append(c.warnings, o.Warn)
+		return true
+	}
+	return false
+}
+
 // RegisterContext is Register for lazily-dialed clients: it first
 // establishes the connection (retrying transient dial failures with
 // backoff under ctx), then registers the statement.
@@ -565,9 +1349,131 @@ func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(bufio.NewReader(conn))}
 }
 
-// Send streams one event.
+// EnableResume asks the server for a resumable session; it must be
+// called before the first event. From then on Send stamps each event
+// with a sequence number and retains the newest SendWindow of them for
+// replay, and a broken connection can be healed with Resume instead of
+// losing the stream. Returns the server-issued session id. Requires
+// the server to arm Linger.
+func (c *Client) EnableResume(ctx context.Context) (string, error) {
+	if err := c.ensure(ctx); err != nil {
+		return "", err
+	}
+	if c.session != "" {
+		return c.session, nil
+	}
+	if err := c.enc.Encode(WireEvent{Cmd: "session"}); err != nil {
+		return "", err
+	}
+	for {
+		var o wireOut
+		if err := c.dec.Decode(&o); err != nil {
+			return "", err
+		}
+		if c.note(&o) {
+			continue
+		}
+		switch {
+		case o.Error != "":
+			return "", fmt.Errorf("server: %s", o.Error)
+		case o.Session != nil:
+			c.session = o.Session.ID
+			if c.SendWindow == 0 {
+				c.SendWindow = 1024
+			}
+			return c.session, nil
+		case o.Result != nil:
+			c.pending = append(c.pending, *o.Result)
+		case o.Done:
+			return "", errors.New("server ended session before acknowledging session")
+		}
+	}
+}
+
+// Resume reconnects a resumable session after a connection failure:
+// it redials with the DialContext backoff, identifies the session and
+// the last server output consumed, and re-sends the unacknowledged
+// tail of the send buffer once the server reports how far it got.
+// Results the server replays that were already consumed are skipped
+// by seq; if the server rebased (the client fell behind the replay
+// window), previously collected results are discarded and the full
+// retained set is re-delivered. Fails when the session expired, the
+// server is gone past the dial deadline, or the gap exceeds the send
+// window.
+func (c *Client) Resume(ctx context.Context) error {
+	if c.session == "" {
+		return errors.New("netstream: no resumable session (call EnableResume first)")
+	}
+	if c.addr == "" {
+		return errors.New("netstream: client has no address to redial")
+	}
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	conn, err := dialBackoff(ctx, c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	if err := c.enc.Encode(WireEvent{Cmd: "resume", Session: c.session, Recv: c.lastRecv}); err != nil {
+		return err
+	}
+	for {
+		var o wireOut
+		if err := c.dec.Decode(&o); err != nil {
+			return err
+		}
+		if o.Resumed == nil {
+			if o.Error != "" {
+				return fmt.Errorf("server: %s", o.Error)
+			}
+			c.note(&o) // pings/warns; durable lines only follow the ack
+			continue
+		}
+		if o.Resumed.Rebase {
+			c.pending = nil
+		}
+		ack := o.Resumed.Seq
+		if ack < c.seq {
+			need := c.seq - ack
+			if uint64(len(c.ring)) < need || c.ring[len(c.ring)-int(need)].Seq != ack+1 {
+				return fmt.Errorf("netstream: resume window exceeded (server applied through seq %d, oldest buffered is %d)",
+					ack, c.oldestBuffered())
+			}
+			for _, we := range c.ring[len(c.ring)-int(need):] {
+				if err := c.enc.Encode(we); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func (c *Client) oldestBuffered() uint64 {
+	if len(c.ring) == 0 {
+		return 0
+	}
+	return c.ring[0].Seq
+}
+
+// Send streams one event. In a resumable session it is stamped with
+// the next sequence number and retained (bounded by SendWindow) for
+// replay after Resume — buffer first, so an event lost to the write
+// error that reveals the break is still replayable.
 func (c *Client) Send(typ string, t int64, attrs map[string]float64, strs map[string]string) error {
-	return c.enc.Encode(WireEvent{Type: typ, Time: t, Attrs: attrs, Str: strs})
+	we := WireEvent{Type: typ, Time: t, Attrs: attrs, Str: strs}
+	if c.session != "" {
+		c.seq++
+		we.Seq = c.seq
+		c.ring = append(c.ring, we)
+		if w := c.SendWindow; w > 0 && len(c.ring) > w {
+			c.ring = append(c.ring[:0], c.ring[len(c.ring)-w:]...)
+		}
+	}
+	return c.enc.Encode(we)
 }
 
 // Register attaches a new statement mid-stream and returns its id.
@@ -581,9 +1487,10 @@ func (c *Client) Register(query string) (string, error) {
 		if err := c.dec.Decode(&o); err != nil {
 			return "", err
 		}
+		if c.note(&o) {
+			continue
+		}
 		switch {
-		case o.Warn != "":
-			c.warnings = append(c.warnings, o.Warn)
 		case o.Error != "":
 			return "", fmt.Errorf("server: %s", o.Error)
 		case o.Registered != nil:
@@ -607,9 +1514,10 @@ func (c *Client) CloseStatement(id string) error {
 		if err := c.dec.Decode(&o); err != nil {
 			return err
 		}
+		if c.note(&o) {
+			continue
+		}
 		switch {
-		case o.Warn != "":
-			c.warnings = append(c.warnings, o.Warn)
 		case o.Error != "":
 			return fmt.Errorf("server: %s", o.Error)
 		case o.Closed == id:
@@ -637,10 +1545,15 @@ func (c *Client) Checkpoint() error {
 		if err := c.dec.Decode(&o); err != nil {
 			return err
 		}
-		switch {
-		case o.Warn != "":
+		if o.Warn != "" {
 			c.warnings = append(c.warnings, o.Warn)
 			lastWarn = o.Warn
+			continue
+		}
+		if c.note(&o) {
+			continue
+		}
+		switch {
 		case o.Error != "":
 			return fmt.Errorf("server: %s", o.Error)
 		case o.Checkpointed != nil:
@@ -660,7 +1573,7 @@ func (c *Client) Checkpoint() error {
 }
 
 // Flush ends the stream and collects all remaining results plus the
-// session summary.
+// session summary (Summary retains the full set of counters).
 func (c *Client) Flush() ([]WireResult, uint64, error) {
 	if err := c.enc.Encode(WireEvent{Cmd: "flush"}); err != nil {
 		return nil, 0, err
@@ -672,8 +1585,7 @@ func (c *Client) Flush() ([]WireResult, uint64, error) {
 		if err := c.dec.Decode(&o); err != nil {
 			return results, 0, err
 		}
-		if o.Warn != "" {
-			c.warnings = append(c.warnings, o.Warn)
+		if c.note(&o) {
 			continue
 		}
 		if o.Error != "" {
@@ -683,6 +1595,11 @@ func (c *Client) Flush() ([]WireResult, uint64, error) {
 			results = append(results, *o.Result)
 		}
 		if o.Done {
+			c.summary = &WireDone{
+				Events: o.Events, Dropped: o.Drop,
+				SharedStmts: o.SharedStmts, SharedGraphs: o.SharedGraphs,
+				Stats: o.Stats,
+			}
 			return results, o.Events, nil
 		}
 	}

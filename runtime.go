@@ -24,6 +24,13 @@ var (
 	ErrRunning = core.ErrRunning
 )
 
+// OrderError is the structured form of an out-of-order drop: the
+// offending event's timestamp and the watermark it violated (the
+// runtime watermark, or the reorder horizon when WithReorderSlack is
+// armed). errors.Is(err, ErrOutOfOrder) matches it; errors.As extracts
+// the diagnostics for reporting.
+type OrderError = core.OrderError
+
 // Runtime is a long-lived multi-query GRETA host: one shared ingest
 // path feeding any number of registered statements. Each event is
 // hashed once per distinct partition-attribute signature and fanned
@@ -69,6 +76,14 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 			panic(err)
 		}
 	}
+	if cfg.slack > 0 {
+		if err := rt.inner.SetReorderSlack(cfg.slack); err != nil {
+			panic(err)
+		}
+	}
+	if cfg.ckMeta != nil {
+		rt.inner.SetCheckpointMeta(cfg.ckMeta)
+	}
 	return rt
 }
 
@@ -81,6 +96,23 @@ type runtimeConfig struct {
 	ckDir   string
 	ckEvery Time
 	ckErr   func(error)
+	ckMeta  func() []byte
+	slack   Time
+}
+
+// WithReorderSlack arms a bounded reorder buffer in front of the
+// engines (the out-of-order handling the paper delegates upstream,
+// §2): events may arrive up to slack time units behind the maximum
+// timestamp seen and are re-sorted — equal timestamps keep arrival
+// order — before application. Later arrivals are dropped with an
+// OrderError from Process. Register, Handle.Close, Barrier, and Close
+// flush the buffer first (lifecycle operations are barriers), while
+// scheduled checkpoints persist the pending events inside the
+// snapshot, so a restored runtime rehydrates its disorder window. A
+// runtime with slack armed runs RunParallel sequentially. Slack 0 is
+// the default direct path.
+func WithReorderSlack(slack Time) RuntimeOption {
+	return func(c *runtimeConfig) { c.slack = slack }
 }
 
 // RegisterOption configures one statement registration.
@@ -181,6 +213,24 @@ func (rt *Runtime) RunParallel(ctx context.Context, s Stream, workers int) error
 // (-1 before the first event). A statement registered now sees events
 // from this watermark onward.
 func (rt *Runtime) Watermark() Time { return rt.inner.Watermark() }
+
+// Barrier flushes the reorder buffer (WithReorderSlack), applying
+// every pending event in order; a no-op without slack. Lifecycle
+// operations (Register, Handle.Close, Close) barrier implicitly.
+func (rt *Runtime) Barrier() error { return rt.inner.Barrier() }
+
+// ReorderPending returns the number of events currently held in the
+// reorder buffer (0 without slack).
+func (rt *Runtime) ReorderPending() int { return rt.inner.ReorderPending() }
+
+// SetReorderSlack arms (or, with 0, disarms) the reorder buffer after
+// construction — the imperative form of WithReorderSlack for callers
+// handed an already-built Runtime. It must run before the first event
+// is processed and fails once ingestion has started.
+func (rt *Runtime) SetReorderSlack(slack Time) error { return rt.inner.SetReorderSlack(slack) }
+
+// ReorderSlack reports the armed slack (0 when disarmed).
+func (rt *Runtime) ReorderSlack() Time { return rt.inner.ReorderSlack() }
 
 // RuntimeStats summarizes the runtime's multi-query topology:
 // registered statements, distinct routing hashes per event, and the
@@ -375,6 +425,13 @@ func (h *Handle) unsubscribe(q *liveTail) {
 		}
 	}
 }
+
+// Delivered snapshots the results delivered so far, in emission order,
+// without blocking (Results streams and waits for more). Statements
+// registered WithoutRetention return nil — nothing is retained to
+// snapshot. netstream uses it to re-deliver a session's retained
+// results when a resuming client has fallen behind the replay window.
+func (h *Handle) Delivered() []Result { return h.bufferedResults() }
 
 // bufferedResults snapshots the handle's delivered results in emission
 // order (the deprecated Engine shim serves Results from it).
