@@ -308,6 +308,130 @@ func BenchmarkParallelPartitions(b *testing.B) {
 	}
 }
 
+// batchIngestWorkloads are the BenchmarkBatchIngest fixtures: the
+// Fig. 14 stock workload (edge predicate — the batch path amortizes
+// hashing and clock advances but cannot pre-filter) and the Fig. 16
+// low-selectivity Linear Road workload with the gate as a vertex
+// predicate (the column pre-filter skips ~90% of rows).
+func batchIngestWorkloads() []struct {
+	name    string
+	q       string
+	evs     []*event.Event
+	schemas []*event.Schema
+} {
+	// 20k events so steady-state ingest dominates the per-iteration
+	// runtime setup and pool warmup (the ratio of interest is the
+	// amortized per-row cost, not the cold start).
+	lr := gen.DefaultLinearRoad(20000)
+	lr.StartRate, lr.EndRate = 50, 200
+	lr.GateSelectivity = 10
+	return []struct {
+		name    string
+		q       string
+		evs     []*event.Event
+		schemas []*event.Schema
+	}{
+		{"fig14", bench.Q1Positive, stockStream(4000, 0), gen.StockSchemas()},
+		{"fig16-sel10", bench.Q3SelectivityVertex, gen.LinearRoad(lr), gen.LinearRoadSchemas()},
+	}
+}
+
+// buildIngestBatches groups consecutive same-type events into columnar
+// batches of up to size rows (the generators emit batch-representable
+// values only).
+func buildIngestBatches(b *testing.B, evs []*event.Event, schemas []*greta.Schema, size int) []*greta.Batch {
+	b.Helper()
+	bySch := map[greta.Type]*greta.Schema{}
+	for _, s := range schemas {
+		bySch[s.Type] = s
+	}
+	var out []*greta.Batch
+	var cur *greta.Batch
+	for _, ev := range evs {
+		if cur != nil && (cur.Type() != ev.Type || cur.Len() >= size) {
+			out = append(out, cur)
+			cur = nil
+		}
+		if cur == nil {
+			sch := bySch[ev.Type]
+			if sch == nil {
+				b.Fatalf("no schema for type %q", ev.Type)
+			}
+			cur = greta.NewBatch(sch, size)
+		}
+		if err := cur.AppendEvent(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if cur != nil {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// BenchmarkBatchIngest compares per-event Process against columnar
+// ProcessBatch at batch sizes 1, 64, and 1024 over the Fig. 14 and
+// Fig. 16 (sel=10, vertex gate) workloads. Results are bit-identical
+// across all variants (TestBatchIngestDifferential); the batch path
+// buys one hash probe per partition run, one watermark advance per
+// batch, and — on the fig16 workload — column pre-filtering.
+func BenchmarkBatchIngest(b *testing.B) {
+	for _, w := range batchIngestWorkloads() {
+		stmt := greta.MustCompile(w.q)
+		// The timer brackets ingest only: runtime construction, statement
+		// compilation/registration, and the Close-time window flush are
+		// identical across variants and would otherwise dilute (and add
+		// planner/GC noise to) the per-row cost under comparison.
+		b.Run(w.name+"/per-event", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rt := greta.NewRuntime()
+				if _, err := rt.Register(stmt); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, ev := range w.evs {
+					if err := rt.Process(ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if err := rt.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			reportThroughput(b, len(w.evs))
+		})
+		for _, size := range []int{1, 64, 1024} {
+			batches := buildIngestBatches(b, w.evs, w.schemas, size)
+			b.Run(fmt.Sprintf("%s/batch=%d", w.name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					rt := greta.NewRuntime()
+					if _, err := rt.Register(stmt); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					for _, bt := range batches {
+						if _, err := rt.ProcessBatch(bt); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					if err := rt.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				reportThroughput(b, len(w.evs))
+			})
+		}
+	}
+}
+
 // BenchmarkIngestion measures single-event processing cost at steady
 // state (the per-event path: pane lookup, tree insert, range scan,
 // payload fold).

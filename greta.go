@@ -87,6 +87,20 @@ type Schema = event.Schema
 // call once at ingest. Events of other types stay schemaless.
 func BindSchemas(evs []*Event, schemas []*Schema) { event.BindAll(evs, schemas) }
 
+// Batch is a columnar block of schema-bound events of one type: dense
+// per-attribute arrays in schema slot order, materialized as Event rows
+// aliasing that storage. Build one with NewBatch plus Append (dense
+// slot values) or AppendEvent (copies a map-carried event, rejecting
+// values the dense form cannot represent), then feed it with
+// Runtime.ProcessBatch. A batch hands ownership of its rows to the
+// runtime; do not Reset or reuse it while windows that saw its rows
+// are open.
+type Batch = event.Batch
+
+// NewBatch returns an empty batch bound to sch with capacity for n
+// rows. The schema must not be nil; its Type stamps every row.
+func NewBatch(sch *Schema, n int) *Batch { return event.NewBatch(sch, n) }
+
 // Builder assembles in-order test and example streams.
 type Builder = event.Builder
 

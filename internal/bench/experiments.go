@@ -64,6 +64,15 @@ WHERE [company, sector] AND S.price > NEXT(S).price`
 const Q3Selectivity = `RETURN COUNT(*) PATTERN Position P+
 WHERE [vehicle, segment] AND P.sel <= NEXT(P).gate`
 
+// Q3SelectivityVertex is the Fig. 16 aggregation with the gate moved
+// from the edge to the vertex: P.sel <= P.gate prunes single events
+// instead of event pairs, so at GateSelectivity x only ~x% of Position
+// rows enter the graph at all. It is the batch pre-filter's showcase
+// query — the edge form cannot be vectorized (NEXT reads two rows),
+// the vertex form skips whole columns.
+const Q3SelectivityVertex = `RETURN COUNT(*) PATTERN Position P+
+WHERE [vehicle, segment] AND P.sel <= P.gate`
+
 // Q2Groups is the Fig. 17 query: Q2's CPU aggregation over increasing
 // load trends, grouped by mapper.
 const Q2Groups = `RETURN COUNT(*), SUM(M.cpu)

@@ -48,6 +48,149 @@ func TestNoHotPathAllocs(t *testing.T) {
 	t.Run("shared-statements", testNoHotPathAllocsSharedStatements)
 	t.Run("checkpointing", testNoHotPathAllocsCheckpoint)
 	t.Run("reorder-slack", testNoHotPathAllocsReorder)
+	t.Run("batch-ingest", testNoHotPathAllocsBatchIngest)
+	t.Run("batch-prefilter", testNoHotPathAllocsBatchPrefilter)
+}
+
+// allocBatchVolSchema adds a second numeric slot so a vertex predicate
+// can compare two columns (S.price <= S.vol).
+var allocBatchVolSchema = &event.Schema{
+	Type:    "Stock",
+	Numeric: []string{"price", "vol"},
+	Strings: []string{"company"},
+}
+
+// allocFeedBatches pushes n rows through ProcessBatch in blocks of
+// size, timestamps from timeOf, prices from price; *id carries the
+// event id across calls. Batches hand their rows to the runtime, so
+// every block is freshly allocated (outside any measured loop).
+func allocFeedBatches(t *testing.T, rt *Runtime, sch *event.Schema, n, size int, id *uint64,
+	timeOf func(i int) event.Time, price func(id uint64) float64, vol float64) {
+	t.Helper()
+	for off := 0; off < n; off += size {
+		k := size
+		if rest := n - off; rest < k {
+			k = rest
+		}
+		b := event.NewBatch(sch, k)
+		for j := 0; j < k; j++ {
+			*id++
+			num := []float64{price(*id)}
+			if len(sch.Numeric) > 1 {
+				num = append(num, vol)
+			}
+			b.Append(*id, timeOf(off+j), num, []string{"c0"})
+		}
+		if _, err := rt.ProcessBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// testNoHotPathAllocsBatchIngest extends the zero-allocation guard to
+// the columnar ingest path with the pre-filter pass-through (an edge
+// predicate cannot be vectorized): run detection, the single hash
+// probe per run, and the per-row graph insertions must run entirely
+// from warm pools — 0 allocs per batch, amortized.
+func testNoHotPathAllocsBatchIngest(t *testing.T) {
+	testNoHotPathAllocsBatch(t, false)
+}
+
+// testNoHotPathAllocsBatchPrefilter is the same guard with a
+// vectorizable vertex predicate: the column evaluation and the pooled
+// selection bitmap must also be allocation-free, and rows must really
+// take the skip path.
+func testNoHotPathAllocsBatchPrefilter(t *testing.T) {
+	testNoHotPathAllocsBatch(t, true)
+}
+
+func testNoHotPathAllocsBatch(t *testing.T, prefilter bool) {
+	src := "RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ " +
+		"WHERE [company] AND S.price > NEXT(S).price GROUP-BY company WITHIN 1000 SLIDE 1000"
+	sch := allocStockSchema
+	if prefilter {
+		src = "RETURN COUNT(*), SUM(S.price) PATTERN Stock S+ " +
+			"WHERE [company] AND S.price <= S.vol GROUP-BY company WITHIN 1000 SLIDE 1000"
+		sch = allocBatchVolSchema
+	}
+	plan, err := NewPlan(query.MustParse(src), aggregate.ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime()
+	st, err := rt.Register(plan, StmtConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// price cycles so roughly half the adjacent pairs extend a trend
+	// (edge query) and 3 of 7 rows fail price <= vol (prefilter query).
+	price := func(id uint64) float64 { return 1000 - float64(id%7) }
+	const vol = 997
+
+	// Warmup charges the pools, the run-detect scratch, the pre-filter
+	// cache, and its bitmap across two window turnovers.
+	id := uint64(0)
+	allocFeedBatches(t, rt, sch, 21000, 64, &id,
+		func(i int) event.Time { return event.Time(i / 10) }, price, vol)
+
+	// Measured: prebuilt 16-row batches, times inside the open window
+	// (no closes, no checkpoint boundaries). One AllocsPerRun iteration
+	// is one whole batch — the invariant is 0 allocs amortized per
+	// batch, which is stricter than per event.
+	const runs = 100
+	const rows = 16
+	batches := make([]*event.Batch, runs)
+	r := 0
+	for i := range batches {
+		b := event.NewBatch(sch, rows)
+		for j := 0; j < rows; j++ {
+			id++
+			num := []float64{price(id)}
+			if prefilter {
+				num = append(num, vol)
+			}
+			b.Append(id, event.Time(2100+r/2), num, []string{"c0"})
+			r++
+		}
+		batches[i] = b
+	}
+	before := st.Stats()
+	i := 0
+	avg := testing.AllocsPerRun(runs-1, func() {
+		if _, err := rt.ProcessBatch(batches[i]); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state ProcessBatch allocates %.2f objects/op, want 0", avg)
+	}
+	// Guard against the guard: rows must really reach the graphs (and,
+	// on the prefilter variant, really skip through the bitmap).
+	after := st.Stats()
+	if got := after.Events - before.Events; got != uint64(runs*rows) {
+		t.Fatalf("measured loop counted %d events, want %d", got, runs*rows)
+	}
+	skips := after.PrefilterSkips - before.PrefilterSkips
+	if prefilter {
+		if skips == 0 {
+			t.Fatal("measured loop never took the pre-filter skip path")
+		}
+		if got := after.Inserted - before.Inserted; got == 0 || got+skips != uint64(runs*rows) {
+			t.Fatalf("inserted %d + skipped %d rows, want them to partition %d", got, skips, runs*rows)
+		}
+	} else {
+		if skips != 0 {
+			t.Fatalf("edge-predicate query took %d pre-filter skips, want 0", skips)
+		}
+		if got := after.Inserted - before.Inserted; got != uint64(runs*rows) {
+			t.Fatalf("measured loop inserted %d vertices, want %d", got, runs*rows)
+		}
+	}
+	if after.SummaryFolds == before.SummaryFolds {
+		t.Fatal("measured loop took no summary folds")
+	}
 }
 
 // testNoHotPathAllocsReorder guards the armed-slack ingest path: a

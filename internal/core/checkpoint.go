@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/big"
 	"sort"
 	"strings"
@@ -202,25 +203,36 @@ func (t *evTable) encode(enc *checkpoint.Encoder) {
 		enc.U64(ev.ID)
 		enc.String(string(ev.Type))
 		enc.I64(ev.Time)
-		keys := make([]string, 0, len(ev.Attrs))
-		for k := range ev.Attrs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		enc.U32(uint32(len(keys)))
-		for _, k := range keys {
-			enc.String(k)
-			enc.F64(ev.Attrs[k])
-		}
-		keys = keys[:0]
-		for k := range ev.Str {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		enc.U32(uint32(len(keys)))
-		for _, k := range keys {
-			enc.String(k)
-			enc.String(ev.Str[k])
+		if ev.Sch != nil && ev.Attrs == nil && ev.Str == nil {
+			// Map-free batch row: its dense slots are the only attribute
+			// storage. Encode the present slots as the sorted map entries
+			// an equivalent map-carried bound event would write — batch
+			// rows cannot hold the NaN/"" absence markers as values, so
+			// the rendering (and therefore the snapshot bytes) matches
+			// the per-event feed exactly, and decode's Bind rebuilds the
+			// slots from the maps as usual.
+			encodeRowAttrs(enc, ev)
+		} else {
+			keys := make([]string, 0, len(ev.Attrs))
+			for k := range ev.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			enc.U32(uint32(len(keys)))
+			for _, k := range keys {
+				enc.String(k)
+				enc.F64(ev.Attrs[k])
+			}
+			keys = keys[:0]
+			for k := range ev.Str {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			enc.U32(uint32(len(keys)))
+			for _, k := range keys {
+				enc.String(k)
+				enc.String(ev.Str[k])
+			}
 		}
 		if ev.Sch != nil {
 			enc.Bool(true)
@@ -228,6 +240,36 @@ func (t *evTable) encode(enc *checkpoint.Encoder) {
 		} else {
 			enc.Bool(false)
 		}
+	}
+}
+
+// encodeRowAttrs writes a map-free schema-bound row's attributes in
+// the exact wire form of a map-carried event: present numeric slots
+// (non-NaN) then present string slots (non-""), each sorted by name.
+func encodeRowAttrs(enc *checkpoint.Encoder, ev *event.Event) {
+	keys := make([]string, 0, len(ev.Num))
+	for i, a := range ev.Sch.Numeric {
+		if i < len(ev.Num) && !math.IsNaN(ev.Num[i]) {
+			keys = append(keys, a)
+		}
+	}
+	sort.Strings(keys)
+	enc.U32(uint32(len(keys)))
+	for _, k := range keys {
+		enc.String(k)
+		enc.F64(ev.Num[ev.Sch.NumSlot(k)])
+	}
+	keys = keys[:0]
+	for i, a := range ev.Sch.Strings {
+		if i < len(ev.StrV) && ev.StrV[i] != "" {
+			keys = append(keys, a)
+		}
+	}
+	sort.Strings(keys)
+	enc.U32(uint32(len(keys)))
+	for _, k := range keys {
+		enc.String(k)
+		enc.String(ev.StrV[ev.Sch.StrSlot(k)])
 	}
 }
 

@@ -58,7 +58,15 @@ type Stats struct {
 	SummaryRebuilds uint64
 	PeakVertices    uint64
 	PeakPayloads    uint64
-	Partitions      int
+	// PrefilterSkips counts batch-ingest rows the vectorized predicate
+	// pre-filter proved unable to match any state, skipping partition
+	// graph insertion entirely (the row is still counted in Events and
+	// advances every clock, so results and all other counters are
+	// bit-identical to the per-event path). Not serialized in
+	// checkpoints: the batch segmentation of a replay may differ from
+	// the original run's, and checkpoint bytes must not.
+	PrefilterSkips uint64
+	Partitions     int
 	// Results counts emitted results. It is a counter, not len(results):
 	// a statement registered without retention still reports every
 	// emission here.
@@ -123,6 +131,25 @@ type Engine struct {
 	// cspecs holds the per-engine compiled form of each plan sub-spec,
 	// shared by that spec's graphs across all partitions.
 	cspecs []*compiledSpec
+
+	// prefilters caches the per-schema vectorized predicate pre-filter
+	// of the batch ingest path, including its pooled selection bitmaps
+	// (one entry per distinct batch schema seen; linear scan — batch
+	// sources use a handful of schemas at most). See batch.go.
+	prefilters []*batchPrefilter
+
+	// partCache is the batch path's direct-mapped memo in front of the
+	// e.parts probe, exploiting partition-key locality within a batch.
+	// Partitions are never removed, so entries stay valid for the
+	// engine's lifetime; a hit is proven by exact key words or verified
+	// value-for-value, so fingerprint collisions fall through to the
+	// chain probe. Lazily allocated on the first processSegment; never
+	// serialized (pure cache).
+	partCache []partCacheEnt
+
+	// routeSlotCaches resolves routeAcc against each batch schema seen
+	// (see routeSlotsFor; linear scan like prefilters).
+	routeSlotCaches []routeSlotCache
 
 	// composite plan state (disjunction / conjunction, §9)
 	branchEngines  []*Engine
@@ -224,7 +251,12 @@ func (e *Engine) SetTransactional(on bool) {
 	}
 }
 
-// attrKey concatenates the named attribute values of an event.
+// attrKey concatenates the named attribute values of an event. Map
+// probes come first (legacy rendering, including its NaN form); a
+// map-free batch row falls through to its dense schema slots, which
+// render identically for every value a batch can represent (AppendEvent
+// rejects the NaN/"" collisions), so a partition keyed by a batch row
+// interns the same display key a map-carried event would.
 func attrKey(ev *event.Event, attrs []string) string {
 	if len(attrs) == 0 {
 		return ""
@@ -238,6 +270,12 @@ func attrKey(ev *event.Event, attrs []string) string {
 			b.WriteString(s)
 		} else if v, ok := ev.Attrs[a]; ok {
 			fmt.Fprintf(&b, "%g", v)
+		} else if ev.Sch != nil {
+			if si := ev.Sch.StrSlot(a); si >= 0 && si < len(ev.StrV) && ev.StrV[si] != "" {
+				b.WriteString(ev.StrV[si])
+			} else if ni := ev.Sch.NumSlot(a); ni >= 0 && ni < len(ev.Num) && !math.IsNaN(ev.Num[ni]) {
+				fmt.Fprintf(&b, "%g", ev.Num[ni])
+			}
 		}
 	}
 	return b.String()

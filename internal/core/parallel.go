@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"math/bits"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -63,10 +64,9 @@ func (rt *Runtime) RunParallel(ctx context.Context, s event.Stream, workers int)
 			inline = append(inline, unit)
 		}
 	}
-	// The per-worker event mask carries one bit per route group. A
-	// runtime with reorder slack armed also runs sequentially: the
+	// A runtime with reorder slack armed runs sequentially: the
 	// buffer's release order is defined over one arrival sequence.
-	if workers <= 1 || len(parStmts) == 0 || len(groups) > 64 || rt.watermark >= 0 || rt.reorder != nil {
+	if workers <= 1 || len(parStmts) == 0 || rt.watermark >= 0 || rt.reorder != nil {
 		rt.mu.Unlock()
 		if err := rt.Run(ctx, s); err != nil {
 			_ = rt.Close()
@@ -97,13 +97,16 @@ const (
 // inline hsArr for up to len(hsArr) groups — the common case, kept
 // allocation-free — and spill to a pooled, refcounted hash array
 // beyond (shared read-only by every targeted worker, recycled when the
-// last one is done — no per-event heap allocation either way).
+// last one is done — no per-event heap allocation either way). Beyond
+// 64 route groups the single mask word no longer covers the fleet and
+// the spill additionally carries one group bitset per worker (see
+// hashSpill.masks); mask is unused then.
 type parMsg struct {
 	kind  uint8
 	ev    *event.Event
 	hsArr [4]uint64
 	spill *hashSpill // per-group hashes when len(groups) > len(hsArr)
-	mask  uint64     // bit per route group
+	mask  uint64     // bit per route group (runs with <= 64 groups)
 	si    int        // barrier: statement index
 	t     event.Time
 	hi    int64 // barrier: highest window id closed by t
@@ -114,8 +117,14 @@ type parMsg struct {
 // sets refs to the number of targeted workers, and every worker
 // releases once after processing; the last release recycles it.
 type hashSpill struct {
-	hs   []uint64
-	refs atomic.Int32
+	hs []uint64
+	// masks holds, per worker, the event's route-group bitset
+	// (ceil(groups/64) words) for runs with more than 64 groups —
+	// parMsg.mask cannot carry them. Each worker reads only its own
+	// row, so the shared spill stays write-once per event. nil for
+	// <= 64 groups.
+	masks [][]uint64
+	refs  atomic.Int32
 }
 
 // release returns the spill to its pool when the last worker is done.
@@ -159,9 +168,18 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 	chans := make([]chan parMsg, workers)
 	engines := make([][]*Engine, workers) // [worker][statement]
 	// spills recycles the per-event hash arrays of >len(hsArr)-group
-	// runs between the coordinator and the workers.
+	// runs between the coordinator and the workers; fleets past 64
+	// groups also carry their per-worker group bitsets here.
+	maskWords := (len(groups) + 63) / 64
 	spills := &sync.Pool{New: func() any {
-		return &hashSpill{hs: make([]uint64, len(groups))}
+		sp := &hashSpill{hs: make([]uint64, len(groups))}
+		if len(groups) > 64 {
+			sp.masks = make([][]uint64, workers)
+			for w := range sp.masks {
+				sp.masks[w] = make([]uint64, maskWords)
+			}
+		}
+		return sp
 	}}
 	var abort atomic.Bool
 	var wg sync.WaitGroup
@@ -182,6 +200,23 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 			for m := range chans[w] {
 				switch m.kind {
 				case pmEvent:
+					if m.spill != nil && m.spill.masks != nil {
+						// > 64 route groups: walk this worker's bitset words,
+						// peeling set bits with trailing-zero counts.
+						for wi, word := range m.spill.masks[w] {
+							for word != 0 {
+								bit := bits.TrailingZeros64(word)
+								word &^= 1 << uint(bit)
+								gi := wi<<6 | bit
+								h := m.spill.hs[gi]
+								for _, si := range stmtsOfGroup[gi] {
+									engines[w][si].ProcessRouted(m.ev, h)
+								}
+							}
+						}
+						m.spill.release(spills)
+						continue
+					}
 					for gi := range groups {
 						if m.mask&(1<<uint(gi)) == 0 {
 							continue
@@ -298,6 +333,36 @@ func feedWorkers(ctx context.Context, s event.Stream, workers int,
 			msg := parMsg{kind: pmEvent, ev: ev, mask: 1}
 			msg.hsArr[0] = h
 			chans[int(h%uint64(workers))] <- msg
+			continue
+		}
+		if len(groups) > 64 {
+			// Wide fan-out: the single mask word cannot carry the fleet,
+			// so the spill doubles as the routing bitmap — one
+			// ceil(groups/64)-word row per worker, zeroed lazily on the
+			// worker's first touch this event (masks[w] is repurposed as
+			// the touch flag). Still no per-event allocation: the spill
+			// rows are pooled alongside the hash array.
+			spill := spills.Get().(*hashSpill)
+			touched = touched[:0]
+			for gi, g := range groups {
+				h := hashRoute(g.acc, ev)
+				spill.hs[gi] = h
+				w := int(h % uint64(workers))
+				if masks[w] == 0 {
+					touched = append(touched, w)
+					masks[w] = 1
+					row := spill.masks[w]
+					for i := range row {
+						row[i] = 0
+					}
+				}
+				spill.masks[w][gi>>6] |= 1 << uint(gi&63)
+			}
+			spill.refs.Store(int32(len(touched)))
+			for _, w := range touched {
+				chans[w] <- parMsg{kind: pmEvent, ev: ev, spill: spill}
+				masks[w] = 0
+			}
 			continue
 		}
 		// Multi-signature fan-out: one hash per group, one message per

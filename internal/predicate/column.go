@@ -1,0 +1,137 @@
+// Column predicates: the vectorizable subset of vertex predicates.
+// A bare comparison between one numeric attribute of the event and a
+// constant (or a second numeric attribute) can be evaluated straight
+// off a batch's dense numeric columns — no Binding, no closure tree,
+// no map fallback. The batch ingest path uses this to pre-filter whole
+// columns into a selection bitmap before any graph is touched.
+package predicate
+
+import "github.com/greta-cep/greta/internal/event"
+
+// Column is a recognized vectorizable vertex predicate:
+//
+//	Attr OP Const    (RAttr == "")
+//	Attr OP RAttr
+//
+// where OP is a comparison and both attributes are plain numeric
+// references (no arithmetic — rounding could otherwise diverge from
+// the scalar evaluator — and not the "time" pseudo-attribute).
+type Column struct {
+	Op    Op // OpEq, OpNeq, OpGt, OpGe, OpLt, OpLe
+	Attr  string
+	RAttr string  // second attribute; "" when the RHS is Const
+	Const float64 // constant RHS, valid when RAttr == ""
+}
+
+// ColumnOf recognizes e as a Column, or returns nil. Recognition is
+// deliberately narrow: only shapes whose dense-slot evaluation is
+// provably identical to Compiled.EvalEvent on a map-free schema-bound
+// event qualify (see Slots for the schema-side conditions).
+func ColumnOf(e Expr) *Column {
+	b, ok := e.(Binary)
+	if !ok || !isCmp(b.Op) {
+		return nil
+	}
+	lRef, lOK := bareRef(b.L)
+	rRef, rOK := bareRef(b.R)
+	switch {
+	case lOK && rOK:
+		return &Column{Op: b.Op, Attr: lRef.Attr, RAttr: rRef.Attr}
+	case lOK:
+		if c, ok := b.R.(Const); ok {
+			return &Column{Op: b.Op, Attr: lRef.Attr, Const: c.V}
+		}
+	case rOK:
+		if c, ok := b.L.(Const); ok {
+			// Const OP Ref: mirror into Ref OP' Const.
+			return &Column{Op: flipCmp(b.Op), Attr: rRef.Attr, Const: c.V}
+		}
+	}
+	return nil
+}
+
+func isCmp(op Op) bool {
+	switch op {
+	case OpEq, OpNeq, OpGt, OpGe, OpLt, OpLe:
+		return true
+	}
+	return false
+}
+
+// flipCmp mirrors a comparison across its operands (c OP x == x OP' c).
+func flipCmp(op Op) Op {
+	switch op {
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	}
+	return op // Eq and Neq are symmetric
+}
+
+// bareRef matches a plain attribute reference. NEXT references cannot
+// appear in vertex predicates (the classifier routes them to edges),
+// and vertex evaluation binds the same event to both sides, so the
+// Next flag is irrelevant — but "time" is a pseudo-attribute read from
+// the timestamp, not a slot, and is excluded.
+func bareRef(e Expr) (Ref, bool) {
+	r, ok := e.(Ref)
+	if !ok || r.Attr == "time" {
+		return Ref{}, false
+	}
+	return r, true
+}
+
+// Slots resolves the column's numeric slot indices against sch:
+// ls for Attr and rs for RAttr (rs = -1 for a constant RHS). ok is
+// false when dense-slot evaluation could diverge from the scalar
+// evaluator: an attribute without a numeric slot, or one shadowed by a
+// string slot of the same name (the scalar Ref load falls through to
+// the string value when the numeric one is absent, which a pure
+// float compare cannot reproduce).
+func (c *Column) Slots(sch *event.Schema) (ls, rs int, ok bool) {
+	resolve := func(attr string) (int, bool) {
+		s := sch.NumSlot(attr)
+		if s < 0 || sch.StrSlot(attr) >= 0 {
+			return -1, false
+		}
+		return s, true
+	}
+	if ls, ok = resolve(c.Attr); !ok {
+		return -1, -1, false
+	}
+	rs = -1
+	if c.RAttr != "" {
+		if rs, ok = resolve(c.RAttr); !ok {
+			return -1, -1, false
+		}
+	}
+	return ls, rs, true
+}
+
+// EvalVals applies the comparison to raw slot values (NaN marks an
+// absent attribute). The outcomes match Compiled.EvalEvent on a
+// map-free schema-bound event bit for bit: Go float comparisons are
+// false on NaN operands for every operator except !=, exactly as the
+// scalar evaluator's NaN propagation behaves.
+func (c *Column) EvalVals(l, r float64) bool {
+	switch c.Op {
+	case OpEq:
+		return l == r
+	case OpNeq:
+		return l != r
+	case OpGt:
+		return l > r
+	case OpGe:
+		return l >= r
+	case OpLt:
+		return l < r
+	case OpLe:
+		return l <= r
+	}
+	return false
+}

@@ -157,6 +157,10 @@ func NewIndex[E any]() *Index[E] {
 // engine's stats).
 func (ix *Index[E]) Advance() { ix.seq++ }
 
+// AdvanceN advances the epoch by n ingest events at once (the batch
+// ingest path's bulk equivalent of n Advance calls).
+func (ix *Index[E]) AdvanceN(n uint64) { ix.seq += n }
+
 // Seq returns the current epoch (diagnostics).
 func (ix *Index[E]) Seq() uint64 { return ix.seq }
 

@@ -10,6 +10,16 @@
 // Protocol (newline-delimited JSON):
 //
 //	client → server   {"type":"Stock","time":17,"attrs":{"price":99.5},"str":{"company":"co01"}}
+//	client → server   {"cmd":"batch","type":"Stock","times":[17,18],
+//	                   "cols":{"price":[99.5,98.0]},"scols":{"company":["co01","co01"]}}
+//	                                              — a columnar batch: one timestamp per row
+//	                                                plus per-attribute value arrays, decoded
+//	                                                straight into the runtime's columnar
+//	                                                ingest path (Runtime.ProcessBatch). Rows
+//	                                                must be in non-decreasing time order.
+//	                                                Rejected in resumable sessions: rows carry
+//	                                                no per-event seqs, which resume dedup
+//	                                                requires (clients degrade to per-event)
 //	client → server   {"cmd":"register","query":"RETURN COUNT(*) PATTERN ..."}
 //	client → server   {"cmd":"close","id":"q1"}   — close one statement, flushing its windows
 //	client → server   {"cmd":"checkpoint"}        — write a durable snapshot of the session
@@ -100,6 +110,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"slices"
 	"strings"
 	"sync"
 	"syscall"
@@ -123,6 +134,12 @@ type WireEvent struct {
 	Time    int64              `json:"time"`
 	Attrs   map[string]float64 `json:"attrs,omitempty"`
 	Str     map[string]string  `json:"str,omitempty"`
+	// Times/Cols/SCols carry a {"cmd":"batch"} frame: one timestamp per
+	// row plus per-attribute value arrays (every array len(Times) long),
+	// decoded server-side straight into a columnar event batch.
+	Times []int64              `json:"times,omitempty"`
+	Cols  map[string][]float64 `json:"cols,omitempty"`
+	SCols map[string][]string  `json:"scols,omitempty"`
 }
 
 // WireResult is the JSON representation of one emitted result, tagged
@@ -515,6 +532,11 @@ type session struct {
 	processed uint64
 	dropped   uint64
 	nextID    uint64 // event ids on the non-resumable path
+	// schemas caches the per-(type, column-set) schemas batch frames
+	// bind their rows to, so repeated frames of one shape reuse one
+	// schema pointer (the runtime's columnar pre-filter caches per
+	// schema identity).
+	schemas map[string]*greta.Schema
 }
 
 // sendLocked emits one output line (mu held). Durable lines in a
@@ -937,6 +959,9 @@ func (sess *session) handleLine(myConn net.Conn, we *WireEvent) (stop bool) {
 		}
 		_ = sess.sendLocked(wireOut{Closed: we.ID}, false)
 		return false
+	case "batch":
+		sess.handleBatchLocked(we)
+		return false
 	case "checkpoint":
 		// No barrier: with slack armed the snapshot carries the pending
 		// disorder window, and a restore rehydrates it — flushing here
@@ -1007,6 +1032,90 @@ func (sess *session) handleLine(myConn net.Conn, we *WireEvent) (stop bool) {
 	}
 	sess.processed++
 	return false
+}
+
+// handleBatchLocked ingests one columnar batch frame through the
+// runtime's batch path: the per-attribute arrays are decoded straight
+// into an event batch (no per-row attribute maps), so the runtime
+// hashes each partition-key run once and pre-filters predicate
+// columns. Resumable sessions reject batches — resume dedup works on
+// per-event sequence numbers, which a batch frame does not carry
+// (clients degrade to per-event sends there).
+func (sess *session) handleBatchLocked(we *WireEvent) {
+	if sess.resumable {
+		_ = sess.sendLocked(wireOut{Error: "batch: not supported in a resumable session (events need seqs; send per-event)"}, false)
+		return
+	}
+	if we.Type == "" {
+		_ = sess.sendLocked(wireOut{Error: "batch missing type"}, false)
+		return
+	}
+	n := len(we.Times)
+	for a, col := range we.Cols {
+		if len(col) != n {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: column %q has %d values, want %d", a, len(col), n)}, false)
+			return
+		}
+	}
+	for a, col := range we.SCols {
+		if len(col) != n {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: column %q has %d values, want %d", a, len(col), n)}, false)
+			return
+		}
+	}
+	if n == 0 {
+		return
+	}
+	sch := sess.schemaFor(we)
+	b := greta.NewBatch(sch, n)
+	num := make([]float64, len(sch.Numeric))
+	strs := make([]string, len(sch.Strings))
+	for i := 0; i < n; i++ {
+		for j, a := range sch.Numeric {
+			num[j] = we.Cols[a][i]
+		}
+		for j, a := range sch.Strings {
+			strs[j] = we.SCols[a][i]
+		}
+		sess.nextID++
+		b.Append(sess.nextID, we.Times[i], num, strs)
+	}
+	acc, err := sess.rt.ProcessBatch(b)
+	sess.processed += uint64(acc)
+	if d := n - acc; d > 0 {
+		sess.dropped += uint64(d)
+		_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("batch: %d of %d rows dropped for disorder", d, n)}, false)
+	}
+	if err != nil {
+		_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: %v", err)}, false)
+	}
+}
+
+// schemaFor returns the cached schema for a batch frame's (type,
+// column-set) shape, creating it on first sight. Slot order is the
+// sorted attribute names, so the same shape always maps to the same
+// schema regardless of JSON map iteration order.
+func (sess *session) schemaFor(we *WireEvent) *greta.Schema {
+	nums := make([]string, 0, len(we.Cols))
+	for a := range we.Cols {
+		nums = append(nums, a)
+	}
+	slices.Sort(nums)
+	strs := make([]string, 0, len(we.SCols))
+	for a := range we.SCols {
+		strs = append(strs, a)
+	}
+	slices.Sort(strs)
+	key := we.Type + "\x00" + strings.Join(nums, "\x01") + "\x00" + strings.Join(strs, "\x01")
+	if s := sess.schemas[key]; s != nil {
+		return s
+	}
+	s := &greta.Schema{Type: greta.Type(we.Type), Numeric: nums, Strings: strs}
+	if sess.schemas == nil {
+		sess.schemas = map[string]*greta.Schema{}
+	}
+	sess.schemas[key] = s
+	return s
 }
 
 // enableLocked turns the session resumable ({"cmd":"session"}).
@@ -1474,6 +1583,49 @@ func (c *Client) Send(typ string, t int64, attrs map[string]float64, strs map[st
 		}
 	}
 	return c.enc.Encode(we)
+}
+
+// SendBatch streams a columnar batch frame: n rows of one type, times
+// in non-decreasing order, cols/scols mapping each attribute to one
+// value per row. The server decodes the arrays straight into its
+// columnar ingest path. In a resumable session batches degrade to
+// per-event sends — the resume protocol identifies events by per-event
+// sequence numbers — so each row is stamped, buffered for replay, and
+// sent individually; semantics are identical either way.
+func (c *Client) SendBatch(typ string, times []int64, cols map[string][]float64, scols map[string][]string) error {
+	for a, col := range cols {
+		if len(col) != len(times) {
+			return fmt.Errorf("netstream: batch column %q has %d values, want %d", a, len(col), len(times))
+		}
+	}
+	for a, col := range scols {
+		if len(col) != len(times) {
+			return fmt.Errorf("netstream: batch column %q has %d values, want %d", a, len(col), len(times))
+		}
+	}
+	if c.session != "" {
+		for i, t := range times {
+			var attrs map[string]float64
+			if len(cols) > 0 {
+				attrs = make(map[string]float64, len(cols))
+				for a, col := range cols {
+					attrs[a] = col[i]
+				}
+			}
+			var strs map[string]string
+			if len(scols) > 0 {
+				strs = make(map[string]string, len(scols))
+				for a, col := range scols {
+					strs[a] = col[i]
+				}
+			}
+			if err := c.Send(typ, t, attrs, strs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.enc.Encode(WireEvent{Cmd: "batch", Type: typ, Times: times, Cols: cols, SCols: scols})
 }
 
 // Register attaches a new statement mid-stream and returns its id.

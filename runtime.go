@@ -184,6 +184,37 @@ func (rt *Runtime) Register(stmt *Statement, opts ...RegisterOption) (*Handle, e
 // Close it returns ErrClosed.
 func (rt *Runtime) Process(ev *Event) error { return rt.inner.Process(ev) }
 
+// ProcessBatch offers a columnar batch to every registered statement,
+// amortizing the per-event ingest overhead: the runtime hashes each
+// partition-key run (consecutive rows with equal routing attributes)
+// once instead of once per event, advances the watermark once at the
+// batch tail, and — for eligible statements — pre-filters whole
+// predicate columns so rows that cannot match any automaton state skip
+// graph insertion entirely. Results, statistics, and checkpoint
+// placement are bit-identical to feeding the same rows through Process
+// one at a time.
+//
+// It returns the number of rows accepted. Rows must be sorted by
+// non-decreasing time within the batch; an unsorted batch degrades to
+// the per-event path (same semantics, no speedup). Without reorder
+// slack, a prefix of rows older than the runtime watermark is counted
+// and dropped per statement, the rest are applied, and ProcessBatch
+// reports only the accepted count — no error, matching a per-event
+// feed that skips ErrOutOfOrder drops and continues.
+//
+// With WithReorderSlack armed the batch is split against the reorder
+// horizon: the in-order prefix of rows at or beyond every pending
+// buffered event is applied columnar, rows that interleave with
+// buffered stragglers are merged through the reorder buffer in
+// timestamp order (equal timestamps keep arrival order, so a buffered
+// straggler precedes a later-arriving batch row of the same time), and
+// rows inside the slack window at the batch tail are themselves
+// buffered as potential stragglers — counted as accepted, applied when
+// the horizon passes them. Rows already behind the horizon are dropped
+// exactly as Process would drop them. After Close it returns (0,
+// ErrClosed); while RunParallel owns the runtime, (0, ErrRunning).
+func (rt *Runtime) ProcessBatch(b *Batch) (int, error) { return rt.inner.ProcessBatch(b) }
+
 // Run consumes the stream until it is exhausted or ctx is cancelled.
 // Out-of-order events are counted and dropped; any other error aborts.
 // Run does not close the runtime — more statements or streams may

@@ -3,16 +3,18 @@
 # with -benchmem and emits a machine-readable snapshot so future changes
 # have a perf trajectory to compare against.
 #
-# Usage: scripts/bench.sh [out.json] [benchtime]
-#   out.json   output file (default BENCH.json; the Makefile passes
-#              BENCH_$(PR).json so each PR leaves its own snapshot)
+# Usage: scripts/bench.sh out.json [benchtime]
+#   out.json   output file (required; the Makefile passes
+#              BENCH_$(PR).json so each PR leaves its own snapshot —
+#              guessing a default here would silently misfile the
+#              perf trajectory)
 #   benchtime  go test -benchtime value (default 1x; use e.g. 2s for
 #              lower-variance numbers)
 set -eu
 
-out="${1:-BENCH.json}"
+out="${1:?usage: scripts/bench.sh out.json [benchtime] (run 'make bench PR=<n>' to pick the snapshot file)}"
 benchtime="${2:-1x}"
-pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements|BenchmarkCheckpointWrite|BenchmarkRestore'
+pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements|BenchmarkCheckpointWrite|BenchmarkRestore|BenchmarkBatchIngest'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
