@@ -74,6 +74,12 @@ func (rt *Runtime) armCheckpoint(dir string, every, from Time, onErr func(error)
 	return rt.inner.SetCheckpoint(every, from, save, onErr)
 }
 
+// CheckpointArmed reports whether a scheduled checkpoint cadence is
+// armed on this runtime (WithCheckpoint, or a Restore that re-armed
+// the snapshot's interval). Serving layers use it to decide whether a
+// snapshot can fire mid-way through a multi-row ingest frame.
+func (rt *Runtime) CheckpointArmed() bool { return rt.inner.CheckpointArmed() }
+
 // Checkpoint writes an immediate snapshot (outside the boundary
 // schedule) to the directory configured by WithCheckpoint, returning
 // an error if checkpointing is not configured or the write fails.

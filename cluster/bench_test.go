@@ -1,0 +1,79 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/greta-cep/greta"
+	"github.com/greta-cep/greta/cluster"
+	"github.com/greta-cep/greta/netstream"
+)
+
+// BenchmarkCluster measures end-to-end cluster ingest over loopback
+// TCP — coordinator-side hashing, columnar frame encode, shard-side
+// engine work, and the per-window barrier/merge protocol — across
+// shard counts, Fig. 17-style (throughput vs parallel partitions, here
+// with real process-boundary serialization in the loop). The single
+// Kleene statement is the paper's Q2 on the Hadoop-cluster workload;
+// windows close mid-stream so barriers and partial merges are
+// exercised, not just the end-of-stream flush.
+func BenchmarkCluster(b *testing.B) {
+	q := `RETURN mapper, SUM(M.cpu)
+		PATTERN SEQ(Start S, Measurement M+, End E)
+		WHERE [job, mapper] AND M.load < NEXT(M).load
+		GROUP-BY mapper
+		WITHIN 20 seconds SLIDE 10 seconds`
+	// 100k events ≈ 33 s of stream time: the 20 s windows close (and
+	// barrier) twice mid-stream before the end-of-stream flush.
+	events := greta.ClusterStream(greta.DefaultCluster(100000))
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srvs := make([]*netstream.Server, shards)
+				addrs := make([]string, shards)
+				for s := range srvs {
+					ln, err := net.Listen("tcp", "127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					srv := cluster.ServeShard()
+					go func() { _ = srv.Serve(ln) }()
+					srvs[s], addrs[s] = srv, ln.Addr().String()
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				co, err := cluster.Connect(ctx, cluster.Config{Shards: addrs})
+				cancel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := co.Register(q); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, ev := range events {
+					if err := co.Process(ev); err != nil && !errors.Is(err, greta.ErrOutOfOrder) {
+						b.Fatal(err)
+					}
+				}
+				if err := co.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for _, srv := range srvs {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					_ = srv.Shutdown(ctx)
+					cancel()
+				}
+				b.StartTimer()
+			}
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,783 @@
+// Package cluster turns the single-process parallel runtime
+// (greta.Runtime.RunParallel) into a multi-process topology over
+// netstream: one coordinator process drives N shard processes, each
+// hosting one or more worker slots — the distributed analogue of
+// RunParallel's N workers.
+//
+// The placement and merge contract is RunParallel's, verbatim. The
+// coordinator computes the per-route-group FNV-1a partition hash once
+// per event (core.HashRoute — shards never rehash) and forwards the
+// event to the slot hash % N0, where N0 is the worker-slot count fixed
+// at Connect. Statement registrations fan out to every slot under the
+// watermark contract: the coordinator's global watermark rides the
+// registration frame, so every slot cuts the new statement at the same
+// instant. Per-statement window barriers precede the event that closes
+// the window, exactly as feedWorkers orders them; slots release their
+// partial windows and acknowledge over TCP, and the coordinator merges
+// partials in slot order — float results stay bit-identical to a
+// single-process RunParallel with the same worker count.
+//
+// Events travel as columnar batch frames (one frame-level sequence
+// number each) over resumable netstream sessions: a broken shard link
+// redials, resumes, and replays its unacknowledged tail in both
+// directions, so every frame — events, barriers, registrations —
+// applies exactly once. Per-slot barrier acknowledgements roll up into
+// a global low-watermark (LowWatermark). Shards can be added cold
+// (AddShard) and populated by draining another shard (Drain): the
+// donor snapshots its slots behind a barrier and the destination
+// adopts them, home indices intact, so the merge protocol never
+// notices the migration.
+//
+// Deliberately not distributed: the shared sub-plan network (cluster
+// statements register exclusively), transactional statements, reorder
+// slack, and unpartitioned or composite statements — the latter run
+// inline on the coordinator, preserving sequential semantics, just as
+// RunParallel keeps them on its feed goroutine.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/greta-cep/greta"
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+	"github.com/greta-cep/greta/internal/window"
+	"github.com/greta-cep/greta/netstream"
+)
+
+// Config describes the cluster a Connect builds.
+type Config struct {
+	// Shards lists the shard server addresses. The initial topology
+	// hosts one worker slot per shard; the slot count (the partition
+	// modulus N0) is fixed for the cluster's lifetime, so adding shards
+	// later redistributes existing slots rather than re-hashing keys.
+	Shards []string
+	// SendWindow bounds the per-link resend ring for resume replay
+	// (frames, not events; default 65536).
+	SendWindow int
+	// ResumeTimeout bounds how long a broken link keeps redialing
+	// before the cluster fails (default 10s).
+	ResumeTimeout time.Duration
+	// BatchRows caps the rows buffered per link before a frame is
+	// flushed (default 512). Barriers, registrations, and lifecycle
+	// commands always flush first — frames never straddle them.
+	BatchRows int
+}
+
+// ServeShard configures a netstream Server as a cluster shard: shard
+// links enabled, resumable sessions with a generous linger and replay
+// window. The caller serves it: go srv.Serve(ln).
+func ServeShard() *netstream.Server {
+	return &netstream.Server{
+		AllowShard:   true,
+		Linger:       time.Minute,
+		ResumeWindow: 1 << 20,
+		// Adopt frames carry whole slot snapshots in one line.
+		MaxLine: 1 << 30,
+	}
+}
+
+// Coordinator is the cluster's feed half: it owns statement
+// registration, routes events to worker slots over shard links, drives
+// the per-statement window barrier schedule, and merges the slots'
+// partial windows into final results — RunParallel's coordinator and
+// merger roles, across process boundaries.
+//
+// A Coordinator is safe for concurrent use; operations that span a
+// network round trip (Register, Handle.Close, Drain, Close) serialize.
+// Result callbacks fire on link reader goroutines with the
+// coordinator's lock held — they must not call back into the
+// Coordinator.
+type Coordinator struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// rt registers every statement locally: partitioned units use their
+	// local engine only as the merge/emit/stats surface (it never sees
+	// events); inline statements process every event on it.
+	rt *core.Runtime
+
+	n0       int     // worker-slot modulus, fixed at Connect
+	links    []*link // shard links, by shard index
+	slotLink []int   // worker slot → hosting link index
+	slotAck  []int64 // worker slot → latest acked barrier time
+
+	units   map[int]*unit // unit index → live partitioned unit
+	unitID  map[string]*unit
+	order   []int // live unit indices, ascending (barrier order)
+	inline  []*core.Stmt
+	groups  []*routeGroup
+	grpSig  map[string]int
+	nextSI  int
+	wm      int64 // global watermark (-1 before the first event)
+	rowCap  int
+	sendWin int
+	resumeT time.Duration
+
+	// routing scratch and shape caches (see batch.go).
+	touched   []int
+	schShapes map[*greta.Schema]*schView
+	mapShapes map[string]*rowShape
+
+	warnings []string
+	busy     bool // serializes multi-step operations that wait mid-flight
+	closed   bool
+	err      error
+}
+
+// routeGroup is one partition-attribute signature: the shared
+// accessors the hash is computed with, and how many live units use it.
+type routeGroup struct {
+	acc  []event.Accessor
+	refs int
+}
+
+// unit is one live partitioned statement: its barrier cursor and the
+// merge state mirroring RunParallel's mergeLoop (pending partials per
+// window, per-slot release frontiers).
+type unit struct {
+	si, gi  int
+	st      *core.Stmt
+	win     window.Spec
+	def     *aggregate.Def
+	parPrev int64
+
+	pending   map[int64]map[string][]*aggregate.Payload // wid → group → per-slot partial
+	released  []int64                                   // per-slot highest released wid
+	statsSeen []bool
+	statsLeft int
+	regPend   map[*link]bool
+}
+
+// Handle is a registered statement's result surface, mirroring
+// greta.Handle: results accumulate for Results (sorted after Close),
+// OnResult streams them as windows merge.
+type Handle struct {
+	co *Coordinator
+	st *core.Stmt
+	u  *unit // nil for inline statements
+}
+
+// regCfg collects RegisterOption state.
+type regCfg struct {
+	id    string
+	exact bool
+	force bool
+}
+
+// RegisterOption customizes one Register call.
+type RegisterOption func(*regCfg)
+
+// WithID names the statement (default "q<n>").
+func WithID(id string) RegisterOption { return func(c *regCfg) { c.id = id } }
+
+// WithExactArithmetic aggregates in exact (big-rational) arithmetic
+// on every slot instead of native floats.
+func WithExactArithmetic() RegisterOption { return func(c *regCfg) { c.exact = true } }
+
+// WithForceVertexScan disables the summary fast path on every slot
+// (differential testing and debugging).
+func WithForceVertexScan() RegisterOption { return func(c *regCfg) { c.force = true } }
+
+// Connect dials every shard, establishes resumable sessions, and fixes
+// the cluster's worker-slot topology: len(cfg.Shards) slots, slot i on
+// shard i. It fails if any shard is unreachable under ctx or rejects
+// the handshake.
+func Connect(ctx context.Context, cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: no shards")
+	}
+	co := &Coordinator{
+		rt:        core.NewRuntime(),
+		n0:        len(cfg.Shards),
+		units:     map[int]*unit{},
+		unitID:    map[string]*unit{},
+		grpSig:    map[string]int{},
+		wm:        -1,
+		rowCap:    cfg.BatchRows,
+		sendWin:   cfg.SendWindow,
+		resumeT:   cfg.ResumeTimeout,
+		schShapes: map[*greta.Schema]*schView{},
+		mapShapes: map[string]*rowShape{},
+	}
+	co.cond = sync.NewCond(&co.mu)
+	if co.rowCap <= 0 {
+		co.rowCap = 512
+	}
+	if co.sendWin <= 0 {
+		co.sendWin = 1 << 16
+	}
+	if co.resumeT <= 0 {
+		co.resumeT = 10 * time.Second
+	}
+	co.slotLink = make([]int, co.n0)
+	co.slotAck = make([]int64, co.n0)
+	for w := range co.slotAck {
+		co.slotLink[w] = w
+		co.slotAck[w] = -1
+	}
+	for i, addr := range cfg.Shards {
+		l, err := co.dialLink(ctx, i, addr, []int{i})
+		if err != nil {
+			_ = co.Close()
+			return nil, err
+		}
+		co.links = append(co.links, l)
+	}
+	return co, nil
+}
+
+// begin acquires the multi-step-operation slot under co.mu.
+func (co *Coordinator) begin() error {
+	for co.busy {
+		if co.closed {
+			return greta.ErrClosed
+		}
+		co.cond.Wait()
+	}
+	if co.closed {
+		return greta.ErrClosed
+	}
+	if co.err != nil {
+		return co.err
+	}
+	co.busy = true
+	return nil
+}
+
+func (co *Coordinator) end() {
+	co.busy = false
+	co.cond.Broadcast()
+}
+
+// waitLocked blocks until pred holds, a link fails, or the cluster
+// closes. co.mu held; pred is evaluated under it.
+func (co *Coordinator) waitLocked(pred func() bool) error {
+	for !pred() {
+		if co.err != nil {
+			return co.err
+		}
+		if co.closed {
+			return greta.ErrClosed
+		}
+		co.cond.Wait()
+	}
+	return nil
+}
+
+// fail records the first fatal cluster error and wakes every waiter.
+// co.mu held.
+func (co *Coordinator) fail(err error) {
+	if co.err == nil {
+		co.err = err
+	}
+	co.cond.Broadcast()
+}
+
+// Err returns the first fatal cluster error (a link beyond resume, a
+// shard-reported fault), or nil.
+func (co *Coordinator) Err() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.err
+}
+
+// Warnings returns non-fatal shard diagnostics collected so far.
+func (co *Coordinator) Warnings() []string {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return slices.Clone(co.warnings)
+}
+
+// Slots returns the cluster's worker-slot count N0 — the partition
+// modulus, fixed at Connect. Results are bit-identical to
+// RunParallel with Slots workers.
+func (co *Coordinator) Slots() int { return co.n0 }
+
+// Shards returns the current shard-link count (drained links
+// included).
+func (co *Coordinator) Shards() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.links)
+}
+
+// Watermark returns the global event-time frontier (-1 before the
+// first event).
+func (co *Coordinator) Watermark() greta.Time {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.wm
+}
+
+// LowWatermark returns the cluster's merge frontier: the smallest
+// barrier time every worker slot has acknowledged (-1 before the
+// first acknowledged barrier). Windows at or below it are fully
+// merged and emitted.
+func (co *Coordinator) LowWatermark() greta.Time {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	low := int64(math.MaxInt64)
+	for _, t := range co.slotAck {
+		if t < low {
+			low = t
+		}
+	}
+	if low == math.MaxInt64 {
+		return -1
+	}
+	return low
+}
+
+// activeLinks returns the links that still host (or may come to host)
+// worker slots — every command fan-out targets exactly these.
+func (co *Coordinator) activeLinks() []*link {
+	ls := make([]*link, 0, len(co.links))
+	for _, l := range co.links {
+		if !l.drained && !l.closing {
+			ls = append(ls, l)
+		}
+	}
+	return ls
+}
+
+// Register compiles and registers a statement. Partitioned statements
+// (simple plans with at least one partition attribute) fan out to
+// every worker slot stamped with the current watermark and are
+// processed cluster-wide; anything else runs inline on the
+// coordinator. Registration returns after every shard acknowledges.
+func (co *Coordinator) Register(src string, opts ...RegisterOption) (*Handle, error) {
+	var cfg regCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	mode := aggregate.ModeNative
+	if cfg.exact {
+		mode = aggregate.ModeExact
+	}
+	plan, err := core.NewPlan(q, mode)
+	if err != nil {
+		return nil, err
+	}
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if err := co.begin(); err != nil {
+		return nil, err
+	}
+	defer co.end()
+	// Sharing is deliberately off: cluster statements register
+	// exclusively (the shared sub-plan network is not distributed).
+	st, err := co.rt.Register(plan, core.StmtConfig{ID: cfg.id, ForceVertexScan: cfg.force})
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{co: co, st: st}
+	if !st.Partitioned() {
+		co.inline = append(co.inline, st)
+		return h, nil
+	}
+
+	sig := strings.Join(st.RouteAttrs(), "\x1f")
+	gi, ok := co.grpSig[sig]
+	if !ok {
+		gi = len(co.groups)
+		co.groups = append(co.groups, &routeGroup{acc: st.RouteAccessors()})
+		co.grpSig[sig] = gi
+	}
+	co.groups[gi].refs++
+	u := &unit{
+		si: co.nextSI, gi: gi, st: st,
+		win: st.WindowSpec(), def: st.MergeDef(), parPrev: co.wm,
+		pending:   map[int64]map[string][]*aggregate.Payload{},
+		released:  make([]int64, co.n0),
+		statsSeen: make([]bool, co.n0),
+		statsLeft: co.n0,
+		regPend:   map[*link]bool{},
+	}
+	co.nextSI++
+	for w := range u.released {
+		u.released[w] = math.MinInt64
+	}
+	h.u = u
+	co.units[u.si] = u
+	co.unitID[st.ID()] = u
+	co.order = append(co.order, u.si)
+
+	// Buffered rows precede the registration on every link, and the
+	// registration frame carries the global watermark so each slot cuts
+	// the new statement at the same instant.
+	co.flushAllLocked()
+	for _, l := range co.activeLinks() {
+		u.regPend[l] = true
+		l.send(netstream.WireEvent{
+			Cmd: "sreg", SI: u.si, GI: u.gi, Query: plan.Query.String(), ID: st.ID(),
+			Exact: cfg.exact, Force: cfg.force, Time: co.wm,
+		})
+	}
+	if err := co.waitLocked(func() bool { return len(u.regPend) == 0 }); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Process offers one event to the cluster: barriers for every window
+// the event's time closes fan out first (feedWorkers' ordering), then
+// inline statements process it, then it is routed — one hash per live
+// route group — into the owning slots' batch frames. Late events are
+// dropped and charged to every statement's OutOfOrder, as the
+// single-process paths do.
+func (co *Coordinator) Process(ev *greta.Event) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for co.busy {
+		if co.closed {
+			return greta.ErrClosed
+		}
+		co.cond.Wait()
+	}
+	if co.closed {
+		return greta.ErrClosed
+	}
+	if co.err != nil {
+		return co.err
+	}
+	if ev.Time < co.wm {
+		for _, si := range co.order {
+			co.units[si].st.AddOutOfOrder(1)
+		}
+		for _, st := range co.inline {
+			st.AddOutOfOrder(1)
+		}
+		return greta.ErrOutOfOrder
+	}
+	co.wm = ev.Time
+	co.rt.ObserveTime(ev.Time)
+
+	// Window barriers precede the event that closes the window, so
+	// every slot releases wid before any post-window event.
+	for _, si := range co.order {
+		u := co.units[si]
+		if _, hi, ok := u.win.ClosedBy(u.parPrev, ev.Time); ok {
+			co.flushAllLocked()
+			for _, l := range co.activeLinks() {
+				l.send(netstream.WireEvent{Cmd: "barrier", SI: u.si, Time: ev.Time, Hi: hi})
+			}
+		}
+		u.parPrev = ev.Time
+	}
+	for _, st := range co.inline {
+		st.Engine().Process(ev)
+	}
+	if len(co.groups) > 0 {
+		co.routeLocked(ev)
+	}
+	return nil
+}
+
+// routeLocked hashes ev once per live route group, gathers each
+// target link's (group, hash) pairs, and appends the event — once per
+// link — to the owning links' batch frames. co.mu held.
+func (co *Coordinator) routeLocked(ev *greta.Event) {
+	co.touched = co.touched[:0]
+	for gi, g := range co.groups {
+		if g.refs == 0 {
+			continue
+		}
+		h := core.HashRoute(g.acc, ev)
+		li := co.slotLink[int(h%uint64(co.n0))]
+		l := co.links[li]
+		if len(l.pairs) == 0 {
+			co.touched = append(co.touched, li)
+		}
+		l.pairs = append(l.pairs, pair{gi: gi, h: h})
+	}
+	if len(co.touched) == 0 {
+		return
+	}
+	r := co.rowOf(ev)
+	for _, li := range co.touched {
+		l := co.links[li]
+		l.buf.add(l, r, l.pairs)
+		l.pairs = l.pairs[:0]
+		if len(l.buf.times) >= co.rowCap {
+			l.buf.flush(l)
+		}
+	}
+}
+
+// flushAllLocked flushes every link's buffered batch frame. co.mu
+// held.
+func (co *Coordinator) flushAllLocked() {
+	for _, l := range co.links {
+		l.buf.flush(l)
+	}
+}
+
+// closeUnitLocked drives a partitioned unit's distributed close: fan
+// out, await every slot's final release and stats fold, then close the
+// local statement (which sorts its retained results). co.mu held with
+// the busy slot acquired.
+func (co *Coordinator) closeUnitLocked(u *unit) error {
+	co.flushAllLocked()
+	for _, l := range co.activeLinks() {
+		l.send(netstream.WireEvent{Cmd: "sclose", SI: u.si})
+	}
+	if err := co.waitLocked(u.done); err != nil {
+		return err
+	}
+	co.dropUnitLocked(u)
+	return u.st.Close()
+}
+
+// done reports whether every slot has fully released and folded the
+// unit.
+func (u *unit) done() bool {
+	if u.statsLeft > 0 || len(u.pending) > 0 {
+		return false
+	}
+	for _, r := range u.released {
+		if r != math.MaxInt64 {
+			return false
+		}
+	}
+	return true
+}
+
+// dropUnitLocked removes a fully-closed unit from the live set.
+func (co *Coordinator) dropUnitLocked(u *unit) {
+	delete(co.units, u.si)
+	delete(co.unitID, u.st.ID())
+	if i := slices.Index(co.order, u.si); i >= 0 {
+		co.order = slices.Delete(co.order, i, i+1)
+	}
+	co.groups[u.gi].refs--
+}
+
+// ID returns the statement id.
+func (h *Handle) ID() string { return h.st.ID() }
+
+// OnResult streams merged windows to f as they are released. f runs
+// on a link reader goroutine with the coordinator locked — it must not
+// call back into the Coordinator or the Handle.
+func (h *Handle) OnResult(f func(greta.Result)) { h.st.OnResult(f) }
+
+// Results returns the merged results so far (every emitted window; in
+// group/window order after Close).
+func (h *Handle) Results() []greta.Result { return h.st.Results() }
+
+// Stats returns the statement's counters. For partitioned statements
+// the slot engines' counters fold in when the unit closes (Handle.Close
+// or Coordinator.Close); before that only coordinator-side counters
+// (OutOfOrder, Results) are populated.
+func (h *Handle) Stats() greta.Stats { return h.st.Stats() }
+
+// Close closes the statement mid-stream. Partitioned units flush
+// their open windows on every slot as partials; the merged windows
+// emit before Close returns, and the slots' engine counters fold into
+// Stats.
+func (h *Handle) Close() error {
+	co := h.co
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if err := co.begin(); err != nil {
+		return err
+	}
+	defer co.end()
+	if h.u == nil {
+		if i := slices.Index(co.inline, h.st); i >= 0 {
+			co.inline = slices.Delete(co.inline, i, i+1)
+		}
+		return h.st.Close()
+	}
+	if _, live := co.units[h.u.si]; !live {
+		return nil
+	}
+	return co.closeUnitLocked(h.u)
+}
+
+// Close ends the stream: every unit's open windows flush on every
+// slot, the merged tails emit, slot stats fold, sessions finish
+// gracefully, and every link goroutine exits. Safe to call twice.
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	if co.closed {
+		err := co.err
+		co.mu.Unlock()
+		return err
+	}
+	for co.busy {
+		co.cond.Wait()
+		if co.closed {
+			err := co.err
+			co.mu.Unlock()
+			return err
+		}
+	}
+	co.busy = true
+	if co.err == nil {
+		co.flushAllLocked()
+		for _, l := range co.activeLinks() {
+			l.send(netstream.WireEvent{Cmd: "eos"})
+		}
+		for _, si := range slices.Clone(co.order) {
+			u := co.units[si]
+			if err := co.waitLocked(u.done); err != nil {
+				break
+			}
+			co.dropUnitLocked(u)
+		}
+	}
+	_ = co.rt.Close()
+	for _, l := range co.links {
+		if !l.closing {
+			l.closing = true
+			l.sendRaw(netstream.WireEvent{Cmd: "flush"})
+		}
+	}
+	co.closed = true
+	co.busy = false
+	err := co.err
+	co.cond.Broadcast()
+	links := slices.Clone(co.links)
+	co.mu.Unlock()
+
+	for _, l := range links {
+		if l.conn != nil {
+			<-l.readerDone
+			_ = l.conn.Close()
+		}
+	}
+	return err
+}
+
+// AddShard dials a new shard and joins it to the cluster cold: it
+// hosts no worker slots until a Drain hands it some, but from now on
+// receives every registration and barrier so adopted slots stay
+// current. Returns the new shard's link index.
+func (co *Coordinator) AddShard(ctx context.Context, addr string) (int, error) {
+	co.mu.Lock()
+	if err := co.begin(); err != nil {
+		co.mu.Unlock()
+		return 0, err
+	}
+	idx := len(co.links)
+	co.mu.Unlock()
+
+	l, err := co.dialLink(ctx, idx, addr, nil)
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	defer co.end()
+	if err != nil {
+		return 0, err
+	}
+	co.links = append(co.links, l)
+	// Replay the live units onto the empty shard's session so slots
+	// adopted later keep receiving sreg/sclose consistently. (The
+	// adopted snapshots carry the statements themselves; this keeps the
+	// session's barrier fan-out valid for units registered afterwards.)
+	return idx, nil
+}
+
+// Drain migrates every worker slot of shard from onto shard to: the
+// donor snapshots each slot's full engine state behind the frames
+// already sent, the destination adopts them under the same home
+// indices, and the key ranges (hash % N0 == slot) move with them. The
+// donor's session then finishes; the link index remains (drained).
+// The merge protocol is undisturbed: released frontiers, pending
+// partials, and stats folds are keyed by slot, not by shard.
+func (co *Coordinator) Drain(from, to int) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if err := co.begin(); err != nil {
+		return err
+	}
+	defer co.end()
+	if from == to || from < 0 || from >= len(co.links) || to < 0 || to >= len(co.links) {
+		return fmt.Errorf("cluster: bad drain %d -> %d", from, to)
+	}
+	lf, lt := co.links[from], co.links[to]
+	if lf.drained || lt.drained || lf.closing || lt.closing {
+		return fmt.Errorf("cluster: drain %d -> %d: shard already drained", from, to)
+	}
+	co.flushAllLocked()
+	lf.send(netstream.WireEvent{Cmd: "handoff"})
+	if err := co.waitLocked(func() bool { return lf.handoff != nil }); err != nil {
+		return err
+	}
+	blobs := lf.handoff
+	lf.handoff = nil
+	adopts := lt.adopts
+	lt.send(netstream.WireEvent{Cmd: "adopt", Blobs: blobs, EvID: lf.handoffEvID})
+	if err := co.waitLocked(func() bool { return lt.adopts > adopts }); err != nil {
+		return err
+	}
+	for ws := range blobs {
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 0 || w >= co.n0 {
+			co.fail(fmt.Errorf("cluster: drain: bad slot key %q", ws))
+			return co.err
+		}
+		co.slotLink[w] = to
+	}
+	lf.drained = true
+	lf.closing = true
+	lf.sendRaw(netstream.WireEvent{Cmd: "flush"})
+	return nil
+}
+
+// BreakLink severs shard i's TCP connection without warning — a fault
+// injection surface for tests and drills. The link redials, resumes
+// the session, and replays the unacknowledged tail in both directions;
+// the stream continues exactly-once.
+func (co *Coordinator) BreakLink(i int) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if i < 0 || i >= len(co.links) {
+		return fmt.Errorf("cluster: no shard link %d", i)
+	}
+	l := co.links[i]
+	if l.conn == nil {
+		return fmt.Errorf("cluster: link %d not connected", i)
+	}
+	// Already-closed is fine: the link is broken either way (a kill can
+	// land while a previous break's reattach is still in flight).
+	_ = l.conn.Close()
+	return nil
+}
+
+// dialRetry dials addr, retrying until ctx expires.
+func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	backoff := 10 * time.Millisecond
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster: dial %s: %w (last: %v)", addr, ctx.Err(), err)
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}

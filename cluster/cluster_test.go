@@ -1,0 +1,468 @@
+package cluster_test
+
+import (
+	"cmp"
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/greta-cep/greta"
+	"github.com/greta-cep/greta/cluster"
+	"github.com/greta-cep/greta/netstream"
+)
+
+// startShards brings up n shard servers on loopback and returns their
+// addresses.
+func startShards(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := cluster.ServeShard()
+		go func() { _ = srv.Serve(ln) }()
+		addrs[i] = ln.Addr().String()
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+	}
+	return addrs
+}
+
+func connect(t *testing.T, addrs []string) *cluster.Coordinator {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	co, err := cluster.Connect(ctx, cluster.Config{Shards: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+// compareResults asserts bit-identical result sets (group, window,
+// bounds, every float value). Both sides are sorted by (group, wid)
+// first: the reference handle yields emission order while a cluster
+// statement's close-time flush sorts, and the two only coincide while
+// a stream stays inside one window.
+func compareResults(t *testing.T, label string, want, got []greta.Result) {
+	t.Helper()
+	want, got = slices.Clone(want), slices.Clone(got)
+	byGroupWid := func(a, b greta.Result) int {
+		if a.Group != b.Group {
+			return strings.Compare(a.Group, b.Group)
+		}
+		return cmp.Compare(a.Wid, b.Wid)
+	}
+	slices.SortFunc(want, byGroupWid)
+	slices.SortFunc(got, byGroupWid)
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d reference results vs %d cluster results", label, len(want), len(got))
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if a.Group != b.Group || a.Wid != b.Wid || a.WindowStart != b.WindowStart || a.WindowEnd != b.WindowEnd {
+			t.Fatalf("%s result %d: (%q,%d,[%d,%d)) vs (%q,%d,[%d,%d))",
+				label, i, a.Group, a.Wid, a.WindowStart, a.WindowEnd, b.Group, b.Wid, b.WindowStart, b.WindowEnd)
+		}
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("%s result %d: %d values vs %d", label, i, len(a.Values), len(b.Values))
+		}
+		for k := range a.Values {
+			if a.Values[k] != b.Values[k] {
+				t.Fatalf("%s result %d value %d: %v vs %v (not bit-identical)",
+					label, i, k, a.Values[k], b.Values[k])
+			}
+		}
+	}
+}
+
+func collect(h *greta.Handle) []greta.Result {
+	var rs []greta.Result
+	for r := range h.Results() {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// The differential workload: two partitioned fastpath shapes (one
+// Kleene SEQ with an equivalence attribute splitting groups across
+// slots, one summary-foldable count) and one unpartitioned statement
+// that must run inline on the coordinator.
+var diffQueries = []string{
+	`RETURN mapper, SUM(M.cpu) PATTERN SEQ(Start S, Measurement M+, End E)
+	 WHERE [job, mapper] AND M.load < NEXT(M).load GROUP-BY mapper
+	 WITHIN 20 seconds SLIDE 10 seconds`,
+	`RETURN COUNT(*) PATTERN Measurement M+ WHERE [job] WITHIN 30 seconds SLIDE 10 seconds`,
+	`RETURN COUNT(*) PATTERN SEQ(Start S, End E) WITHIN 30 seconds SLIDE 30 seconds`,
+}
+
+// TestClusterDifferential pins the tentpole contract: an N-shard
+// cluster produces bit-identical results and Stats to a single-process
+// RunParallel with N workers, across shard counts.
+func TestClusterDifferential(t *testing.T) {
+	events := greta.ClusterStream(greta.DefaultCluster(6000))
+	for _, shards := range []int{1, 2, 4} {
+		// Reference: single-process parallel run, sharing disabled to
+		// match the cluster's exclusive registrations.
+		ref := make([]*greta.Handle, len(diffQueries))
+		refRt := greta.NewRuntime()
+		for i, q := range diffQueries {
+			var err error
+			ref[i], err = refRt.Register(greta.MustCompile(q), greta.WithSharing(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := refRt.RunParallel(context.Background(), greta.NewSliceStream(events), shards); err != nil {
+			t.Fatal(err)
+		}
+		if err := refRt.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		co := connect(t, startShards(t, shards))
+		hs := make([]*cluster.Handle, len(diffQueries))
+		for i, q := range diffQueries {
+			var err error
+			hs[i], err = co.Register(q)
+			if err != nil {
+				t.Fatalf("shards=%d register %d: %v", shards, i, err)
+			}
+		}
+		for _, ev := range events {
+			if err := co.Process(ev); err != nil && !errors.Is(err, greta.ErrOutOfOrder) {
+				t.Fatalf("shards=%d process: %v", shards, err)
+			}
+		}
+		if err := co.Close(); err != nil {
+			t.Fatalf("shards=%d close: %v", shards, err)
+		}
+
+		for i := range diffQueries {
+			label := t.Name() + "/" + hs[i].ID()
+			compareResults(t, label, collect(ref[i]), hs[i].Results())
+			if ws, cs := ref[i].Stats(), hs[i].Stats(); ws != cs {
+				t.Errorf("shards=%d query %d stats:\nref     %+v\ncluster %+v", shards, i, ws, cs)
+			}
+		}
+	}
+}
+
+// TestClusterMidStreamRegisterClose covers dynamic statement
+// lifecycle, which RunParallel forbids: statements register and close
+// while the stream is live, on a 2-shard cluster, against a sequential
+// single-process reference. Results must be bit-identical; the graph
+// counters must match (peak gauges are per-slot sums and excluded).
+func TestClusterMidStreamRegisterClose(t *testing.T) {
+	events := greta.ClusterStream(greta.DefaultCluster(6000))
+	q1 := `RETURN COUNT(*) PATTERN Measurement M+ WHERE [mapper] WITHIN 20 seconds SLIDE 10 seconds`
+	q2 := `RETURN mapper, SUM(M.cpu) PATTERN Measurement M+ WHERE [mapper] GROUP-BY mapper WITHIN 30 seconds SLIDE 15 seconds`
+	third, twoThird := len(events)/3, 2*len(events)/3
+
+	seqRt := greta.NewRuntime()
+	s1, err := seqRt.Register(greta.MustCompile(q1), greta.WithSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 *greta.Handle
+	for i, ev := range events {
+		if i == third {
+			if s2, err = seqRt.Register(greta.MustCompile(q2), greta.WithSharing(false)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == twoThird {
+			if err := s1.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := seqRt.Process(ev); err != nil && !errors.Is(err, greta.ErrOutOfOrder) {
+			t.Fatal(err)
+		}
+	}
+	if err := seqRt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	co := connect(t, startShards(t, 2))
+	c1, err := co.Register(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c2 *cluster.Handle
+	for i, ev := range events {
+		if i == third {
+			if c2, err = co.Register(q2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == twoThird {
+			if err := c1.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := co.Process(ev); err != nil && !errors.Is(err, greta.ErrOutOfOrder) {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	compareResults(t, "q1", collect(s1), c1.Results())
+	compareResults(t, "q2", collect(s2), c2.Results())
+	for i, pair := range []struct {
+		ref greta.Stats
+		got greta.Stats
+	}{{s1.Stats(), c1.Stats()}, {s2.Stats(), c2.Stats()}} {
+		// Peak gauges fold as per-slot sums (upper bound), same as
+		// RunParallel's worker fold; everything else must match the
+		// sequential run exactly.
+		ref, got := pair.ref, pair.got
+		ref.PeakVertices, got.PeakVertices = 0, 0
+		ref.PeakPayloads, got.PeakPayloads = 0, 0
+		if ref != got {
+			t.Errorf("query %d stats:\nseq     %+v\ncluster %+v", i+1, ref, got)
+		}
+	}
+}
+
+// TestClusterKillResume severs shard links mid-stream: the links
+// redial, resume their sessions, and replay unacknowledged frames in
+// both directions. Bit-identical results and stats against RunParallel
+// prove no frame applied twice (and none was lost).
+func TestClusterKillResume(t *testing.T) {
+	events := greta.ClusterStream(greta.DefaultCluster(6000))
+	q := diffQueries[0]
+
+	refRt := greta.NewRuntime()
+	ref, err := refRt.Register(greta.MustCompile(q), greta.WithSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refRt.RunParallel(context.Background(), greta.NewSliceStream(events), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := refRt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	co := connect(t, startShards(t, 2))
+	h, err := co.Register(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kills := map[int]int{len(events) / 4: 0, len(events) / 2: 1, 3 * len(events) / 4: 0}
+	for i, ev := range events {
+		if link, ok := kills[i]; ok {
+			if err := co.BreakLink(link); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := co.Process(ev); err != nil && !errors.Is(err, greta.ErrOutOfOrder) {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "kill-resume", collect(ref), h.Results())
+	if ws, cs := ref.Stats(), h.Stats(); ws != cs {
+		t.Errorf("stats after kill/resume:\nref     %+v\ncluster %+v", ws, cs)
+	}
+}
+
+// TestClusterDrainHandoff rebalances mid-stream: a cold shard joins,
+// a loaded shard drains its slots onto it (barrier + snapshot +
+// adopt), and the stream continues. Slots keep their home indices, so
+// results and stats stay bit-identical to the 2-worker reference.
+func TestClusterDrainHandoff(t *testing.T) {
+	events := greta.ClusterStream(greta.DefaultCluster(6000))
+	q := diffQueries[0]
+
+	refRt := greta.NewRuntime()
+	ref, err := refRt.Register(greta.MustCompile(q), greta.WithSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refRt.RunParallel(context.Background(), greta.NewSliceStream(events), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := refRt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startShards(t, 3)
+	co := connect(t, addrs[:2])
+	h, err := co.Register(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(events) / 2
+	for i, ev := range events {
+		if i == half {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			idx, err := co.AddShard(ctx, addrs[2])
+			cancel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := co.Drain(0, idx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := co.Process(ev); err != nil && !errors.Is(err, greta.ErrOutOfOrder) {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if co.Shards() != 3 || co.Slots() != 2 {
+		t.Fatalf("topology after drain: %d shards, %d slots", co.Shards(), co.Slots())
+	}
+	compareResults(t, "drain", collect(ref), h.Results())
+	if ws, cs := ref.Stats(), h.Stats(); ws != cs {
+		t.Errorf("stats after drain:\nref     %+v\ncluster %+v", ws, cs)
+	}
+}
+
+// TestClusterDrainLargeSnapshot drains under real load: two statements
+// and a 100k-event stream grow the donor's slot snapshot past the
+// server's default 1 MiB line cap, so the adopt frame exercises the
+// raised shard-server MaxLine. Results and stats stay bit-identical to
+// the 2-worker reference through the rebalance.
+func TestClusterDrainLargeSnapshot(t *testing.T) {
+	events := greta.ClusterStream(greta.DefaultCluster(100000))
+	q2 := `RETURN mapper, SUM(M.cpu)
+		PATTERN SEQ(Start S, Measurement M+, End E)
+		WHERE [job, mapper] AND M.load < NEXT(M).load
+		GROUP-BY mapper
+		WITHIN 60 seconds SLIDE 30 seconds`
+	vol := `RETURN job, COUNT(M)
+		PATTERN Measurement M+
+		WHERE [job]
+		GROUP-BY job
+		WITHIN 60 seconds SLIDE 30 seconds`
+
+	refRt := greta.NewRuntime()
+	r1, err := refRt.Register(greta.MustCompile(q2), greta.WithSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := refRt.Register(greta.MustCompile(vol), greta.WithSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refRt.RunParallel(context.Background(), greta.NewSliceStream(events), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := refRt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startShards(t, 3)
+	co := connect(t, addrs[:2])
+	c1, err := co.Register(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := co.Register(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(events) / 2
+	for i, ev := range events {
+		if i == half {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			idx, err := co.AddShard(ctx, addrs[2])
+			cancel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := co.Drain(0, idx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := co.Process(ev); err != nil && !errors.Is(err, greta.ErrOutOfOrder) {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "q2", collect(r1), c1.Results())
+	compareResults(t, "volume", collect(r2), c2.Results())
+	if ws, cs := r1.Stats(), c1.Stats(); ws != cs {
+		t.Errorf("q2 stats:\nref     %+v\ncluster %+v", ws, cs)
+	}
+	if ws, cs := r2.Stats(), c2.Stats(); ws != cs {
+		t.Errorf("volume stats:\nref     %+v\ncluster %+v", ws, cs)
+	}
+}
+
+// TestClusterShutdownLeak is the goroutine guard: a full cluster run —
+// coordinator, links, shard servers — must return the process to its
+// goroutine baseline after Close and Shutdown (mirrors netstream's
+// TestShutdownDrains).
+func TestClusterShutdownLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		addrs := make([]string, 2)
+		srvs := make([]*netstream.Server, 2)
+		lns := make([]net.Listener, 2)
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := cluster.ServeShard()
+			go func() { _ = srv.Serve(ln) }()
+			addrs[i], srvs[i], lns[i] = ln.Addr().String(), srv, ln
+		}
+		co := connect(t, addrs)
+		h, err := co.Register(diffQueries[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range greta.ClusterStream(greta.DefaultCluster(500)) {
+			if err := co.Process(ev); err != nil && !errors.Is(err, greta.ErrOutOfOrder) {
+				t.Fatal(err)
+			}
+		}
+		if err := co.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Results()) == 0 {
+			t.Fatal("no results before shutdown")
+		}
+		for i, srv := range srvs {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatalf("shutdown %d: %v", i, err)
+			}
+			cancel()
+			_ = lns[i].Close()
+		}
+	}()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<17)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutines leaked: %d, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}

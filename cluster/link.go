@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/core"
+	"github.com/greta-cep/greta/netstream"
+)
+
+// serverLine mirrors the server's output line shape (netstream's
+// unexported wireOut): the subset of fields a shard link produces.
+type serverLine struct {
+	Registered *netstream.WireRegistered `json:"registered"`
+	Session    *netstream.WireSession    `json:"session"`
+	Resumed    *netstream.WireResumed    `json:"resumed"`
+	Seq        uint64                    `json:"seq"`
+	Ping       uint64                    `json:"ping"`
+	Done       bool                      `json:"done"`
+	Error      string                    `json:"error"`
+	Warn       string                    `json:"warn"`
+	Partial    *netstream.WirePartial    `json:"partial"`
+	Ack        *netstream.WireAck        `json:"ack"`
+	UnitStats  *netstream.WireUnitStats  `json:"unit_stats"`
+	Shard      *netstream.WireShardInfo  `json:"shard"`
+	Handoff    *netstream.WireHandoff    `json:"handoff"`
+}
+
+// link is one shard connection: a resumable netstream session in shard
+// mode, with the client half of the resume protocol (sequence-stamped
+// frames, bounded resend ring, durable-input dedup by server seq).
+// All fields are guarded by co.mu; the reader goroutine takes it per
+// line.
+type link struct {
+	co   *Coordinator
+	idx  int
+	addr string
+
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	session  string
+	seq      uint64 // last stamped client seq
+	lastRecv uint64 // last consumed durable server seq
+	ring     []netstream.WireEvent
+
+	count       int               // shard handshake ack: slot modulus (0 = not yet)
+	adopts      int               // count of shard-info acks (handshake + adopts)
+	handoff     map[string]string // last received handoff blobs
+	handoffEvID uint64            // donor's event-ID counter from that handoff
+	buf         batchBuf
+	pairs       []pair // per-event routing scratch (routeLocked)
+
+	drained bool // slots handed off; no further fan-outs
+	closing bool // intentional finish: reader exits on disconnect
+	done    bool // server sent its final summary
+
+	readerDone chan struct{}
+}
+
+// dialLink connects one shard, establishes a resumable session, and —
+// when slots is non-nil or the cluster is fresh — performs the shard
+// handshake hosting the given worker slots. Returns after the server
+// acknowledges.
+func (co *Coordinator) dialLink(ctx context.Context, idx int, addr string, slots []int) (*link, error) {
+	conn, err := dialRetry(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &link{co: co, idx: idx, addr: addr, conn: conn,
+		enc:        json.NewEncoder(conn),
+		dec:        json.NewDecoder(bufio.NewReader(conn)),
+		readerDone: make(chan struct{}),
+	}
+	go l.run()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	l.sendRaw(netstream.WireEvent{Cmd: "session"})
+	if err := co.waitLocked(func() bool { return l.session != "" }); err != nil {
+		return nil, err
+	}
+	l.send(netstream.WireEvent{Cmd: "shard", Count: co.n0, Workers: slots})
+	if err := co.waitLocked(func() bool { return l.count != 0 }); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// send stamps, rings, and writes one sequenced frame. co.mu held. A
+// write error is ignored here: the reader notices the break and the
+// resume replays the ring tail.
+func (l *link) send(we netstream.WireEvent) {
+	l.seq++
+	we.Seq = l.seq
+	l.ring = append(l.ring, we)
+	if w := l.co.sendWin; len(l.ring) > w {
+		l.ring = append(l.ring[:0], l.ring[len(l.ring)-w:]...)
+	}
+	if l.enc != nil {
+		_ = l.enc.Encode(we)
+	}
+}
+
+// sendRaw writes one unsequenced control line (session, resume,
+// flush). co.mu held.
+func (l *link) sendRaw(we netstream.WireEvent) {
+	if l.enc != nil {
+		_ = l.enc.Encode(we)
+	}
+}
+
+// run is the link's reader goroutine: it decodes server lines for the
+// life of the cluster, transparently redialing and resuming the
+// session when the connection breaks.
+func (l *link) run() {
+	defer close(l.readerDone)
+	for {
+		l.readLoop()
+		co := l.co
+		co.mu.Lock()
+		if l.done || l.closing || co.closed || co.err != nil {
+			co.mu.Unlock()
+			return
+		}
+		l.enc, l.dec = nil, nil
+		_ = l.conn.Close()
+		co.mu.Unlock()
+		if err := l.reattach(); err != nil {
+			co.mu.Lock()
+			co.fail(fmt.Errorf("cluster: shard %d: %w", l.idx, err))
+			co.mu.Unlock()
+			return
+		}
+	}
+}
+
+// readLoop decodes lines until the connection breaks.
+func (l *link) readLoop() {
+	dec := l.dec
+	if dec == nil {
+		return
+	}
+	for {
+		var o serverLine
+		if err := dec.Decode(&o); err != nil {
+			return
+		}
+		l.co.handleLine(l, &o)
+		l.co.mu.Lock()
+		stop := l.done
+		l.co.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// reattach heals a broken link: redial under the resume timeout,
+// identify the session and the last durable line consumed, and replay
+// the unacknowledged frame tail. A rebase (the server lost our replay
+// window) is fatal — the merge state cannot be rebuilt.
+func (l *link) reattach() error {
+	co := l.co
+	ctx, cancel := context.WithTimeout(context.Background(), co.resumeT)
+	defer cancel()
+	conn, err := dialRetry(ctx, l.addr)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+
+	co.mu.Lock()
+	sess, recv := l.session, l.lastRecv
+	co.mu.Unlock()
+	if err := enc.Encode(netstream.WireEvent{Cmd: "resume", Session: sess, Recv: recv}); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	var ack uint64
+	for {
+		var o serverLine
+		if err := dec.Decode(&o); err != nil {
+			_ = conn.Close()
+			return err
+		}
+		if o.Resumed == nil {
+			if o.Error != "" {
+				_ = conn.Close()
+				return fmt.Errorf("resume: %s", o.Error)
+			}
+			continue // pings; durable lines only follow the ack
+		}
+		if o.Resumed.Rebase {
+			_ = conn.Close()
+			return fmt.Errorf("resume: session rebased (replay window exceeded)")
+		}
+		ack = o.Resumed.Seq
+		break
+	}
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if ack < l.seq {
+		need := l.seq - ack
+		if uint64(len(l.ring)) < need || l.ring[len(l.ring)-int(need)].Seq != ack+1 {
+			_ = conn.Close()
+			return fmt.Errorf("resume window exceeded (server applied through seq %d)", ack)
+		}
+		for _, we := range l.ring[len(l.ring)-int(need):] {
+			if err := enc.Encode(we); err != nil {
+				_ = conn.Close()
+				return err
+			}
+		}
+	}
+	l.conn, l.enc, l.dec = conn, enc, dec
+	return nil
+}
+
+// handleLine applies one server line under co.mu: resume bookkeeping
+// (heartbeats swallowed, duplicate durable lines skipped by seq), then
+// the shard-link payloads — partial windows into the merger, barrier
+// acks into the release frontiers, stats folds, handshake and handoff
+// acknowledgements.
+func (co *Coordinator) handleLine(l *link, o *serverLine) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if o.Ping != 0 {
+		return
+	}
+	if o.Seq != 0 {
+		if o.Seq <= l.lastRecv {
+			return // duplicate replay of a line already consumed
+		}
+		l.lastRecv = o.Seq
+	}
+	switch {
+	case o.Warn != "":
+		co.warnings = append(co.warnings, fmt.Sprintf("shard %d: %s", l.idx, o.Warn))
+	case o.Error != "":
+		co.fail(fmt.Errorf("cluster: shard %d: %s", l.idx, o.Error))
+	case o.Session != nil:
+		l.session = o.Session.ID
+		co.cond.Broadcast()
+	case o.Shard != nil:
+		l.count = o.Shard.Count
+		l.adopts++
+		co.cond.Broadcast()
+	case o.Registered != nil:
+		if u := co.unitID[o.Registered.ID]; u != nil {
+			delete(u.regPend, l)
+			co.cond.Broadcast()
+		}
+	case o.Handoff != nil:
+		l.handoff = o.Handoff.Blobs
+		if l.handoff == nil {
+			l.handoff = map[string]string{}
+		}
+		l.handoffEvID = o.Handoff.EvID
+		co.cond.Broadcast()
+	case o.Partial != nil:
+		co.onPartialLocked(l, o.Partial)
+	case o.Ack != nil:
+		co.onAckLocked(o.Ack)
+	case o.UnitStats != nil:
+		co.onUnitStatsLocked(o.UnitStats)
+	case o.Done:
+		l.done = true
+		co.cond.Broadcast()
+	}
+}
+
+// onPartialLocked files one slot's released window into the unit's
+// pending merge state — mergeLoop's partial bookkeeping.
+func (co *Coordinator) onPartialLocked(l *link, p *netstream.WirePartial) {
+	u := co.units[p.SI]
+	if u == nil || p.W < 0 || p.W >= co.n0 {
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(p.Payload)
+	if err != nil {
+		co.fail(fmt.Errorf("cluster: shard %d: bad partial payload: %w", l.idx, err))
+		return
+	}
+	pl, err := core.UnmarshalPayload(raw)
+	if err != nil {
+		co.fail(fmt.Errorf("cluster: shard %d: partial decode: %w", l.idx, err))
+		return
+	}
+	wmap := u.pending[p.Wid]
+	if wmap == nil {
+		wmap = map[string][]*aggregate.Payload{}
+		u.pending[p.Wid] = wmap
+	}
+	slot := wmap[p.Group]
+	if slot == nil {
+		slot = make([]*aggregate.Payload, co.n0)
+		wmap[p.Group] = slot
+	}
+	slot[p.W] = pl
+}
+
+// onAckLocked advances one slot's release frontier and emits every
+// window now acknowledged by all slots — mergeLoop's release path.
+func (co *Coordinator) onAckLocked(a *netstream.WireAck) {
+	if a.W < 0 || a.W >= co.n0 {
+		return
+	}
+	if a.T > co.slotAck[a.W] {
+		co.slotAck[a.W] = a.T
+	}
+	u := co.units[a.SI]
+	if u == nil || a.Hi <= u.released[a.W] {
+		return
+	}
+	u.released[a.W] = a.Hi
+	co.drainUnitPendingLocked(u)
+	co.cond.Broadcast()
+}
+
+// onUnitStatsLocked folds one slot's final engine counters into the
+// statement — RunParallel's per-worker stats fold.
+func (co *Coordinator) onUnitStatsLocked(s *netstream.WireUnitStats) {
+	u := co.units[s.SI]
+	if u == nil || s.W < 0 || s.W >= co.n0 || u.statsSeen[s.W] {
+		return
+	}
+	u.statsSeen[s.W] = true
+	u.statsLeft--
+	u.st.FoldRemoteStats(s.Stats)
+	co.cond.Broadcast()
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"math"
+	"slices"
+)
+
+// drainUnitPendingLocked releases every pending window all slots have
+// acknowledged, exactly as RunParallel's mergeLoop does: windows in
+// ascending wid order, groups sorted by name, each group's per-slot
+// partials merged in slot order (the first non-nil payload is the
+// base; later ones fold in with Def.Merge), the merged window emitted
+// through the statement's own engine. Float results are bit-identical
+// to the single-process merge because the fold order is the same.
+// co.mu held.
+func (co *Coordinator) drainUnitPendingLocked(u *unit) {
+	minRel := int64(math.MaxInt64)
+	for _, r := range u.released {
+		if r < minRel {
+			minRel = r
+		}
+	}
+	if minRel == math.MinInt64 {
+		return
+	}
+	var ready []int64
+	for wid := range u.pending {
+		if wid <= minRel {
+			ready = append(ready, wid)
+		}
+	}
+	slices.Sort(ready)
+	for _, wid := range ready {
+		groups := u.pending[wid]
+		delete(u.pending, wid)
+		names := make([]string, 0, len(groups))
+		for g := range groups {
+			names = append(names, g)
+		}
+		slices.Sort(names)
+		for _, g := range names {
+			slot := groups[g]
+			merged := slot[0]
+			for _, pl := range slot[1:] {
+				if pl == nil {
+					continue
+				}
+				if merged == nil {
+					merged = pl
+					continue
+				}
+				u.def.Merge(merged, pl)
+			}
+			if merged != nil {
+				u.st.EmitWindow(g, wid, merged)
+			}
+		}
+	}
+}

@@ -117,6 +117,17 @@ func (rt *Runtime) checkpointAtBoundary(t event.Time) {
 	}
 }
 
+// CheckpointArmed reports whether a scheduled checkpoint cadence is
+// armed (SetCheckpoint). Serving layers with frame-granular ingest
+// cursors (netstream batch frames) use it to decide whether a snapshot
+// can fire mid-frame — in which case they must track per-row progress
+// so replay after restore stays exactly-once.
+func (rt *Runtime) CheckpointArmed() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ck != nil
+}
+
 // CheckpointNow persists an immediate snapshot with replayFrom =
 // watermark+1. Unlike boundary checkpoints it does not advance
 // engines, so the exactness contract is weaker: replay is exact when

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"github.com/greta-cep/greta/internal/aggregate"
+	"github.com/greta-cep/greta/internal/checkpoint"
+	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/query"
+	"github.com/greta-cep/greta/internal/window"
+)
+
+// This file is the distribution seam: the exported hooks a cluster
+// coordinator and its shards need to replicate RunParallel's
+// coordinator/worker/merger roles across process boundaries. The
+// in-process topology keys everything on worker index and merges
+// partial payloads in that order (parallel.go); these hooks expose
+// exactly that contract — per-statement window barriers, partial
+// export, shard-index-ordered merge, worker stats folding — so a
+// multi-process run stays bit-identical to RunParallel with the same
+// worker count.
+
+// MarshalPayload serializes a partial (or final) aggregate payload
+// with the checkpoint codec: float slots travel as IEEE bit patterns
+// and exact-mode big values verbatim, so a merge over the wire is
+// bit-identical to an in-process one.
+func MarshalPayload(p *aggregate.Payload) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := checkpoint.NewEncoder(&buf)
+	encodePayload(enc, p)
+	if err := enc.Err(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalPayload reverses MarshalPayload.
+func UnmarshalPayload(b []byte) (*aggregate.Payload, error) {
+	d := checkpoint.NewDecoder(b)
+	p := decodePayloadNew(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// HashRoute exposes the per-route-group FNV-1a partition hash so a
+// cluster coordinator computes it once and ships it; shards never
+// rehash.
+func HashRoute(acc []event.Accessor, ev *event.Event) uint64 {
+	return hashRoute(acc, ev)
+}
+
+// Partitioned reports whether the statement is a parallel unit: a
+// simple plan with at least one partition attribute. RunParallel (and
+// the cluster coordinator) distributes exactly these; everything else
+// runs inline on the coordinator.
+func (st *Stmt) Partitioned() bool {
+	return st.grp != nil && len(st.grp.acc) > 0
+}
+
+// RouteAttrs returns the statement's partition-attribute signature
+// (group-by + equivalence, in plan order).
+func (st *Stmt) RouteAttrs() []string {
+	return st.eng.partAttrs
+}
+
+// RouteAccessors returns the statement's route group's shared
+// accessors (nil for unpartitioned statements). The caller must treat
+// them as owned by the runtime: pass them to HashRoute, do not mutate.
+func (st *Stmt) RouteAccessors() []event.Accessor {
+	if st.grp == nil {
+		return nil
+	}
+	return st.grp.acc
+}
+
+// WindowSpec returns the statement's window, the coordinator's input
+// to the per-statement barrier schedule (window.Spec.ClosedBy).
+func (st *Stmt) WindowSpec() window.Spec { return st.eng.plan.Window }
+
+// MergeDef returns the aggregation definition partial payloads merge
+// under (aggregate.Def.Merge, in shard-index order).
+func (st *Stmt) MergeDef() *aggregate.Def { return st.eng.plan.Def() }
+
+// ForcedVertexScan reports whether the statement's engine runs with
+// the summary fast path disabled, so a registration fan-out replicates
+// the flag on every shard.
+func (st *Stmt) ForcedVertexScan() bool { return st.eng.forceScan }
+
+// EmitWindow materializes and delivers one merged window through the
+// statement's own engine — the cluster equivalent of mergeLoop's
+// st.eng.emit call. The caller must hold no runtime locks and must
+// present windows in the merge order (wid ascending, groups sorted).
+func (st *Stmt) EmitWindow(group string, wid int64, p *aggregate.Payload) {
+	st.eng.emit(group, wid, p)
+}
+
+// FoldRemoteStats folds one remote worker engine's counters into the
+// statement's stats, exactly as RunParallel folds its worker engines:
+// Events and the graph-cost counters sum; peaks sum as an upper bound
+// (workers peak at different instants); OutOfOrder and Results are
+// coordinator-side and excluded.
+func (st *Stmt) FoldRemoteStats(s Stats) {
+	es := &st.eng.stats
+	es.Events += s.Events
+	es.Inserted += s.Inserted
+	es.Edges += s.Edges
+	es.ScanVisits += s.ScanVisits
+	es.SummaryFolds += s.SummaryFolds
+	es.SummaryRebuilds += s.SummaryRebuilds
+	es.PeakVertices += s.PeakVertices
+	es.PeakPayloads += s.PeakPayloads
+	es.Partitions += s.Partitions
+}
+
+// AddOutOfOrder charges n coordinator-side out-of-order drops to the
+// statement, mirroring the sequential path where every engine counts
+// its own late arrivals (the events themselves are not forwarded).
+func (st *Stmt) AddOutOfOrder(n uint64) {
+	st.eng.stats.OutOfOrder += n
+}
+
+// ObserveTime advances the runtime's watermark without offering an
+// event, so statements registered mid-stream on a coordinator (whose
+// partitioned events are processed elsewhere) still get the correct
+// registration watermark stamped on their engines.
+func (rt *Runtime) ObserveTime(t event.Time) {
+	rt.mu.Lock()
+	if t > rt.watermark {
+		rt.watermark = t
+	}
+	rt.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// ShardHost: one cluster worker slot
+// ---------------------------------------------------------------------
+
+// ShardHost hosts the worker engines of one cluster worker slot (one
+// of RunParallel's N workers, pinned to a home index that never
+// changes even when the slot migrates between shard processes). It
+// owns an ordinary Runtime as the registry, but drives engines
+// directly with coordinator-routed (group, hash) pairs — the hash
+// arrives over the wire, computed once at the coordinator.
+//
+// A ShardHost is single-goroutine: the serving session calls every
+// method under its own lock.
+type ShardHost struct {
+	rt        *Runtime
+	w         int
+	units     map[int]*Stmt // unit index → statement
+	groups    map[int][]int // route-group index → unit indices
+	gi        map[int]int   // unit index → route-group index
+	onPartial func(w, si int, r Result)
+}
+
+// shardHostMeta is the opaque blob embedded in a host snapshot so an
+// adopting shard can rebind the restored statements to their cluster
+// unit and route-group indices.
+type shardHostMeta struct {
+	W     int               `json:"w"`
+	Units map[string][2]int `json:"units"` // stmt id → {si, gi}
+}
+
+// NewShardHost creates an empty worker slot. onPartial receives every
+// partial window the slot's engines release (barrier, flush, close);
+// the caller ships them to the coordinator's merger tagged with the
+// slot's home index w.
+func NewShardHost(w int, onPartial func(w, si int, r Result)) *ShardHost {
+	h := &ShardHost{
+		rt: NewRuntime(), w: w,
+		units: map[int]*Stmt{}, groups: map[int][]int{}, gi: map[int]int{},
+		onPartial: onPartial,
+	}
+	h.rt.SetCheckpointMeta(h.metaBytes)
+	return h
+}
+
+// W returns the slot's home worker index.
+func (h *ShardHost) W() int { return h.w }
+
+// ObserveTime advances the slot's watermark without an event, so a
+// mid-stream registration fan-out stamps the coordinator's global
+// watermark on the new engine (a slot that happened to receive no
+// recent events would otherwise stamp a stale one and re-open windows
+// the single-process run skips).
+func (h *ShardHost) ObserveTime(t event.Time) {
+	if t > h.rt.watermark {
+		h.rt.watermark = t
+	}
+}
+
+// Watermark returns the slot's applied-event frontier.
+func (h *ShardHost) Watermark() event.Time {
+	return h.rt.watermark
+}
+
+func (h *ShardHost) metaBytes() []byte {
+	m := shardHostMeta{W: h.w, Units: make(map[string][2]int, len(h.units))}
+	for si, st := range h.units {
+		m.Units[st.id] = [2]int{si, h.gi[si]}
+	}
+	b, _ := json.Marshal(m)
+	return b
+}
+
+// bindUnit flips a registered statement into worker mode — retention
+// off, results delivered as partials tagged with the slot's home index
+// — exactly how RunParallel configures its worker engines.
+func (h *ShardHost) bindUnit(st *Stmt, si, gi int) {
+	st.eng.setRetainResults(false)
+	st.eng.OnResult(func(r Result) { h.onPartial(h.w, si, r) })
+	h.units[si] = st
+	h.groups[gi] = append(h.groups[gi], si)
+	slices.Sort(h.groups[gi])
+	h.gi[si] = gi
+}
+
+// Register compiles and registers one fanned-out parallel unit.
+// The canonical query text, arithmetic mode, and force-scan flag come
+// from the coordinator so every slot builds an identical engine;
+// sharing is deliberately off — cluster statements register
+// exclusively (the shared sub-plan network is not distributed).
+func (h *ShardHost) Register(si, gi int, src, id string, exact, force bool) error {
+	if _, dup := h.units[si]; dup {
+		return fmt.Errorf("unit %d already registered", si)
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		return err
+	}
+	mode := aggregate.ModeNative
+	if exact {
+		mode = aggregate.ModeExact
+	}
+	plan, err := NewPlan(q, mode)
+	if err != nil {
+		return err
+	}
+	st, err := h.rt.Register(plan, StmtConfig{ID: id, ForceVertexScan: force})
+	if err != nil {
+		return err
+	}
+	h.bindUnit(st, si, gi)
+	return nil
+}
+
+// Apply offers one coordinator-routed event: for each targeted route
+// group, every unit of that group processes the event under the
+// pre-computed hash (ProcessRouted — the slot never rehashes). The
+// watermark advances so mid-stream registrations and snapshots cut at
+// the right instant.
+func (h *ShardHost) Apply(ev *event.Event, gis []int, hs []uint64) {
+	for k, gi := range gis {
+		for _, si := range h.groups[gi] {
+			h.units[si].eng.ProcessRouted(ev, hs[k])
+		}
+	}
+	if ev.Time > h.rt.watermark {
+		h.rt.watermark = ev.Time
+	}
+}
+
+// Barrier releases unit si's windows up to t (exclusive of windows
+// still open at t), emitting their partials through onPartial — the
+// worker half of RunParallel's pmBarrier.
+func (h *ShardHost) Barrier(si int, t event.Time) {
+	if st := h.units[si]; st != nil {
+		st.eng.AdvanceTo(t)
+	}
+	if t > h.rt.watermark {
+		h.rt.watermark = t
+	}
+}
+
+// Units returns the registered unit indices, sorted.
+func (h *ShardHost) Units() []int {
+	sis := make([]int, 0, len(h.units))
+	for si := range h.units {
+		sis = append(sis, si)
+	}
+	slices.Sort(sis)
+	return sis
+}
+
+// FlushUnit releases every open window of unit si (end of stream).
+func (h *ShardHost) FlushUnit(si int) {
+	if st := h.units[si]; st != nil {
+		st.eng.Flush()
+	}
+}
+
+// UnitStats returns unit si's engine counters for the coordinator's
+// stats fold.
+func (h *ShardHost) UnitStats(si int) (Stats, bool) {
+	st := h.units[si]
+	if st == nil {
+		return Stats{}, false
+	}
+	return st.eng.Stats(), true
+}
+
+// CloseUnit closes unit si mid-stream: its open windows flush as
+// partials through onPartial, its final stats are returned for the
+// coordinator's fold, and the statement leaves the slot's runtime.
+func (h *ShardHost) CloseUnit(si int) (Stats, error) {
+	st := h.units[si]
+	if st == nil {
+		return Stats{}, fmt.Errorf("unit %d not registered", si)
+	}
+	if err := st.Close(); err != nil {
+		return Stats{}, err
+	}
+	s := st.eng.Stats()
+	gi := h.gi[si]
+	sis := h.groups[gi]
+	for i, x := range sis {
+		if x == si {
+			h.groups[gi] = append(sis[:i], sis[i+1:]...)
+			break
+		}
+	}
+	delete(h.units, si)
+	delete(h.gi, si)
+	return s, nil
+}
+
+// Snapshot serializes the slot's full engine state (open windows,
+// pane summaries, watermark) plus the unit/group binding meta, for a
+// rebalance handoff. The caller must have quiesced the slot (no
+// events in flight past the snapshot's watermark).
+func (h *ShardHost) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	h.rt.mu.Lock()
+	err := h.rt.encodeLocked(&buf, h.rt.watermark+1)
+	h.rt.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Discard drops the slot without emitting anything: callbacks are
+// detached before the runtime closes, so the teardown flush is silent.
+// Used after a handoff (the state lives on elsewhere) and at session
+// teardown.
+func (h *ShardHost) Discard() {
+	for _, st := range h.units {
+		st.eng.OnResult(nil)
+	}
+	_ = h.rt.Close()
+}
+
+// AdoptShardHost rebuilds a worker slot from a Snapshot blob on a
+// different shard: the runtime (engines, open windows, watermark) is
+// restored, and every statement is rebound to its unit index in
+// worker mode. The slot keeps its original home index, so the
+// coordinator's merge and stats fold are undisturbed by the
+// migration.
+func AdoptShardHost(data []byte, onPartial func(w, si int, r Result)) (*ShardHost, error) {
+	rt, info, err := RestoreRuntime(data)
+	if err != nil {
+		return nil, err
+	}
+	if info.Meta == nil {
+		return nil, fmt.Errorf("greta: snapshot carries no shard-host meta")
+	}
+	var m shardHostMeta
+	if err := json.Unmarshal(info.Meta, &m); err != nil {
+		return nil, fmt.Errorf("greta: bad shard-host meta: %w", err)
+	}
+	h := &ShardHost{
+		rt: rt, w: m.W,
+		units: map[int]*Stmt{}, groups: map[int][]int{}, gi: map[int]int{},
+		onPartial: onPartial,
+	}
+	for _, st := range rt.Statements() {
+		bind, ok := m.Units[st.ID()]
+		if !ok {
+			return nil, fmt.Errorf("greta: restored statement %q missing from shard-host meta", st.ID())
+		}
+		h.bindUnit(st, bind[0], bind[1])
+	}
+	h.rt.SetCheckpointMeta(h.metaBytes)
+	return h, nil
+}

@@ -849,7 +849,11 @@ func (e *Engine) Stats() Stats {
 		s.Results = e.emitted
 		return s
 	}
-	s.Partitions = len(e.partList)
+	// Live partitions plus any folded in from worker engines
+	// (RunParallel's mergeStats, the cluster's remote stats fold) —
+	// each partition lives on exactly one worker, so the sum is the
+	// true total.
+	s.Partitions = e.stats.Partitions + len(e.partList)
 	// Engine-level peaks are sampled at window boundaries (samplePeaks);
 	// fold in the current totals so an engine that never closed a window
 	// still reports its live state.

@@ -17,9 +17,10 @@
 //	                                                straight into the runtime's columnar
 //	                                                ingest path (Runtime.ProcessBatch). Rows
 //	                                                must be in non-decreasing time order.
-//	                                                Rejected in resumable sessions: rows carry
-//	                                                no per-event seqs, which resume dedup
-//	                                                requires (clients degrade to per-event)
+//	                                                In a resumable session the frame carries
+//	                                                one frame-level "seq": resume dedup skips
+//	                                                whole duplicate frames, so batches stay
+//	                                                columnar end to end
 //	client → server   {"cmd":"register","query":"RETURN COUNT(*) PATTERN ..."}
 //	client → server   {"cmd":"close","id":"q1"}   — close one statement, flushing its windows
 //	client → server   {"cmd":"checkpoint"}        — write a durable snapshot of the session
@@ -101,6 +102,22 @@
 // snapshot embeds the session id and cursors (WithCheckpointMeta) and
 // rehydrates the reorder buffer's in-flight events — and the same
 // client resume proceeds against the recovered state.
+//
+// # Shard links
+//
+// With Server.AllowShard a resumable session can flip into shard mode
+// ({"cmd":"shard"}): instead of feeding its own Runtime, the
+// connection hosts cluster worker slots driven by a remote coordinator
+// (see the cluster package). Shard frames — unit registration/close
+// fan-out ("sreg"/"sclose"), per-statement window barriers
+// ("barrier"), end of stream ("eos"), and slot migration
+// ("handoff"/"adopt") — ride the same client-seq discipline as events,
+// and the shard's partial windows, barrier acks, and unit stats travel
+// back as durable seq-numbered lines, so a dropped link replays its
+// unacked tail in both directions and the coordinator's merge applies
+// every frame exactly once. Events arrive with coordinator-computed
+// route hashes (shards never rehash), normally packed in columnar
+// batch frames.
 package netstream
 
 import (
@@ -140,6 +157,29 @@ type WireEvent struct {
 	Times []int64              `json:"times,omitempty"`
 	Cols  map[string][]float64 `json:"cols,omitempty"`
 	SCols map[string][]string  `json:"scols,omitempty"`
+	// Shard-link extensions (Server.AllowShard; see the cluster
+	// package): a coordinator drives shard sessions with dedicated
+	// commands — "shard" (handshake: Count is the cluster's worker-slot
+	// modulus, Workers the slots hosted here), "sreg"/"sclose" (unit
+	// fan-out), "barrier" (window release), "eos" (end of stream),
+	// "handoff"/"adopt" (slot migration) — and its event/batch lines
+	// carry pre-computed route hashes so shards never rehash.
+	Count   int   `json:"count,omitempty"`
+	Workers []int `json:"workers,omitempty"`
+	SI      int   `json:"si,omitempty"`    // sreg/sclose/barrier: unit index
+	GI      int   `json:"gi,omitempty"`    // sreg: route group; batch: frame-level route group
+	Exact   bool  `json:"exact,omitempty"` // sreg: exact arithmetic mode
+	Force   bool  `json:"force,omitempty"` // sreg: forced vertex scan
+	Hi      int64 `json:"hi,omitempty"`    // barrier: highest window id closed
+	// RG/RH route a single event line: targeted route groups and their
+	// FNV-1a hashes (hex). A batch frame uses GI+RH (one hash per row,
+	// all rows in group GI) or RGs/RHs (per-row group lists) instead.
+	RG    []int             `json:"rg,omitempty"`
+	RH    []string          `json:"rh,omitempty"`
+	RGs   [][]int           `json:"rgs,omitempty"`
+	RHs   [][]string        `json:"rhs,omitempty"`
+	Blobs map[string]string `json:"blobs,omitempty"` // adopt: worker slot → base64 snapshot
+	EvID  uint64            `json:"evid,omitempty"`  // adopt: donor session's event-ID counter
 }
 
 // WireResult is the JSON representation of one emitted result, tagged
@@ -212,6 +252,13 @@ type wireOut struct {
 	Checkpointed *bool  `json:"checkpointed,omitempty"`
 	Error        string `json:"error,omitempty"`
 	Warn         string `json:"warn,omitempty"`
+	// Shard-session lines (all durable): partial windows, barrier acks,
+	// per-unit stats, handshake/adopt acknowledgements, handoff blobs.
+	Partial   *WirePartial   `json:"partial,omitempty"`
+	Ack       *WireAck       `json:"ack,omitempty"`
+	UnitStats *WireUnitStats `json:"unit_stats,omitempty"`
+	Shard     *WireShardInfo `json:"shard,omitempty"`
+	Handoff   *WireHandoff   `json:"handoff,omitempty"`
 }
 
 // EngineFactory builds a fresh engine per connection.
@@ -240,6 +287,12 @@ type Server struct {
 	// AllowRegister permits {"cmd":"register","query":...}: the query
 	// is compiled with CompileOptions and attached mid-stream.
 	AllowRegister bool
+	// AllowShard permits shard-session commands ({"cmd":"shard"} and
+	// the frames that follow): the connection hosts cluster worker
+	// slots driven by a remote coordinator (see the cluster package).
+	// Shard sessions require resumability (Linger > 0) — their links
+	// heal through the same seq/replay machinery as ordinary sessions.
+	AllowShard bool
 	// CompileOptions apply to client-registered queries.
 	CompileOptions []greta.Option
 	// Slack enables the reorder buffer with the given time slack.
@@ -278,6 +331,10 @@ type Server struct {
 	// falls behind the window is rebased: the retained results are
 	// re-delivered in full.
 	ResumeWindow int
+	// MaxLine bounds one inbound frame's size in bytes (default 1 MiB).
+	// Shard servers raise it: an adopt frame carries whole slot
+	// snapshots in one line.
+	MaxLine int
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -500,6 +557,17 @@ type sessionMeta struct {
 	OutSeq    uint64 `json:"out_seq"`
 	Processed uint64 `json:"processed"`
 	Dropped   uint64 `json:"dropped"`
+	// V distinguishes meta generations: v2 adds the engine event-id
+	// cursor and mid-frame progress (batch frames over resumable
+	// sessions). A v1 meta implies ids equal seqs.
+	V int `json:"v,omitempty"`
+	// EvID is the id of the last engine event whose application the
+	// snapshot contains; FrameRows counts how many of those belong to a
+	// batch frame whose seq is NOT yet covered by LastSeq (a snapshot
+	// that fired mid-frame) — the restore skips exactly that prefix
+	// when the frame is replayed.
+	EvID      uint64 `json:"ev_id,omitempty"`
+	FrameRows uint64 `json:"frame_rows,omitempty"`
 }
 
 // session is one client stream's server-side state. mu serializes
@@ -532,6 +600,20 @@ type session struct {
 	processed uint64
 	dropped   uint64
 	nextID    uint64 // event ids on the non-resumable path
+	// evID allocates engine event ids on the resumable path. It is
+	// committed only after the runtime call returns (alongside
+	// lastSeq), so a snapshot firing inside the call still describes
+	// the state before the in-flight event; batch frames commit it per
+	// row together with frameRows, the mid-frame progress counter the
+	// checkpoint meta persists. frameSkip is the restore-side
+	// counterpart: rows of the next replayed frame already contained in
+	// the snapshot.
+	evID      uint64
+	frameRows uint64
+	frameSkip uint64
+	// shard holds the cluster worker slots once the session flipped
+	// into shard mode (Server.AllowShard + {"cmd":"shard"}).
+	shard *shardState
 	// schemas caches the per-(type, column-set) schemas batch frames
 	// bind their rows to, so repeated frames of one shape reuse one
 	// schema pointer (the runtime's columnar pre-filter caches per
@@ -583,6 +665,7 @@ func (sess *session) metaBytes() []byte {
 	b, _ := json.Marshal(sessionMeta{
 		ID: sess.id, LastSeq: sess.lastSeq, OutSeq: sess.outSeq,
 		Processed: sess.processed, Dropped: sess.dropped,
+		V: 2, EvID: sess.evID, FrameRows: sess.frameRows,
 	})
 	return b
 }
@@ -672,6 +755,9 @@ func (sess *session) teardownLocked() {
 		sess.lingerT.Stop()
 		sess.lingerT = nil
 	}
+	if sess.shard != nil {
+		sess.shard.discardLocked()
+	}
 	_ = sess.rt.Close()
 	sess.detachLocked()
 	sess.srv.removeSession(sess)
@@ -687,6 +773,9 @@ func (sess *session) finishLocked() {
 	if sess.lingerT != nil {
 		sess.lingerT.Stop()
 		sess.lingerT = nil
+	}
+	if sess.shard != nil {
+		sess.shard.discardLocked()
 	}
 	_ = sess.rt.Barrier()
 	rs := sess.rt.Stats()
@@ -910,6 +999,12 @@ func (sess *session) handleLine(myConn net.Conn, we *WireEvent) (stop bool) {
 	if sess.ended || sess.conn != myConn {
 		return true
 	}
+	// Shard mode intercepts its own commands plus event/batch lines
+	// (they carry coordinator route info); everything else — flush,
+	// checkpoint, session, resume — keeps its ordinary meaning.
+	if we.Cmd == "shard" || (sess.shard != nil && shardFrame(we.Cmd)) {
+		return sess.handleShardLine(we)
+	}
 	switch we.Cmd {
 	case "flush":
 		sess.finishLocked()
@@ -997,7 +1092,10 @@ func (sess *session) handleLine(myConn net.Conn, we *WireEvent) (stop bool) {
 			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("sequence gap: got %d, want %d", we.Seq, sess.lastSeq+1)}, false)
 			return false
 		}
-		id = we.Seq
+		// One engine id per event, committed after Process with the seq
+		// cursor. Ids equal seqs until the first batch frame, which
+		// consumes one seq but an id per row.
+		id = sess.evID + 1
 	} else {
 		sess.nextID++
 		id = sess.nextID
@@ -1017,6 +1115,7 @@ func (sess *session) handleLine(myConn net.Conn, we *WireEvent) (stop bool) {
 	// is dropped for disorder (the drop is deterministic on replay).
 	if sess.resumable {
 		sess.lastSeq = we.Seq
+		sess.evID++
 	}
 	if err != nil {
 		if errors.Is(err, greta.ErrOutOfOrder) {
@@ -1038,13 +1137,26 @@ func (sess *session) handleLine(myConn net.Conn, we *WireEvent) (stop bool) {
 // runtime's batch path: the per-attribute arrays are decoded straight
 // into an event batch (no per-row attribute maps), so the runtime
 // hashes each partition-key run once and pre-filters predicate
-// columns. Resumable sessions reject batches — resume dedup works on
-// per-event sequence numbers, which a batch frame does not carry
-// (clients degrade to per-event sends there).
+// columns. In a resumable session the frame carries one frame-level
+// seq — resume dedup skips whole duplicate frames — and its rows
+// consume engine ids from the session's evID cursor. With a scheduled
+// checkpoint armed the rows feed the per-event path one at a time
+// instead, committing the cursor and frame progress per row, so a
+// snapshot firing mid-frame records exactly how much of the frame it
+// contains (sessionMeta.FrameRows) and a restore-side replay of the
+// frame skips precisely that prefix: exactly-once either way.
 func (sess *session) handleBatchLocked(we *WireEvent) {
 	if sess.resumable {
-		_ = sess.sendLocked(wireOut{Error: "batch: not supported in a resumable session (events need seqs; send per-event)"}, false)
-		return
+		switch {
+		case we.Seq == 0:
+			_ = sess.sendLocked(wireOut{Error: "batch missing seq (session mode)"}, false)
+			return
+		case we.Seq <= sess.lastSeq:
+			return // duplicate frame from a resume replay: already applied
+		case we.Seq != sess.lastSeq+1:
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("sequence gap: got %d, want %d", we.Seq, sess.lastSeq+1)}, false)
+			return
+		}
 	}
 	if we.Type == "" {
 		_ = sess.sendLocked(wireOut{Error: "batch missing type"}, false)
@@ -1064,30 +1176,101 @@ func (sess *session) handleBatchLocked(we *WireEvent) {
 		}
 	}
 	if n == 0 {
+		if sess.resumable {
+			sess.lastSeq = we.Seq
+		}
 		return
 	}
+	skip := 0
+	if sess.resumable && sess.frameSkip > 0 {
+		// Restored mid-frame: the snapshot already contains this frame's
+		// first frameSkip rows (their ids are committed in evID); apply
+		// only the tail.
+		skip = int(sess.frameSkip)
+		sess.frameSkip = 0
+		if skip > n {
+			skip = n
+		}
+	}
 	sch := sess.schemaFor(we)
-	b := greta.NewBatch(sch, n)
+	if sess.resumable && sess.rt.CheckpointArmed() {
+		sess.applyBatchRowsLocked(we, sch, n, skip)
+		sess.frameRows = 0
+		sess.lastSeq = we.Seq
+		return
+	}
+	// Columnar path: no scheduled snapshot can fire inside ProcessBatch
+	// (an explicit checkpoint command is its own line, between frames),
+	// so the whole frame is cursor-atomic.
+	b := greta.NewBatch(sch, n-skip)
 	num := make([]float64, len(sch.Numeric))
 	strs := make([]string, len(sch.Strings))
-	for i := 0; i < n; i++ {
+	for i := skip; i < n; i++ {
 		for j, a := range sch.Numeric {
 			num[j] = we.Cols[a][i]
 		}
 		for j, a := range sch.Strings {
 			strs[j] = we.SCols[a][i]
 		}
-		sess.nextID++
-		b.Append(sess.nextID, we.Times[i], num, strs)
+		var id uint64
+		if sess.resumable {
+			sess.evID++
+			id = sess.evID
+		} else {
+			sess.nextID++
+			id = sess.nextID
+		}
+		b.Append(id, we.Times[i], num, strs)
 	}
 	acc, err := sess.rt.ProcessBatch(b)
 	sess.processed += uint64(acc)
-	if d := n - acc; d > 0 {
+	if d := (n - skip) - acc; d > 0 {
 		sess.dropped += uint64(d)
-		_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("batch: %d of %d rows dropped for disorder", d, n)}, false)
+		_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("batch: %d of %d rows dropped for disorder", d, n-skip)}, false)
+	}
+	if sess.resumable {
+		sess.lastSeq = we.Seq
 	}
 	if err != nil {
 		_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: %v", err)}, false)
+	}
+}
+
+// applyBatchRowsLocked feeds a batch frame's rows through the
+// per-event path one at a time, committing the session's id cursor and
+// frame progress after every row: the checkpoint meta provider (which
+// can run inside any of the Process calls, before the in-flight row is
+// applied) then always describes a row-exact prefix of the frame.
+func (sess *session) applyBatchRowsLocked(we *WireEvent, sch *greta.Schema, n, skip int) {
+	dropped := 0
+	for i := skip; i < n; i++ {
+		num := make([]float64, len(sch.Numeric))
+		for j, a := range sch.Numeric {
+			num[j] = we.Cols[a][i]
+		}
+		strs := make([]string, len(sch.Strings))
+		for j, a := range sch.Strings {
+			strs[j] = we.SCols[a][i]
+		}
+		err := sess.rt.Process(&greta.Event{
+			ID: sess.evID + 1, Type: greta.Type(we.Type), Time: we.Times[i],
+			Sch: sch, Num: num, StrV: strs,
+		})
+		sess.evID++
+		sess.frameRows++
+		if err != nil {
+			if errors.Is(err, greta.ErrOutOfOrder) {
+				dropped++
+				continue
+			}
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: %v", err)}, false)
+			return
+		}
+		sess.processed++
+	}
+	if dropped > 0 {
+		sess.dropped += uint64(dropped)
+		_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("batch: %d of %d rows dropped for disorder", dropped, n-skip)}, false)
 	}
 }
 
@@ -1191,6 +1374,13 @@ func (s *Server) RestoreSession(dir string) (string, error) {
 	sess.outFloor = m.OutSeq
 	sess.processed = m.Processed
 	sess.dropped = m.Dropped
+	if m.V >= 2 {
+		sess.evID = m.EvID
+		sess.frameSkip = m.FrameRows
+	} else {
+		// v1 meta (before batch frames over sessions): ids equal seqs.
+		sess.evID = m.LastSeq
+	}
 	for _, h := range res.Handles {
 		sess.wire(h)
 	}
@@ -1242,7 +1432,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}()
 
 	sc := bufio.NewScanner(&timeoutReader{conn: conn, read: s.ReadTimeout, idle: s.IdleTimeout})
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	maxLine := s.MaxLine
+	if maxLine <= 0 {
+		maxLine = 1024 * 1024
+	}
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -1588,10 +1782,12 @@ func (c *Client) Send(typ string, t int64, attrs map[string]float64, strs map[st
 // SendBatch streams a columnar batch frame: n rows of one type, times
 // in non-decreasing order, cols/scols mapping each attribute to one
 // value per row. The server decodes the arrays straight into its
-// columnar ingest path. In a resumable session batches degrade to
-// per-event sends — the resume protocol identifies events by per-event
-// sequence numbers — so each row is stamped, buffered for replay, and
-// sent individually; semantics are identical either way.
+// columnar ingest path. In a resumable session the frame carries one
+// frame-level sequence number and is retained whole in the resend
+// buffer — the server dedups duplicate frames by seq after a Resume —
+// so batches stay columnar end to end instead of degrading to
+// per-event sends. The retained copy is deep: the caller may reuse its
+// arrays after SendBatch returns.
 func (c *Client) SendBatch(typ string, times []int64, cols map[string][]float64, scols map[string][]string) error {
 	for a, col := range cols {
 		if len(col) != len(times) {
@@ -1603,29 +1799,31 @@ func (c *Client) SendBatch(typ string, times []int64, cols map[string][]float64,
 			return fmt.Errorf("netstream: batch column %q has %d values, want %d", a, len(col), len(times))
 		}
 	}
+	we := WireEvent{Cmd: "batch", Type: typ, Times: times, Cols: cols, SCols: scols}
 	if c.session != "" {
-		for i, t := range times {
-			var attrs map[string]float64
-			if len(cols) > 0 {
-				attrs = make(map[string]float64, len(cols))
-				for a, col := range cols {
-					attrs[a] = col[i]
-				}
+		we.Times = slices.Clone(times)
+		if len(cols) > 0 {
+			cp := make(map[string][]float64, len(cols))
+			for a, col := range cols {
+				cp[a] = slices.Clone(col)
 			}
-			var strs map[string]string
-			if len(scols) > 0 {
-				strs = make(map[string]string, len(scols))
-				for a, col := range scols {
-					strs[a] = col[i]
-				}
-			}
-			if err := c.Send(typ, t, attrs, strs); err != nil {
-				return err
-			}
+			we.Cols = cp
 		}
-		return nil
+		if len(scols) > 0 {
+			cp := make(map[string][]string, len(scols))
+			for a, col := range scols {
+				cp[a] = slices.Clone(col)
+			}
+			we.SCols = cp
+		}
+		c.seq++
+		we.Seq = c.seq
+		c.ring = append(c.ring, we)
+		if w := c.SendWindow; w > 0 && len(c.ring) > w {
+			c.ring = append(c.ring[:0], c.ring[len(c.ring)-w:]...)
+		}
 	}
-	return c.enc.Encode(WireEvent{Cmd: "batch", Type: typ, Times: times, Cols: cols, SCols: scols})
+	return c.enc.Encode(we)
 }
 
 // Register attaches a new statement mid-stream and returns its id.

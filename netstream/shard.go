@@ -1,0 +1,409 @@
+package netstream
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+
+	"github.com/greta-cep/greta"
+	"github.com/greta-cep/greta/internal/core"
+)
+
+// Shard sessions: the server side of a cluster worker link. A
+// resumable session flips into shard mode with {"cmd":"shard"} and
+// from then on hosts one or more cluster worker slots (core.ShardHost)
+// — the multi-process analogue of RunParallel's workers. The driving
+// coordinator (see the cluster package) ships unit registrations,
+// pre-routed events/batches, per-statement window barriers, and slot
+// migrations as seq-numbered frames; the slots answer with durable
+// partial windows, barrier acks, and unit stats. Both directions ride
+// the ordinary session resume machinery, so a dropped link replays its
+// unacked tail and every frame applies exactly once.
+
+// WirePartial is one worker slot's released window: the raw aggregate
+// payload (checkpoint codec, base64) of unit SI's window Wid for one
+// group, tagged with the slot's home index W so the coordinator merges
+// partials in slot order — float results stay bit-identical to a
+// single-process run.
+type WirePartial struct {
+	SI      int    `json:"si"`
+	W       int    `json:"w"`
+	Group   string `json:"group"`
+	Wid     int64  `json:"wid"`
+	Payload string `json:"payload"`
+}
+
+// WireAck is one worker slot's barrier acknowledgement: slot W has
+// released every window of unit SI up to Hi (math.MaxInt64 after a
+// flush or close). T echoes the barrier's stream time so the
+// coordinator rolls per-slot frontiers into a global low-watermark.
+// Partials always precede their covering ack on the wire.
+type WireAck struct {
+	SI int   `json:"si"`
+	W  int   `json:"w"`
+	Hi int64 `json:"hi"`
+	T  int64 `json:"t,omitempty"`
+}
+
+// WireUnitStats carries one worker slot's final engine counters for a
+// closed (or end-of-stream flushed) unit, for the coordinator's stats
+// fold.
+type WireUnitStats struct {
+	SI    int         `json:"si"`
+	W     int         `json:"w"`
+	Stats greta.Stats `json:"stats"`
+}
+
+// WireShardInfo acknowledges a shard handshake or an adopt: the
+// cluster's worker-slot modulus and the slots this session hosts now.
+type WireShardInfo struct {
+	Count   int   `json:"count"`
+	Workers []int `json:"workers"`
+}
+
+// WireHandoff carries a draining session's slot snapshots (worker slot
+// → base64 blob), produced by {"cmd":"handoff"} and re-planted
+// elsewhere with {"cmd":"adopt"}. EvID is the donor session's event-ID
+// counter: the adopting session bumps its own counter past it, so
+// post-migration events keep sorting after pre-migration vertices in
+// the engines' ID-tie-broken summary trees (fold order, and so float
+// bit-identity, depends on it).
+type WireHandoff struct {
+	Blobs map[string]string `json:"blobs"`
+	EvID  uint64            `json:"evid,omitempty"`
+}
+
+// shardState is a shard-mode session's slot table.
+type shardState struct {
+	n0    int                     // cluster worker-slot modulus (fixed at handshake)
+	hosts map[int]*core.ShardHost // worker slot → host
+}
+
+// slots returns the hosted worker slots, sorted — every fan-out
+// iterates in slot order so durable output is deterministic.
+func (sh *shardState) slots() []int {
+	ws := make([]int, 0, len(sh.hosts))
+	for w := range sh.hosts {
+		ws = append(ws, w)
+	}
+	slices.Sort(ws)
+	return ws
+}
+
+// discardLocked silently drops every hosted slot (session teardown or
+// finish; a handed-off slot's state lives on elsewhere).
+func (sh *shardState) discardLocked() {
+	for _, h := range sh.hosts {
+		h.Discard()
+	}
+	sh.hosts = map[int]*core.ShardHost{}
+}
+
+// shardFrame reports whether cmd is routed to the shard handler once
+// shard mode is on. Event ("") and batch lines are included — they
+// carry coordinator route info instead of feeding the session runtime.
+func shardFrame(cmd string) bool {
+	switch cmd {
+	case "", "batch", "sreg", "sclose", "barrier", "eos", "handoff", "adopt":
+		return true
+	}
+	return false
+}
+
+// handleShardLine processes one shard-mode frame under sess.mu. Every
+// shard frame — lifecycle commands included — rides the client-seq
+// discipline, so a resumed link replays its unacked tail and each
+// frame applies exactly once.
+func (sess *session) handleShardLine(we *WireEvent) (stop bool) {
+	if we.Cmd == "shard" {
+		switch {
+		case !sess.srv.AllowShard:
+			_ = sess.sendLocked(wireOut{Error: "shard: disabled on this server"}, false)
+			return false
+		case !sess.resumable:
+			_ = sess.sendLocked(wireOut{Error: `shard: requires a resumable session (send {"cmd":"session"} first)`}, false)
+			return false
+		case sess.shard != nil:
+			_ = sess.sendLocked(wireOut{Error: "shard: already enabled"}, false)
+			return false
+		}
+	} else if sess.shard == nil {
+		_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("%q: not a shard session", we.Cmd)}, false)
+		return false
+	}
+	switch {
+	case we.Seq == 0:
+		_ = sess.sendLocked(wireOut{Error: "shard frame missing seq"}, false)
+		return false
+	case we.Seq <= sess.lastSeq:
+		return false // duplicate from a resume replay: already applied
+	case we.Seq != sess.lastSeq+1:
+		_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("sequence gap: got %d, want %d", we.Seq, sess.lastSeq+1)}, false)
+		return false
+	}
+	sess.applyShardFrameLocked(we)
+	sess.lastSeq = we.Seq
+	return false
+}
+
+// applyShardFrameLocked dispatches one admitted (in-sequence, not
+// duplicate) shard frame; sess.mu held. Failures surface as error
+// lines — the coordinator treats them as fatal link faults — but the
+// frame's seq is consumed either way, keeping the cursor contiguous.
+func (sess *session) applyShardFrameLocked(we *WireEvent) {
+	switch we.Cmd {
+	case "shard":
+		if we.Count <= 0 {
+			_ = sess.sendLocked(wireOut{Error: "shard: count must be positive"}, false)
+			return
+		}
+		sh := &shardState{n0: we.Count, hosts: map[int]*core.ShardHost{}}
+		for _, w := range we.Workers {
+			if w < 0 || w >= we.Count {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("shard: worker slot %d out of range [0,%d)", w, we.Count)}, false)
+				return
+			}
+			if _, dup := sh.hosts[w]; dup {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("shard: duplicate worker slot %d", w)}, false)
+				return
+			}
+			sh.hosts[w] = core.NewShardHost(w, sess.emitPartial)
+		}
+		sess.shard = sh
+		_ = sess.sendLocked(wireOut{Shard: &WireShardInfo{Count: sh.n0, Workers: sh.slots()}}, true)
+	case "sreg":
+		// Fan the unit out to every hosted slot, stamping the
+		// coordinator's watermark (we.Time) first so a mid-stream
+		// registration cuts at the same instant on every slot.
+		for _, w := range sess.shard.slots() {
+			h := sess.shard.hosts[w]
+			h.ObserveTime(we.Time)
+			if err := h.Register(we.SI, we.GI, we.Query, we.ID, we.Exact, we.Force); err != nil {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("sreg %s: %v", we.ID, err)}, false)
+				return
+			}
+		}
+		_ = sess.sendLocked(wireOut{Registered: &WireRegistered{ID: we.ID, Query: we.Query}}, true)
+	case "sclose":
+		for _, w := range sess.shard.slots() {
+			h := sess.shard.hosts[w]
+			st, err := h.CloseUnit(we.SI)
+			if err != nil {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("sclose %d: %v", we.SI, err)}, false)
+				return
+			}
+			// Open windows flushed as partials above; the MaxInt64 ack
+			// releases them all, then the final counters fold.
+			_ = sess.sendLocked(wireOut{Ack: &WireAck{SI: we.SI, W: w, Hi: math.MaxInt64}}, true)
+			_ = sess.sendLocked(wireOut{UnitStats: &WireUnitStats{SI: we.SI, W: w, Stats: st}}, true)
+		}
+	case "barrier":
+		for _, w := range sess.shard.slots() {
+			sess.shard.hosts[w].Barrier(we.SI, we.Time)
+			_ = sess.sendLocked(wireOut{Ack: &WireAck{SI: we.SI, W: w, Hi: we.Hi, T: we.Time}}, true)
+		}
+	case "eos":
+		for _, w := range sess.shard.slots() {
+			h := sess.shard.hosts[w]
+			for _, si := range h.Units() {
+				h.FlushUnit(si)
+				st, _ := h.UnitStats(si)
+				_ = sess.sendLocked(wireOut{Ack: &WireAck{SI: si, W: w, Hi: math.MaxInt64}}, true)
+				_ = sess.sendLocked(wireOut{UnitStats: &WireUnitStats{SI: si, W: w, Stats: st}}, true)
+			}
+		}
+	case "handoff":
+		sh := sess.shard
+		blobs := make(map[string]string, len(sh.hosts))
+		for _, w := range sh.slots() {
+			b, err := sh.hosts[w].Snapshot()
+			if err != nil {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("handoff: slot %d: %v", w, err)}, false)
+				return
+			}
+			blobs[strconv.Itoa(w)] = base64.StdEncoding.EncodeToString(b)
+		}
+		// The snapshots are on the durable output path (replayed on
+		// resume) before the slots are dropped, so the state survives a
+		// link break mid-handoff.
+		for _, h := range sh.hosts {
+			h.Discard()
+		}
+		sh.hosts = map[int]*core.ShardHost{}
+		_ = sess.sendLocked(wireOut{Handoff: &WireHandoff{Blobs: blobs, EvID: sess.evID}}, true)
+	case "adopt":
+		sh := sess.shard
+		if we.EvID > sess.evID {
+			sess.evID = we.EvID
+		}
+		for ws, blob := range we.Blobs {
+			w, err := strconv.Atoi(ws)
+			if err != nil || w < 0 || w >= sh.n0 {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("adopt: bad worker slot %q", ws)}, false)
+				return
+			}
+			if _, dup := sh.hosts[w]; dup {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("adopt: slot %d already hosted", w)}, false)
+				return
+			}
+			raw, err := base64.StdEncoding.DecodeString(blob)
+			if err != nil {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("adopt: slot %d: %v", w, err)}, false)
+				return
+			}
+			h, err := core.AdoptShardHost(raw, sess.emitPartial)
+			if err != nil {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("adopt: slot %d: %v", w, err)}, false)
+				return
+			}
+			if h.W() != w {
+				h.Discard()
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("adopt: blob for slot %d keyed as %d", h.W(), w)}, false)
+				return
+			}
+			sh.hosts[w] = h
+		}
+		_ = sess.sendLocked(wireOut{Shard: &WireShardInfo{Count: sh.n0, Workers: sh.slots()}}, true)
+	case "batch":
+		sess.applyShardBatchLocked(we)
+	case "":
+		sess.applyShardEventLocked(we)
+	}
+}
+
+// emitPartial ships one worker-slot partial window to the coordinator.
+// It runs inside engine calls made under sess.mu (barrier advance,
+// flush, close), so the durable partial is ordered before the covering
+// ack on the wire.
+func (sess *session) emitPartial(w, si int, r greta.Result) {
+	b, err := core.MarshalPayload(r.Payload)
+	if err != nil {
+		_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("partial encode: %v", err)}, false)
+		return
+	}
+	_ = sess.sendLocked(wireOut{Partial: &WirePartial{
+		SI: si, W: w, Group: r.Group, Wid: r.Wid,
+		Payload: base64.StdEncoding.EncodeToString(b),
+	}}, true)
+}
+
+// applyShardEventLocked applies one pre-routed single event: each
+// (group, hash) pair targets the hosted slot hash%n0 — the same
+// placement RunParallel's feedWorkers computes, so an N-shard cluster
+// partitions identically to an N-worker single-process run.
+func (sess *session) applyShardEventLocked(we *WireEvent) {
+	if we.Type == "" {
+		_ = sess.sendLocked(wireOut{Error: "event missing type"}, false)
+		return
+	}
+	if len(we.RH) != len(we.RG) {
+		_ = sess.sendLocked(wireOut{Error: "event: rg/rh length mismatch"}, false)
+		return
+	}
+	sess.evID++
+	ev := &greta.Event{ID: sess.evID, Type: greta.Type(we.Type), Time: we.Time, Attrs: we.Attrs, Str: we.Str}
+	for k, gi := range we.RG {
+		h, err := strconv.ParseUint(we.RH[k], 16, 64)
+		if err != nil {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("event: bad route hash %q", we.RH[k])}, false)
+			return
+		}
+		host := sess.shard.hosts[int(h%uint64(sess.shard.n0))]
+		if host == nil {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("event: slot %d not hosted here", int(h%uint64(sess.shard.n0)))}, false)
+			return
+		}
+		var gis [1]int
+		var hs [1]uint64
+		gis[0], hs[0] = gi, h
+		host.Apply(ev, gis[:], hs[:])
+	}
+	sess.processed++
+}
+
+// applyShardBatchLocked applies one pre-routed columnar batch frame.
+// Route info comes per row: either GI+RH (every row in route group GI,
+// one hash per row — the common single-signature case) or RGs/RHs
+// (per-row group lists). Rows bind to a cached schema and keep their
+// own value slices — the slots' graphs retain event pointers.
+func (sess *session) applyShardBatchLocked(we *WireEvent) {
+	if we.Type == "" {
+		_ = sess.sendLocked(wireOut{Error: "batch missing type"}, false)
+		return
+	}
+	n := len(we.Times)
+	for a, col := range we.Cols {
+		if len(col) != n {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: column %q has %d values, want %d", a, len(col), n)}, false)
+			return
+		}
+	}
+	for a, col := range we.SCols {
+		if len(col) != n {
+			_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: column %q has %d values, want %d", a, len(col), n)}, false)
+			return
+		}
+	}
+	multi := we.RGs != nil
+	if multi {
+		if len(we.RGs) != n || len(we.RHs) != n {
+			_ = sess.sendLocked(wireOut{Error: "batch: rgs/rhs length mismatch"}, false)
+			return
+		}
+	} else if len(we.RH) != n {
+		_ = sess.sendLocked(wireOut{Error: "batch: rh length mismatch"}, false)
+		return
+	}
+	if n == 0 {
+		return
+	}
+	sch := sess.schemaFor(we)
+	sh := sess.shard
+	for i := 0; i < n; i++ {
+		num := make([]float64, len(sch.Numeric))
+		for j, a := range sch.Numeric {
+			num[j] = we.Cols[a][i]
+		}
+		strs := make([]string, len(sch.Strings))
+		for j, a := range sch.Strings {
+			strs[j] = we.SCols[a][i]
+		}
+		sess.evID++
+		ev := &greta.Event{ID: sess.evID, Type: greta.Type(we.Type), Time: we.Times[i], Sch: sch, Num: num, StrV: strs}
+		apply := func(gi int, hx string) bool {
+			h, err := strconv.ParseUint(hx, 16, 64)
+			if err != nil {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: bad route hash %q", hx)}, false)
+				return false
+			}
+			host := sh.hosts[int(h%uint64(sh.n0))]
+			if host == nil {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: slot %d not hosted here", int(h%uint64(sh.n0)))}, false)
+				return false
+			}
+			var gis [1]int
+			var hs [1]uint64
+			gis[0], hs[0] = gi, h
+			host.Apply(ev, gis[:], hs[:])
+			return true
+		}
+		if multi {
+			if len(we.RHs[i]) != len(we.RGs[i]) {
+				_ = sess.sendLocked(wireOut{Error: fmt.Sprintf("batch: row %d rg/rh length mismatch", i)}, false)
+				return
+			}
+			for k, gi := range we.RGs[i] {
+				if !apply(gi, we.RHs[i][k]) {
+					return
+				}
+			}
+		} else {
+			if !apply(we.GI, we.RH[i]) {
+				return
+			}
+		}
+		sess.processed++
+	}
+}

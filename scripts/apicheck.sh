@@ -14,7 +14,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=api.txt
-PKGS=". ./netstream"
+PKGS=". ./netstream ./cluster"
 
 gen() {
 	for pkg in $PKGS; do

@@ -14,12 +14,12 @@ set -eu
 
 out="${1:?usage: scripts/bench.sh out.json [benchtime] (run 'make bench PR=<n>' to pick the snapshot file)}"
 benchtime="${2:-1x}"
-pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements|BenchmarkCheckpointWrite|BenchmarkRestore|BenchmarkBatchIngest'
+pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements|BenchmarkCheckpointWrite|BenchmarkRestore|BenchmarkBatchIngest|BenchmarkCluster'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . ./internal/bench | tee "$raw"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . ./internal/bench ./cluster | tee "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }
