@@ -41,10 +41,20 @@ bench-quick: require-pr
 	scripts/bench.sh $(BENCH_OUT) 1x
 
 # alloc-guard runs the zero-allocation hot-path guard and the routing /
-# pool micro-benchmarks.
+# pool micro-benchmarks. Metrics cells are armed by default, so the
+# guard exercises the instrumented hot path; the overhead bench pins
+# the armed-vs-disarmed cost at the public layer with -benchmem.
 alloc-guard:
 	$(GO) test -run TestNoHotPathAllocs -count=1 ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkPartitionRouting|BenchmarkPayloadPool' -benchmem ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkMetricsOverhead' -benchtime 1x -benchmem .
+
+# obs-smoke runs a metrics-armed workload and a live 2-shard cluster,
+# scrapes both /metrics endpoints, and asserts the key series families
+# are present and parseable (see scripts/obs_smoke.sh).
+.PHONY: obs-smoke
+obs-smoke:
+	scripts/obs_smoke.sh
 
 # api regenerates api.txt, the committed fingerprint of the public API
 # surface; apicheck fails if the code drifted from it (run in CI).

@@ -178,6 +178,9 @@ func Restore(dir string, opts ...RuntimeOption) (*Restored, error) {
 	if cfg.ckMeta != nil {
 		rt.inner.SetCheckpointMeta(cfg.ckMeta)
 	}
+	if err := rt.armObs(&cfg); err != nil {
+		return nil, err
+	}
 	return &Restored{
 		Runtime: rt, Handles: handles, ReplayFrom: info.ReplayFrom,
 		Meta: info.Meta, ReorderPending: info.ReorderPending,

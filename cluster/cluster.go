@@ -51,6 +51,7 @@ import (
 	"github.com/greta-cep/greta/internal/aggregate"
 	"github.com/greta-cep/greta/internal/core"
 	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/obs"
 	"github.com/greta-cep/greta/internal/query"
 	"github.com/greta-cep/greta/internal/window"
 	"github.com/greta-cep/greta/netstream"
@@ -73,6 +74,18 @@ type Config struct {
 	// flushed (default 512). Barriers, registrations, and lifecycle
 	// commands always flush first — frames never straddle them.
 	BatchRows int
+	// MetricsAddr, when set, serves the coordinator's observability
+	// surface (/metrics, /metrics.json, /debug/vars, /debug/pprof/) on
+	// this address for the cluster's lifetime; Connect fails if it
+	// cannot be bound. ":0" picks a free port — read it back from
+	// Coordinator.MetricsAddr.
+	MetricsAddr string
+	// TraceHook, when set, receives the coordinator's lifecycle trace
+	// events: greta.TraceBarrierEmit on every window-close fan-out,
+	// greta.TraceShardAdd and greta.TraceShardDrain on membership
+	// changes. It fires with the coordinator's lock held — it must
+	// return quickly and must not call back into the Coordinator.
+	TraceHook func(greta.TraceEvent)
 }
 
 // ServeShard configures a netstream Server as a cluster shard: shard
@@ -134,6 +147,16 @@ type Coordinator struct {
 	busy     bool // serializes multi-step operations that wait mid-flight
 	closed   bool
 	err      error
+
+	// observability (see metrics.go): pre-registered cells, the scrape
+	// registry and optional listener, in-flight barrier RTT tracking,
+	// and the lifecycle trace hook.
+	met         *coMetrics
+	reg         *obs.Registry
+	metLn       net.Listener
+	trace       func(greta.TraceEvent)
+	barPend     map[barKey]*barWait
+	lastHandoff time.Duration
 }
 
 // routeGroup is one partition-attribute signature: the shared
@@ -210,6 +233,17 @@ func Connect(ctx context.Context, cfg Config) (*Coordinator, error) {
 		resumeT:   cfg.ResumeTimeout,
 		schShapes: map[*greta.Schema]*schView{},
 		mapShapes: map[string]*rowShape{},
+		trace:     cfg.TraceHook,
+	}
+	co.reg = obs.NewRegistry()
+	co.met = newCoMetrics(co.reg)
+	co.registerCollector()
+	if cfg.MetricsAddr != "" {
+		ln, err := obs.Serve(cfg.MetricsAddr, co.reg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: metrics listener: %w", err)
+		}
+		co.metLn = ln
 	}
 	co.cond = sync.NewCond(&co.mu)
 	if co.rowCap <= 0 {
@@ -234,6 +268,9 @@ func Connect(ctx context.Context, cfg Config) (*Coordinator, error) {
 			return nil, err
 		}
 		co.links = append(co.links, l)
+		co.mu.Lock()
+		co.fireTrace(greta.TraceEvent{Kind: greta.TraceShardAdd, Shard: i, Watermark: co.wm})
+		co.mu.Unlock()
 	}
 	return co, nil
 }
@@ -457,7 +494,9 @@ func (co *Coordinator) Process(ev *greta.Event) error {
 	if co.err != nil {
 		return co.err
 	}
+	co.met.events.Inc()
 	if ev.Time < co.wm {
+		co.met.drops.Inc()
 		for _, si := range co.order {
 			co.units[si].st.AddOutOfOrder(1)
 		}
@@ -475,6 +514,9 @@ func (co *Coordinator) Process(ev *greta.Event) error {
 		u := co.units[si]
 		if _, hi, ok := u.win.ClosedBy(u.parPrev, ev.Time); ok {
 			co.flushAllLocked()
+			co.trackBarrierLocked(u.si, hi)
+			co.fireTrace(greta.TraceEvent{Kind: greta.TraceBarrierEmit,
+				Stmt: u.st.ID(), Boundary: greta.Time(hi), Watermark: ev.Time})
 			for _, l := range co.activeLinks() {
 				l.send(netstream.WireEvent{Cmd: "barrier", SI: u.si, Time: ev.Time, Hi: hi})
 			}
@@ -567,6 +609,11 @@ func (co *Coordinator) dropUnitLocked(u *unit) {
 		co.order = slices.Delete(co.order, i, i+1)
 	}
 	co.groups[u.gi].refs--
+	for k := range co.barPend {
+		if k.si == u.si {
+			delete(co.barPend, k)
+		}
+	}
 }
 
 // ID returns the statement id.
@@ -663,6 +710,9 @@ func (co *Coordinator) Close() error {
 			_ = l.conn.Close()
 		}
 	}
+	if co.metLn != nil {
+		_ = co.metLn.Close()
+	}
 	return err
 }
 
@@ -688,6 +738,7 @@ func (co *Coordinator) AddShard(ctx context.Context, addr string) (int, error) {
 		return 0, err
 	}
 	co.links = append(co.links, l)
+	co.fireTrace(greta.TraceEvent{Kind: greta.TraceShardAdd, Shard: idx, Watermark: co.wm})
 	// Replay the live units onto the empty shard's session so slots
 	// adopted later keep receiving sreg/sclose consistently. (The
 	// adopted snapshots carry the statements themselves; this keeps the
@@ -716,6 +767,7 @@ func (co *Coordinator) Drain(from, to int) error {
 	if lf.drained || lt.drained || lf.closing || lt.closing {
 		return fmt.Errorf("cluster: drain %d -> %d: shard already drained", from, to)
 	}
+	t0 := time.Now()
 	co.flushAllLocked()
 	lf.send(netstream.WireEvent{Cmd: "handoff"})
 	if err := co.waitLocked(func() bool { return lf.handoff != nil }); err != nil {
@@ -739,6 +791,12 @@ func (co *Coordinator) Drain(from, to int) error {
 	lf.drained = true
 	lf.closing = true
 	lf.sendRaw(netstream.WireEvent{Cmd: "flush"})
+	d := time.Since(t0)
+	co.met.handoffs.Inc()
+	co.met.handoffDur.Observe(d)
+	co.lastHandoff = d
+	co.fireTrace(greta.TraceEvent{Kind: greta.TraceShardDrain, Shard: from,
+		Watermark: co.wm, Dur: d})
 	return nil
 }
 

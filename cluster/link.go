@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"time"
 
 	"github.com/greta-cep/greta/internal/aggregate"
 	"github.com/greta-cep/greta/internal/core"
@@ -74,7 +75,7 @@ func (co *Coordinator) dialLink(ctx context.Context, idx int, addr string, slots
 		return nil, err
 	}
 	l := &link{co: co, idx: idx, addr: addr, conn: conn,
-		enc:        json.NewEncoder(conn),
+		enc:        json.NewEncoder(&countingConnWriter{w: conn, n: co.met.frameBytes}),
 		dec:        json.NewDecoder(bufio.NewReader(conn)),
 		readerDone: make(chan struct{}),
 	}
@@ -103,8 +104,11 @@ func (l *link) send(we netstream.WireEvent) {
 		l.ring = append(l.ring[:0], l.ring[len(l.ring)-w:]...)
 	}
 	if l.enc != nil {
+		t0 := time.Now()
 		_ = l.enc.Encode(we)
+		l.co.met.encDur.Observe(time.Since(t0))
 	}
+	l.co.met.frames.Inc()
 }
 
 // sendRaw writes one unsequenced control line (session, resume,
@@ -173,7 +177,7 @@ func (l *link) reattach() error {
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(conn)
+	enc := json.NewEncoder(&countingConnWriter{w: conn, n: co.met.frameBytes})
 	dec := json.NewDecoder(bufio.NewReader(conn))
 
 	co.mu.Lock()
@@ -221,6 +225,7 @@ func (l *link) reattach() error {
 		}
 	}
 	l.conn, l.enc, l.dec = conn, enc, dec
+	co.met.resumes.Inc()
 	return nil
 }
 
@@ -316,6 +321,7 @@ func (co *Coordinator) onAckLocked(a *netstream.WireAck) {
 	if a.T > co.slotAck[a.W] {
 		co.slotAck[a.W] = a.T
 	}
+	co.ackBarrierLocked(a.SI, a.W, a.Hi)
 	u := co.units[a.SI]
 	if u == nil || a.Hi <= u.released[a.W] {
 		return

@@ -27,6 +27,14 @@
 // Disorder: -slack N buffers events up to N time units behind the
 // stream maximum and releases them in order; later events are dropped
 // with a diagnostic on stderr (event time vs the violated watermark).
+//
+// Observability: -metrics ADDR serves /metrics (Prometheus text),
+// /metrics.json, /debug/vars, and /debug/pprof/ for the run's
+// lifetime (the bound address is echoed on stderr; ":0" picks a free
+// port). -stats-interval D prints a one-line metrics summary to
+// stderr every D. -linger D holds the stream open that long after the
+// last event — watermark, lag, and checkpoint gauges stay live for
+// scraping — before the final flush.
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/greta-cep/greta"
 )
@@ -69,6 +78,9 @@ func main() {
 	restoreFlag := flag.Bool("restore", false, "rebuild the runtime from -checkpoint-dir instead of -query flags, replaying only events at or past the checkpoint watermark")
 	slack := flag.Int64("slack", 0, "tolerate out-of-order events up to this many time units behind the stream maximum (reorder buffer)")
 	batch := flag.Int("batch", 1, "columnar ingest: feed events in batches of up to this many rows (sequential runs only; results are identical)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (\":0\" picks a free port, echoed on stderr)")
+	statsInterval := flag.Duration("stats-interval", 0, "print a one-line metrics summary to stderr at this interval")
+	linger := flag.Duration("linger", 0, "hold the stream open this long after the last event before flushing (metrics stay live for scraping)")
 	flag.Parse()
 
 	if *restoreFlag {
@@ -156,8 +168,13 @@ func main() {
 	var rt *greta.Runtime
 	var handles []*greta.Handle
 	if *restoreFlag {
-		res, err := greta.Restore(*ckDir,
-			greta.WithCheckpointErrors(func(err error) { fmt.Fprintln(os.Stderr, "checkpoint:", err) }))
+		ropts := []greta.RuntimeOption{
+			greta.WithCheckpointErrors(func(err error) { fmt.Fprintln(os.Stderr, "checkpoint:", err) }),
+		}
+		if *metricsAddr != "" {
+			ropts = append(ropts, greta.WithMetricsAddr(*metricsAddr))
+		}
+		res, err := greta.Restore(*ckDir, ropts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -185,6 +202,9 @@ func main() {
 		if *slack > 0 {
 			ropts = append(ropts, greta.WithReorderSlack(*slack))
 		}
+		if *metricsAddr != "" {
+			ropts = append(ropts, greta.WithMetricsAddr(*metricsAddr))
+		}
 		rt = greta.NewRuntime(ropts...)
 		handles = make([]*greta.Handle, 0, len(queries))
 		for _, src := range queries {
@@ -205,9 +225,27 @@ func main() {
 	// the run closes the runtime.
 	topo := rt.Stats()
 
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", rt.MetricsAddr())
+	}
+	if *statsInterval > 0 {
+		stop := startStatsDump(rt, *statsInterval)
+		defer close(stop)
+	}
+	// lingerNow holds the stream open (pre-flush) so live gauges —
+	// watermark, lag, checkpoint age — can be scraped before Close
+	// tears the statement set down.
+	lingerNow := func() {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "lingering %s before flush\n", *linger)
+			time.Sleep(*linger)
+		}
+	}
+
 	ctx := context.Background()
 	if *workers > 1 {
 		err = rt.RunParallel(ctx, greta.NewSliceStream(evs), *workers)
+		lingerNow()
 	} else if *batch > 1 {
 		var dropped int
 		dropped, err = feedBatched(rt, evs, *batch)
@@ -215,6 +253,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%d out-of-order drops\n", dropped)
 		}
 		if err == nil {
+			lingerNow()
 			err = rt.Close()
 		}
 	} else {
@@ -244,6 +283,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "... %d more out-of-order drops\n", dropped-maxWarns)
 		}
 		if err == nil {
+			lingerNow()
 			err = rt.Close()
 		}
 	}
@@ -298,6 +338,43 @@ func main() {
 				st.ScanVisits, st.SummaryFolds, st.SummaryRebuilds)
 		}
 	}
+}
+
+// startStatsDump prints a one-line metrics summary to stderr every
+// interval until the returned channel is closed: cumulative events and
+// the instantaneous rate, drops, watermark and lag, the fold/scan
+// split, and checkpoint age.
+func startStatsDump(rt *greta.Runtime, interval time.Duration) chan struct{} {
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var lastEvents uint64
+		lastT := time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			m := rt.Metrics()
+			now := time.Now()
+			rate := float64(m.Events-lastEvents) / now.Sub(lastT).Seconds()
+			lastEvents, lastT = m.Events, now
+			var folds, scans uint64
+			for i := range m.Statements {
+				folds += m.Statements[i].Stats.SummaryFolds
+				scans += m.Statements[i].Stats.ScanVisits
+			}
+			line := fmt.Sprintf("stats: events=%d (%.0f/s) dropped=%d watermark=%d lag=%d folds=%d scans=%d",
+				m.Events, rate, m.Dropped, m.Watermark, m.WatermarkLag, folds, scans)
+			if m.Checkpoint.Armed {
+				line += fmt.Sprintf(" ckwrites=%d ckage=%s", m.Checkpoint.Writes, m.Checkpoint.Age.Truncate(time.Millisecond))
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}()
+	return stop
 }
 
 // feedBatched feeds evs through Runtime.ProcessBatch in columnar

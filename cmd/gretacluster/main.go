@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/greta-cep/greta"
 	"github.com/greta-cep/greta/cluster"
@@ -108,6 +109,9 @@ func runCoord(args []string) {
 	events := fs.Int("events", 100000, "number of generated events")
 	exact := fs.Bool("exact", false, "use exact (math/big) aggregate arithmetic")
 	statsFlag := fs.Bool("stats", false, "print per-statement statistics")
+	metricsAddr := fs.String("metrics", "", "serve the coordinator's /metrics, /metrics.json and /debug/pprof/ on this address (\":0\" picks a free port, echoed on stderr)")
+	traceFlag := fs.Bool("trace", false, "print lifecycle trace events (barriers, shard membership) to stderr")
+	linger := fs.Duration("linger", 0, "hold the cluster open this long after the last event before closing (metrics stay live for scraping)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	if *shards == "" || len(queries) == 0 {
@@ -127,11 +131,22 @@ func runCoord(args []string) {
 		os.Exit(2)
 	}
 
-	co, err := cluster.Connect(context.Background(), cluster.Config{
-		Shards: strings.Split(*shards, ","),
-	})
+	cfg := cluster.Config{
+		Shards:      strings.Split(*shards, ","),
+		MetricsAddr: *metricsAddr,
+	}
+	if *traceFlag {
+		cfg.TraceHook = func(te greta.TraceEvent) {
+			fmt.Fprintf(os.Stderr, "trace: %s stmt=%s shard=%d boundary=%d watermark=%d dur=%s\n",
+				te.Kind, te.Stmt, te.Shard, te.Boundary, te.Watermark, te.Dur)
+		}
+	}
+	co, err := cluster.Connect(context.Background(), cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", co.MetricsAddr())
 	}
 	handles := make([]*cluster.Handle, 0, len(queries))
 	for _, src := range queries {
@@ -155,6 +170,12 @@ func runCoord(args []string) {
 			}
 			fatal(err)
 		}
+	}
+	if *linger > 0 {
+		// Pre-close: slot ack lag, barrier RTTs, and the watermarks stay
+		// live on the metrics endpoint while we linger.
+		fmt.Fprintf(os.Stderr, "lingering %s before close\n", *linger)
+		time.Sleep(*linger)
 	}
 	if err := co.Close(); err != nil {
 		fatal(err)

@@ -1,0 +1,42 @@
+// Command promcheck validates a Prometheus text exposition on stdin
+// and asserts that the series families named as arguments are present.
+// It exits non-zero — listing what is missing — when the exposition
+// does not parse or an expected family is absent. The CI obs-smoke job
+// pipes `curl /metrics` through it:
+//
+//	curl -s http://127.0.0.1:9090/metrics | promcheck greta_events_total greta_watermark_lag
+//
+// A name matches exactly, or as a family prefix with a label set or
+// histogram suffix (greta_stmt_events_total matches
+// `greta_stmt_events_total{stmt="q0"}`).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/greta-cep/greta/internal/obs"
+)
+
+func main() {
+	series, err := obs.ParseProm(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: exposition does not parse:", err)
+		os.Exit(1)
+	}
+	if len(series) == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: empty exposition")
+		os.Exit(1)
+	}
+	missing := 0
+	for _, name := range os.Args[1:] {
+		if !obs.HasSeries(series, name) {
+			fmt.Fprintf(os.Stderr, "promcheck: missing series %s\n", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %d series parsed, %d expected families present\n", len(series), len(os.Args)-1)
+}

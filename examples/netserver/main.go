@@ -94,6 +94,13 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("registered volume monitor mid-stream as %q\n", volumeID)
+			// The stats frame is the session's live observability view:
+			// resilience cursors (applied/dropped, last seq, resumes) and
+			// the runtime's event-time frontier — no barrier, no flush.
+			if st, err := client.Stats(); err == nil {
+				fmt.Printf("mid-stream stats: processed=%d dropped=%d last_seq=%d statements=%d watermark=%d\n",
+					st.Processed, st.Dropped, st.LastSeq, st.Statements, st.Watermark)
+			}
 		}
 		if i == 3*len(events)/4 {
 			// Stall past the server's read timeout: the server parks the

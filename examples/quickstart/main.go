@@ -16,7 +16,12 @@ import (
 )
 
 func main() {
-	rt := greta.NewRuntime()
+	// The trace hook surfaces lifecycle events (statement register and
+	// close here; checkpoint commits, session resumes, and barrier emits
+	// in the serving layers) without touching the per-event hot path.
+	rt := greta.NewRuntime(greta.WithTraceHook(func(ev greta.TraceEvent) {
+		fmt.Printf("trace: %s stmt=%s watermark=%d\n", ev.Kind, ev.Stmt, ev.Watermark)
+	}))
 	h, err := rt.Register(greta.MustCompile(`
 		RETURN COUNT(*), COUNT(A), MIN(A.attr), MAX(A.attr), SUM(A.attr), AVG(A.attr)
 		PATTERN (SEQ(A+, B))+`))
@@ -54,4 +59,10 @@ func main() {
 	// after negation watermark advances (SummaryRebuilds).
 	fmt.Printf("cost split: %d per-vertex visits, %d summary folds, %d summary rebuilds\n",
 		st.ScanVisits, st.SummaryFolds, st.SummaryRebuilds)
+	// Metrics() is the machine-readable view of the same run — the
+	// snapshot behind the /metrics endpoint (greta.WithMetricsAddr) —
+	// and stays consistent with the per-handle Stats above.
+	m := rt.Metrics()
+	fmt.Printf("metrics: events=%d watermark=%d statements closed with graphs intact\n",
+		m.Events, m.Watermark)
 }

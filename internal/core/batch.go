@@ -60,6 +60,10 @@ func (rt *Runtime) ProcessBatch(b *event.Batch) (int, error) {
 	if n == 0 {
 		return 0, nil
 	}
+	if m := rt.met; m != nil {
+		m.batches.Inc()
+		m.batchRows.Add(uint64(n))
+	}
 	rows := b.Rows()
 	for i := 1; i < n; i++ {
 		if rows[i].Time < rows[i-1].Time {
@@ -85,6 +89,13 @@ func (rt *Runtime) ProcessBatch(b *event.Batch) (int, error) {
 	rt.applyBatch(b, rows, 0, n)
 	if last := rows[n-1].Time; last > rt.watermark {
 		rt.watermark = last
+	}
+	if m := rt.met; m != nil {
+		// rt.watermark now covers the batch maximum (rows are sorted), so
+		// the frontier cells stay untouched — the snapshot derives both
+		// series from rt.watermark under rt.mu.
+		m.events.Add(uint64(n))
+		m.drops.Add(uint64(n - accepted))
 	}
 	return accepted, nil
 }
@@ -330,6 +341,14 @@ func (rt *Runtime) processBatchReorder(b *event.Batch, rows []*event.Event) (int
 	// the final horizon, so the pushes drop nothing and release nothing.
 	for ; i < n; i++ {
 		buf.Push(rows[i])
+	}
+	if m := rt.met; m != nil {
+		// The buffered tail stays ahead of the released frontier, so only
+		// the offered high-water cell moves; the released watermark is
+		// rt.watermark under rt.mu.
+		m.events.Add(uint64(n))
+		m.drops.Add(uint64(lo))
+		m.maxSeen.SetMax(rows[n-1].Time)
 	}
 	return n - lo, nil
 }

@@ -60,6 +60,12 @@ type ckState struct {
 	next  event.Time // first event time that triggers a checkpoint
 	save  SaveFunc
 	onErr func(error) // scheduled-save failures degrade loudly here
+
+	// Observability of the last successful write (runCheckpoint): the
+	// fields live here rather than in cells because they are read under
+	// rt.mu at snapshot time only.
+	lastDur  time.Duration
+	lastUnix int64 // wall clock (ns); 0 before the first success
 }
 
 // SetCheckpoint arms watermark-aligned checkpointing: before applying
@@ -111,10 +117,57 @@ func (rt *Runtime) checkpointAtBoundary(t event.Time) {
 		st.eng.AdvanceTo(b)
 	}
 	ck.next = b + ck.every
-	err := ck.save(b, func(w io.Writer) error { return rt.encodeLocked(w, b) })
+	err := rt.runCheckpoint(ck, b)
 	if err != nil && ck.onErr != nil {
 		ck.onErr(err)
 	}
+}
+
+// countingWriter counts the snapshot bytes flowing to the store.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// runCheckpoint runs one snapshot write (scheduled boundary or manual)
+// with full instrumentation: write duration, snapshot bytes, trace
+// begin/commit/fail. rt.mu held. Timing and allocation here are fine —
+// this is a boundary, not the steady per-event path (the alloc guard's
+// measured windows avoid boundaries for exactly this reason).
+func (rt *Runtime) runCheckpoint(ck *ckState, replayFrom event.Time) error {
+	rt.fireTrace(TraceEvent{Kind: TraceCheckpointBegin, Boundary: replayFrom, Watermark: rt.watermark})
+	var cw countingWriter
+	start := time.Now()
+	err := ck.save(replayFrom, func(w io.Writer) error {
+		cw.w, cw.n = w, 0
+		return rt.encodeLocked(&cw, replayFrom)
+	})
+	dur := time.Since(start)
+	if err != nil {
+		if m := rt.met; m != nil {
+			m.ckFails.Inc()
+		}
+		rt.fireTrace(TraceEvent{Kind: TraceCheckpointFail, Boundary: replayFrom, Watermark: rt.watermark, Dur: dur, Err: err})
+		return err
+	}
+	ck.lastDur = dur
+	ck.lastUnix = nowNanos()
+	if m := rt.met; m != nil {
+		m.ckWrites.Inc()
+		m.ckBytes.Add(uint64(cw.n))
+		m.ckLastBytes.Set(cw.n)
+		m.ckLastBoundary.Set(replayFrom)
+		m.ckLastUnix.Set(ck.lastUnix)
+		m.ckDur.Observe(dur)
+	}
+	rt.fireTrace(TraceEvent{Kind: TraceCheckpointCommit, Boundary: replayFrom, Watermark: rt.watermark, Bytes: cw.n, Dur: dur})
+	return nil
 }
 
 // CheckpointArmed reports whether a scheduled checkpoint cadence is
@@ -150,7 +203,7 @@ func (rt *Runtime) CheckpointNow() error {
 		return errors.New("greta: checkpointing is not configured")
 	}
 	replay := rt.watermark + 1
-	return ck.save(replay, func(w io.Writer) error { return rt.encodeLocked(w, replay) })
+	return rt.runCheckpoint(ck, replay)
 }
 
 // Plan returns the plan the statement registered with.

@@ -252,7 +252,7 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 	var debug parallelDebug
 	go mergeLoop(mergeCh, mergerDone, parStmts, workers, &abort, &debug)
 
-	err := feedWorkers(ctx, s, workers, parStmts, inline, groups, chans, spills, &abort)
+	err := feedWorkers(ctx, s, workers, parStmts, inline, groups, chans, spills, &abort, rt.met)
 
 	for _, c := range chans {
 		close(c)
@@ -282,7 +282,7 @@ func (rt *Runtime) runParallel(ctx context.Context, s event.Stream, workers int,
 // the event to the workers owning the targeted partitions.
 func feedWorkers(ctx context.Context, s event.Stream, workers int,
 	parStmts, inline []*Stmt, groups []*routeGroup, chans []chan parMsg,
-	spills *sync.Pool, abort *atomic.Bool) error {
+	spills *sync.Pool, abort *atomic.Bool, met *rtMetrics) error {
 	done := ctx.Done()
 	masks := make([]uint64, workers)
 	touched := make([]int, 0, workers)
@@ -308,11 +308,25 @@ func feedWorkers(ctx context.Context, s event.Stream, workers int,
 			default:
 			}
 		}
+		// Live gauges: the feed goroutine owns the stream while rt.mu is
+		// free, so the cells (not rt.watermark) are what a concurrent
+		// scrape observes mid-run. Atomics only — the feed loop shares
+		// the hot path's 0-alloc discipline.
+		if met != nil {
+			met.events.Inc()
+			met.maxSeen.SetMax(ev.Time)
+		}
 		if ev.Time < watermark {
 			ooo++
+			if met != nil {
+				met.drops.Inc()
+			}
 			continue
 		}
 		watermark = ev.Time
+		if met != nil {
+			met.watermark.Set(ev.Time)
+		}
 		// Window barriers precede the event that closes the window, so
 		// every worker releases wid before any post-window event.
 		for si, st := range parStmts {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/greta-cep/greta/internal/event"
+	"github.com/greta-cep/greta/internal/obs"
 	"github.com/greta-cep/greta/internal/reorder"
 	"github.com/greta-cep/greta/internal/share"
 )
@@ -111,6 +112,15 @@ type Runtime struct {
 	// parDebug captures streaming-merge instrumentation from the last
 	// RunParallel (test hook).
 	parDebug *parallelDebug
+
+	// met holds the hot-path metric cells (armed by default; nil after
+	// DisableMetrics). Every touch on the ingest path is a nil-check
+	// plus a plain atomic — see metrics.go for the 0-alloc contract.
+	met    *rtMetrics
+	obsReg *obs.Registry
+	// trace is the lifecycle hook (SetTraceHook); fires under rt.mu on
+	// lifecycle paths only, never per event.
+	trace func(TraceEvent)
 }
 
 // routeGroup is one distinct partition-attribute signature and the
@@ -158,9 +168,15 @@ type Stmt struct {
 	onClose func()
 }
 
-// NewRuntime builds an empty runtime.
+// NewRuntime builds an empty runtime. Metrics are armed from birth:
+// the cells exist before the first event, so arming costs nothing on
+// the hot path beyond the atomics themselves.
 func NewRuntime() *Runtime {
-	return &Runtime{watermark: -1, shareIdx: share.NewIndex[*shareRec]()}
+	rt := &Runtime{watermark: -1, shareIdx: share.NewIndex[*shareRec]()}
+	rt.obsReg = obs.NewRegistry()
+	rt.met = newRTMetrics(rt.obsReg)
+	rt.registerCollector()
+	return rt
 }
 
 // StmtConfig carries per-registration options.
@@ -206,11 +222,16 @@ func (rt *Runtime) Register(plan *Plan, cfg StmtConfig) (*Stmt, error) {
 	// event that arrived before the registration.
 	rt.reorderBarrierLocked()
 	if cfg.Share && shareable(plan, cfg) {
-		return rt.registerShared(plan, cfg, shareKeyOf(plan, cfg))
+		st, err := rt.registerShared(plan, cfg, shareKeyOf(plan, cfg))
+		if err == nil {
+			rt.fireTrace(TraceEvent{Kind: TraceStatementRegister, Stmt: st.id, Watermark: rt.watermark})
+		}
+		return st, err
 	}
 	st := rt.adoptLocked(newStmtEngine(plan, cfg), cfg.ID)
 	st.srcPlan = plan
 	st.noRetain = cfg.NoRetain
+	rt.fireTrace(TraceEvent{Kind: TraceStatementRegister, Stmt: st.id, Watermark: rt.watermark})
 	return st, nil
 }
 
@@ -227,7 +248,9 @@ func (rt *Runtime) adopt(eng *Engine, id string) (*Stmt, error) {
 		return nil, fmt.Errorf("greta: statement id %q already registered", id)
 	}
 	rt.reorderBarrierLocked()
-	return rt.adoptLocked(eng, id), nil
+	st := rt.adoptLocked(eng, id)
+	rt.fireTrace(TraceEvent{Kind: TraceStatementRegister, Stmt: st.id, Watermark: rt.watermark})
+	return st, nil
 }
 
 func (rt *Runtime) registrable() error {
@@ -313,7 +336,16 @@ func (rt *Runtime) process(ev *event.Event) error {
 	if rt.running {
 		return ErrRunning
 	}
+	if m := rt.met; m != nil {
+		m.events.Inc()
+	}
 	if b := rt.reorder; b != nil {
+		// Offered time runs ahead of the released frontier here, so the
+		// high-water cell needs the RMW; the direct path below derives
+		// the offered maximum from rt.watermark instead.
+		if m := rt.met; m != nil {
+			m.maxSeen.SetMax(ev.Time)
+		}
 		// Apply a restored in-flight release (pending at or below the
 		// horizon) before considering the incoming event — exactly where
 		// the interrupted run left off. A no-op on live buffers.
@@ -330,6 +362,9 @@ func (rt *Runtime) process(ev *event.Event) error {
 			// (engines only ever see the released, in-order stream), so
 			// per-statement OutOfOrder counters do not move — the caller
 			// accounts for slack drops, as the netstream layer always has.
+			if m := rt.met; m != nil {
+				m.drops.Inc()
+			}
 			return &OrderError{EventTime: ev.Time, Watermark: b.Horizon()}
 		}
 		return nil
@@ -369,6 +404,9 @@ func (rt *Runtime) applyLocked(ev *event.Event) error {
 		st.eng.Process(ev)
 	}
 	if late {
+		if m := rt.met; m != nil {
+			m.drops.Inc()
+		}
 		return &OrderError{EventTime: ev.Time, Watermark: rt.watermark}
 	}
 	rt.watermark = ev.Time
@@ -525,6 +563,10 @@ type RuntimeStats struct {
 func (rt *Runtime) Stats() RuntimeStats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	return rt.statsLocked()
+}
+
+func (rt *Runtime) statsLocked() RuntimeStats {
 	rs := RuntimeStats{Statements: len(rt.stmts), RouteGroups: len(rt.groups)}
 	seen := map[*sharedEntry]bool{}
 	for _, st := range rt.stmts {
@@ -687,6 +729,7 @@ func (st *Stmt) Close() error {
 		st.rt.stmts = deleteStmt(st.rt.stmts, st)
 		st.closed = true
 		sortResults(st.results)
+		st.rt.fireTrace(TraceEvent{Kind: TraceStatementClose, Stmt: st.id, Watermark: st.rt.watermark})
 		if st.onClose != nil {
 			st.onClose()
 		}
@@ -722,6 +765,7 @@ func (st *Stmt) finish() {
 	} else {
 		st.eng.Flush()
 	}
+	st.rt.fireTrace(TraceEvent{Kind: TraceStatementClose, Stmt: st.id, Watermark: st.rt.watermark})
 	if st.onClose != nil {
 		st.onClose()
 	}

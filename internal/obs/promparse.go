@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseProm is a minimal Prometheus text-format (0.0.4) parser used by
+// the test suite and the obs-smoke CI job to assert that an exposition
+// is well-formed and that expected series are present. It returns a
+// map from full series name (labels included, exactly as rendered) to
+// value, and an error on the first malformed line. It understands
+// exactly what WriteProm emits: `# HELP`/`# TYPE` comments, blank
+// lines, and `series value` samples — enough to validate our own
+// output and catch drift, not a general scrape parser.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	typed := make(map[string]string)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			// "# TYPE name kind" / "# HELP name text..."
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					typed[fields[2]] = fields[3]
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		// Split the sample into series and value. The series may contain
+		// spaces only inside a label value, so scan for the last space
+		// outside quotes.
+		cut := -1
+		inQuote := false
+		for i := 0; i < len(line); i++ {
+			switch line[i] {
+			case '"':
+				inQuote = !inQuote
+			case '\\':
+				if inQuote {
+					i++
+				}
+			case ' ', '\t':
+				if !inQuote {
+					cut = i
+				}
+			}
+		}
+		if cut <= 0 || cut == len(line)-1 {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name := strings.TrimSpace(line[:cut])
+		valStr := strings.TrimSpace(line[cut+1:])
+		if brace := strings.IndexByte(name, '{'); brace == 0 {
+			return nil, fmt.Errorf("line %d: missing metric name in %q", lineNo, line)
+		} else if brace > 0 && !strings.HasSuffix(name, "}") {
+			return nil, fmt.Errorf("line %d: unbalanced labels in %q", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %q", lineNo, name)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HasSeries reports whether any parsed series matches name exactly or
+// is name followed by a label set / histogram suffix — the assertion
+// primitive for the smoke tests ("some series of this family exists").
+func HasSeries(parsed map[string]float64, name string) bool {
+	if _, ok := parsed[name]; ok {
+		return true
+	}
+	for k := range parsed {
+		if strings.HasPrefix(k, name) {
+			rest := k[len(name):]
+			if strings.HasPrefix(rest, "{") ||
+				strings.HasPrefix(rest, "_bucket{") ||
+				rest == "_sum" || rest == "_count" ||
+				strings.HasPrefix(rest, "_sum{") || strings.HasPrefix(rest, "_count{") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -227,6 +227,40 @@ type WireDone struct {
 	Stats        map[string]greta.Stats
 }
 
+// WireSessStats is the reply to {"cmd":"stats"}: a live snapshot of
+// the session's resilience cursors and its runtime's observability
+// counters, cheap enough to poll mid-stream (no barrier, no flush).
+type WireSessStats struct {
+	// Session is the server-issued id ("" for a non-resumable session).
+	Session   string `json:"session,omitempty"`
+	Processed uint64 `json:"processed"`
+	Dropped   uint64 `json:"dropped"`
+	// LastSeq/OutSeq are the resume cursors: the last client event seq
+	// applied and the newest durable output seq emitted.
+	LastSeq uint64 `json:"last_seq,omitempty"`
+	OutSeq  uint64 `json:"out_seq,omitempty"`
+	// Resumes counts re-attaches after connection loss; Pings counts
+	// heartbeats sent on the current session.
+	Resumes uint64 `json:"resumes,omitempty"`
+	Pings   uint64 `json:"pings,omitempty"`
+	// Retained is the send-ring occupancy: durable output lines held
+	// for resume replay, bounded by ResumeWindow.
+	Retained     int `json:"retained"`
+	ResumeWindow int `json:"resume_window"`
+	Statements   int `json:"statements"`
+	// Watermark/EventTimeMax/WatermarkLag mirror the runtime's live
+	// gauges (-1 before the first event).
+	Watermark      int64  `json:"watermark"`
+	EventTimeMax   int64  `json:"event_time_max"`
+	WatermarkLag   int64  `json:"watermark_lag,omitempty"`
+	ReorderPending int    `json:"reorder_pending,omitempty"`
+	ReorderDropped uint64 `json:"reorder_dropped,omitempty"`
+	// Checkpoint durability: successful writes and the wall-clock age
+	// of the newest snapshot in milliseconds (0 when none).
+	CheckpointWrites uint64 `json:"checkpoint_writes,omitempty"`
+	CheckpointAgeMS  int64  `json:"checkpoint_age_ms,omitempty"`
+}
+
 type wireOut struct {
 	Result     *WireResult     `json:"result,omitempty"`
 	Registered *WireRegistered `json:"registered,omitempty"`
@@ -249,9 +283,11 @@ type wireOut struct {
 	Stats        map[string]greta.Stats `json:"stats,omitempty"`
 	// Checkpointed acknowledges a checkpoint command: true on a durable
 	// write, false when it degraded (a warn line preceding it says why).
-	Checkpointed *bool  `json:"checkpointed,omitempty"`
-	Error        string `json:"error,omitempty"`
-	Warn         string `json:"warn,omitempty"`
+	Checkpointed *bool `json:"checkpointed,omitempty"`
+	// SessStats replies to {"cmd":"stats"}.
+	SessStats *WireSessStats `json:"sess_stats,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Warn      string         `json:"warn,omitempty"`
 	// Shard-session lines (all durable): partial windows, barrier acks,
 	// per-unit stats, handshake/adopt acknowledgements, handoff blobs.
 	Partial   *WirePartial   `json:"partial,omitempty"`
@@ -335,6 +371,14 @@ type Server struct {
 	// Shard servers raise it: an adopt frame carries whole slot
 	// snapshots in one line.
 	MaxLine int
+	// TraceHook, when set, receives lifecycle trace events from every
+	// session: the runtime's own kinds (statement register/close,
+	// checkpoint begin/commit/fail) plus TraceSessionResume on each
+	// re-attach, with TraceEvent.Session carrying the session id. It
+	// overrides any WithTraceHook in RuntimeOptions. The hook fires on
+	// serving paths with session (and possibly runtime) locks held — it
+	// must return quickly and must not call back into the server.
+	TraceHook func(greta.TraceEvent)
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -587,6 +631,7 @@ type session struct {
 	resumable bool
 	ended     bool
 	pings     uint64
+	resumes   uint64
 
 	rt      *greta.Runtime
 	handles map[string]*greta.Handle
@@ -855,10 +900,37 @@ func (sess *session) drain() {
 	sess.finishLocked()
 }
 
+// statsLocked snapshots the session for a {"cmd":"stats"} reply (mu
+// held). The runtime snapshot is the live metrics view — no barrier,
+// no flush, safe mid-stream.
+func (sess *session) statsLocked() *WireSessStats {
+	m := sess.rt.Metrics()
+	st := &WireSessStats{
+		Session: sess.id, Processed: sess.processed, Dropped: sess.dropped,
+		LastSeq: sess.lastSeq, OutSeq: sess.outSeq,
+		Resumes: sess.resumes, Pings: sess.pings,
+		Retained: len(sess.outBuf), ResumeWindow: sess.srv.resumeWindow(),
+		Statements:     len(sess.handles),
+		Watermark:      int64(m.Watermark),
+		EventTimeMax:   int64(m.MaxEventTime),
+		WatermarkLag:   int64(m.WatermarkLag),
+		ReorderPending: m.ReorderPending,
+		ReorderDropped: m.ReorderDropped,
+	}
+	st.CheckpointWrites = m.Checkpoint.Writes
+	st.CheckpointAgeMS = m.Checkpoint.Age.Milliseconds()
+	return st
+}
+
 // attachLocked binds a (re)connection to the session and replays or
 // rebases the durable output the client missed.
 func (sess *session) attachLocked(conn net.Conn, w *bufio.Writer, enc *json.Encoder, recv uint64) {
 	sess.detachLocked()
+	sess.resumes++
+	if hook := sess.srv.TraceHook; hook != nil {
+		hook(greta.TraceEvent{Kind: greta.TraceSessionResume, Session: sess.id,
+			Watermark: sess.rt.Watermark()})
+	}
 	if sess.lingerT != nil {
 		sess.lingerT.Stop()
 		sess.lingerT = nil
@@ -924,6 +996,9 @@ func (s *Server) newSession(conn net.Conn, w *bufio.Writer, enc *json.Encoder) *
 		opts = append(opts, greta.WithCheckpointErrors(func(err error) {
 			_ = sess.sendLocked(wireOut{Warn: fmt.Sprintf("checkpoint: %v", err)}, false)
 		}))
+		if s.TraceHook != nil {
+			opts = append(opts, greta.WithTraceHook(s.TraceHook))
+		}
 		sess.rt = greta.NewRuntime(opts...)
 	}
 	fail := func(err error) *session {
@@ -1056,6 +1131,9 @@ func (sess *session) handleLine(myConn net.Conn, we *WireEvent) (stop bool) {
 		return false
 	case "batch":
 		sess.handleBatchLocked(we)
+		return false
+	case "stats":
+		_ = sess.sendLocked(wireOut{SessStats: sess.statsLocked()}, false)
 		return false
 	case "checkpoint":
 		// No barrier: with slack armed the snapshot carries the pending
@@ -1918,6 +1996,39 @@ func (c *Client) Checkpoint() error {
 			c.pending = append(c.pending, *o.Result)
 		case o.Done:
 			return errors.New("server ended session before acknowledging checkpoint")
+		}
+	}
+}
+
+// Stats asks the server for a live session snapshot ({"cmd":"stats"}):
+// resilience cursors, watermark/lag gauges, reorder depth, checkpoint
+// durability. Unlike Flush it is non-terminal — poll it mid-stream.
+// Results arriving interleaved with the reply are buffered for the
+// next Flush.
+func (c *Client) Stats() (*WireSessStats, error) {
+	if err := c.ensure(context.Background()); err != nil {
+		return nil, err
+	}
+	if err := c.enc.Encode(WireEvent{Cmd: "stats"}); err != nil {
+		return nil, err
+	}
+	for {
+		var o wireOut
+		if err := c.dec.Decode(&o); err != nil {
+			return nil, err
+		}
+		if c.note(&o) {
+			continue
+		}
+		switch {
+		case o.Error != "":
+			return nil, fmt.Errorf("server: %s", o.Error)
+		case o.SessStats != nil:
+			return o.SessStats, nil
+		case o.Result != nil:
+			c.pending = append(c.pending, *o.Result)
+		case o.Done:
+			return nil, errors.New("server ended session before stats reply")
 		}
 	}
 }

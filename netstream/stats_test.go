@@ -1,0 +1,117 @@
+package netstream
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/greta-cep/greta"
+	"github.com/greta-cep/greta/internal/faultnet"
+)
+
+// TestSessionStats drives a resumable session through the stats frame:
+// the server-side cursors and runtime gauges must reflect the feed,
+// and a severed-and-resumed connection must show up in Resumes and in
+// the server's TraceSessionResume hook.
+func TestSessionStats(t *testing.T) {
+	var mu sync.Mutex
+	var resumeTraces []greta.TraceEvent
+	srv := &Server{
+		Linger: 30 * time.Second,
+		TraceHook: func(te greta.TraceEvent) {
+			if te.Kind == greta.TraceSessionResume {
+				mu.Lock()
+				resumeTraces = append(resumeTraces, te)
+				mu.Unlock()
+			}
+		},
+	}
+	addr := startResumeServer(t, srv,
+		"RETURN COUNT(*) PATTERN Stock S+ WHERE [company] WITHIN 20 SLIDE 5")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := faultnet.New()
+	c := NewClient(f.Conn(raw))
+	c.addr = addr
+	defer c.Close()
+	if _, err := c.EnableResume(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := genStream(200, 0, 7)
+	for _, e := range evs[:120] {
+		if err := c.Send(e.typ, e.tm, map[string]float64{"price": e.price}, map[string]string{"company": e.co}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Session != c.SessionID() {
+		t.Errorf("stats session %q, client session %q", st.Session, c.SessionID())
+	}
+	if st.Processed+st.Dropped != 120 {
+		t.Errorf("processed %d + dropped %d != 120 sent", st.Processed, st.Dropped)
+	}
+	if st.LastSeq == 0 {
+		t.Error("LastSeq still 0 after 120 sequenced sends")
+	}
+	if st.Statements != 1 {
+		t.Errorf("Statements = %d, want 1", st.Statements)
+	}
+	if st.Watermark < 0 || st.EventTimeMax < st.Watermark {
+		t.Errorf("gauges out of order: watermark %d, max %d", st.Watermark, st.EventTimeMax)
+	}
+	if st.ResumeWindow <= 0 {
+		t.Errorf("ResumeWindow = %d on a resumable session", st.ResumeWindow)
+	}
+	base := st.Resumes // initial attach counts once
+
+	// Sever and heal; the resume must be visible in the cursors.
+	f.Cut()
+	if err := c.Resume(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs[120:] {
+		if err := c.Send(e.typ, e.tm, map[string]float64{"price": e.price}, map[string]string{"company": e.co}); err != nil {
+			if err := c.Resume(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st2, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Resumes < base+1 {
+		t.Errorf("Resumes = %d after a severed connection, want >= %d", st2.Resumes, base+1)
+	}
+	if st2.Processed+st2.Dropped != 200 {
+		t.Errorf("processed %d + dropped %d != 200 sent", st2.Processed, st2.Dropped)
+	}
+	if st2.Processed < st.Processed || st2.Watermark < st.Watermark {
+		t.Errorf("cursors moved backwards across resume: %+v then %+v", st, st2)
+	}
+
+	mu.Lock()
+	n := len(resumeTraces)
+	var sessID string
+	if n > 0 {
+		sessID = resumeTraces[0].Session
+	}
+	mu.Unlock()
+	if n < int(st2.Resumes) {
+		t.Errorf("TraceSessionResume fired %d times, session counted %d attaches", n, st2.Resumes)
+	}
+	if sessID != c.SessionID() {
+		t.Errorf("trace carries session %q, want %q", sessID, c.SessionID())
+	}
+}

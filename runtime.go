@@ -3,6 +3,7 @@ package greta
 import (
 	"context"
 	"iter"
+	"net"
 	"sync"
 
 	"github.com/greta-cep/greta/internal/core"
@@ -58,6 +59,9 @@ type OrderError = core.OrderError
 // ingest path and must not call back into the Runtime or its Handles.
 type Runtime struct {
 	inner *core.Runtime
+	// metLn is the WithMetricsAddr listener (nil when unarmed); Close
+	// shuts it down with the runtime.
+	metLn net.Listener
 }
 
 // NewRuntime builds an empty runtime; register statements with
@@ -84,6 +88,9 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 	if cfg.ckMeta != nil {
 		rt.inner.SetCheckpointMeta(cfg.ckMeta)
 	}
+	if err := rt.armObs(&cfg); err != nil {
+		panic(err)
+	}
 	return rt
 }
 
@@ -93,11 +100,14 @@ type RuntimeOption func(*runtimeConfig)
 
 // runtimeConfig collects runtime-wide options.
 type runtimeConfig struct {
-	ckDir   string
-	ckEvery Time
-	ckErr   func(error)
-	ckMeta  func() []byte
-	slack   Time
+	ckDir       string
+	ckEvery     Time
+	ckErr       func(error)
+	ckMeta      func() []byte
+	slack       Time
+	metricsAddr string
+	trace       func(TraceEvent)
+	metricsOff  bool
 }
 
 // WithReorderSlack arms a bounded reorder buffer in front of the
@@ -274,9 +284,15 @@ type RuntimeStats = core.RuntimeStats
 func (rt *Runtime) Stats() RuntimeStats { return rt.inner.Stats() }
 
 // Close flushes every registered statement — their remaining open
-// windows emit through the usual delivery paths — and rejects further
-// events and registrations. Idempotent.
-func (rt *Runtime) Close() error { return rt.inner.Close() }
+// windows emit through the usual delivery paths — rejects further
+// events and registrations, and shuts down the WithMetricsAddr
+// listener if one is armed. Idempotent.
+func (rt *Runtime) Close() error {
+	if rt.metLn != nil {
+		rt.metLn.Close()
+	}
+	return rt.inner.Close()
+}
 
 // Handle is one registered statement's lifecycle and result surface:
 // close it to detach the statement mid-stream, consume results with

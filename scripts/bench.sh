@@ -14,7 +14,15 @@ set -eu
 
 out="${1:?usage: scripts/bench.sh out.json [benchtime] (run 'make bench PR=<n>' to pick the snapshot file)}"
 benchtime="${2:-1x}"
-pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements|BenchmarkCheckpointWrite|BenchmarkRestore|BenchmarkBatchIngest|BenchmarkCluster'
+pattern='BenchmarkFig14|BenchmarkFig15|BenchmarkFig16|BenchmarkFig17|BenchmarkParallelPartitions|BenchmarkSharedStatements|BenchmarkCheckpointWrite|BenchmarkRestore|BenchmarkBatchIngest|BenchmarkCluster|BenchmarkMetricsOverhead'
+
+# Fail loudly if the snapshot cannot be written: a bench run whose
+# output silently vanishes leaves a hole in the perf trajectory (the
+# PR 7 snapshot was lost exactly this way).
+if ! touch "$out" 2>/dev/null; then
+    echo "error: cannot write $out" >&2
+    exit 1
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -48,4 +56,11 @@ END {
 }
 ' "$raw" > "$out"
 
+# An empty snapshot means the awk parse found no benchmark lines —
+# refuse to leave a hollow file in the trajectory.
+grep -q '"name"' "$out" || {
+    echo "error: no benchmark results parsed; removing $out" >&2
+    rm -f "$out"
+    exit 1
+}
 echo "wrote $out"
